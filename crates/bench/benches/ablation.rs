@@ -1,0 +1,10 @@
+//! Bench target regenerating the §4 ablation studies (reduced scale)
+//! and timing the underlying simulation.
+
+use bench_suite::{bench_experiment, criterion};
+
+fn main() {
+    let mut c = criterion();
+    bench_experiment(&mut c, "ablation");
+    c.final_summary();
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating the paper's `fig6` artifact (reduced scale)
+//! and timing the underlying simulation.
+
+use bench_suite::{bench_experiment, criterion};
+
+fn main() {
+    let mut c = criterion();
+    bench_experiment(&mut c, "fig6");
+    c.final_summary();
+}

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the predictor hot paths: predict+update throughput
+//! for every component predictor and the full hybrid engine.
+
+use criterion::{BenchmarkId, Criterion};
+use predictors::configs::{self, Budget};
+use predictors::{DirectionPredictor, HistoryBits, Pc};
+use prophet_critic::{CriticKind, HybridSpec, ProphetKind};
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_update");
+    group.sample_size(20);
+
+    let mut cases: Vec<(&str, Box<dyn DirectionPredictor>)> = vec![
+        ("gshare_8k", Box::new(configs::gshare(Budget::K8))),
+        ("2bc_gskew_8k", Box::new(configs::bc_gskew(Budget::K8))),
+        ("perceptron_8k", Box::new(configs::perceptron(Budget::K8))),
+        ("tagged_gshare_8k", Box::new(configs::tagged_gshare(Budget::K8))),
+    ];
+
+    for (name, p) in &mut cases {
+        group.bench_function(BenchmarkId::new("predictor", *name), |b| {
+            let mut hist = HistoryBits::new(p.history_len().max(1));
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let pc = Pc::new(0x40_0000 + (i % 512) * 4);
+                let taken = i % 3 != 0;
+                let pred = p.predict(pc, hist);
+                p.update(pc, hist, taken);
+                hist.push(taken);
+                std::hint::black_box(pred.taken())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_engine");
+    group.sample_size(20);
+    group.bench_function("predict_critique_resolve", |b| {
+        let spec = HybridSpec::paired(
+            ProphetKind::Gshare,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        );
+        let mut h = spec.build();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let pc = Pc::new(0x40_0000 + (i % 256) * 4);
+            let ev = h.predict(pc);
+            while h.critique_next().is_some() {}
+            // Resolve whatever is resolvable to keep the queue bounded.
+            while h.in_flight() > 16 {
+                if h.force_critique_next().is_none() {
+                    let _ = h.resolve_oldest(i % 2 == 0);
+                }
+            }
+            std::hint::black_box(ev.taken)
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    bench_predictors(&mut c);
+    bench_hybrid_engine(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating the paper's `table4` artifact (reduced scale)
+//! and timing the underlying simulation.
+
+use bench_suite::{bench_experiment, criterion};
+
+fn main() {
+    let mut c = criterion();
+    bench_experiment(&mut c, "table4");
+    c.final_summary();
+}

@@ -1,0 +1,50 @@
+//! Shared plumbing for the Criterion benchmark harness.
+//!
+//! Every paper table/figure has a bench target that (1) regenerates the
+//! artifact at a reduced scale and prints it, and (2) times the underlying
+//! simulation so regressions in the hot paths are caught. Full-scale
+//! numbers come from `cargo run -p sim --release --bin experiments`.
+
+use criterion::Criterion;
+use sim::experiments::{by_id, ExpEnv};
+
+/// Runs experiment `id` at bench scale, prints its tables, and registers a
+/// Criterion measurement that re-runs it.
+///
+/// # Panics
+///
+/// Panics if `id` is not a registered experiment.
+pub fn bench_experiment(c: &mut Criterion, id: &str) {
+    let exp = by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    // Smallest meaningful scale: the uop budget clamps to its 20 K floor,
+    // so a full experiment iteration stays in the seconds range even for
+    // the 78-configuration Figure 6 grid.
+    let env = ExpEnv { scale: 0.01, ..ExpEnv::tiny() };
+
+    // Regenerate and print the artifact once.
+    for table in (exp.run)(&env) {
+        println!("{}", table.render());
+    }
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let tables = (exp.run)(&env);
+            std::hint::black_box(tables.len())
+        });
+    });
+    group.finish();
+}
+
+/// The default Criterion configuration for experiment benches: few samples,
+/// short measurement windows (each iteration is a full mini-simulation).
+#[must_use]
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

@@ -1,0 +1,267 @@
+//! Named prophet/critic combinations from the paper's evaluation, buildable
+//! by specification.
+//!
+//! The figures pair three prophets (gshare, 2Bc-gskew, perceptron) with two
+//! filtered critics (tagged gshare, filtered perceptron) and one unfiltered
+//! critic (perceptron), at the Table 3 budgets. [`HybridSpec`] names such a
+//! combination and [`HybridSpec::build`] constructs the boxed engine.
+
+use predictors::configs::{self, Budget};
+use predictors::DirectionPredictor;
+
+use crate::critic::{Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic, UnfilteredCritic};
+use crate::hybrid::ProphetCritic;
+
+/// The prophet component of a [`HybridSpec`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProphetKind {
+    /// gshare at the Table 3 configuration.
+    Gshare,
+    /// 2Bc-gskew at the Table 3 configuration.
+    BcGskew,
+    /// Perceptron at the Table 3 configuration.
+    Perceptron,
+}
+
+impl ProphetKind {
+    /// All prophets evaluated in the paper.
+    pub const ALL: [ProphetKind; 3] =
+        [ProphetKind::Gshare, ProphetKind::BcGskew, ProphetKind::Perceptron];
+
+    /// The paper's display name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProphetKind::Gshare => "gshare",
+            ProphetKind::BcGskew => "2Bc-gskew",
+            ProphetKind::Perceptron => "perceptron",
+        }
+    }
+
+    /// Builds the prophet at `budget` per Table 3.
+    #[must_use]
+    pub fn build(self, budget: Budget) -> Box<dyn DirectionPredictor> {
+        match self {
+            ProphetKind::Gshare => Box::new(configs::gshare(budget)),
+            ProphetKind::BcGskew => Box::new(configs::bc_gskew(budget)),
+            ProphetKind::Perceptron => Box::new(configs::perceptron(budget)),
+        }
+    }
+}
+
+impl std::fmt::Display for ProphetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The critic component of a [`HybridSpec`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CriticKind {
+    /// No critic: the prophet-alone baseline.
+    None,
+    /// Unfiltered perceptron critic (Figure 6a).
+    UnfilteredPerceptron,
+    /// Tagged gshare critic (Figures 5, 6c, 7, 8, 9, 10; “t.gshare”).
+    TaggedGshare,
+    /// Filtered perceptron critic (Figures 6b, 7; “f.perceptron”).
+    FilteredPerceptron,
+}
+
+impl CriticKind {
+    /// All critic kinds evaluated in the paper.
+    pub const ALL: [CriticKind; 4] = [
+        CriticKind::None,
+        CriticKind::UnfilteredPerceptron,
+        CriticKind::TaggedGshare,
+        CriticKind::FilteredPerceptron,
+    ];
+
+    /// The paper's display name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CriticKind::None => "none",
+            CriticKind::UnfilteredPerceptron => "perceptron",
+            CriticKind::TaggedGshare => "t.gshare",
+            CriticKind::FilteredPerceptron => "f.perceptron",
+        }
+    }
+
+    /// Builds the critic at `budget` per Table 3.
+    #[must_use]
+    pub fn build(self, budget: Budget) -> Box<dyn Critic> {
+        match self {
+            CriticKind::None => Box::new(NullCritic::new()),
+            CriticKind::UnfilteredPerceptron => {
+                Box::new(UnfilteredCritic::new(configs::perceptron(budget)))
+            }
+            CriticKind::TaggedGshare => {
+                Box::new(TaggedGshareCritic::new(configs::tagged_gshare(budget)))
+            }
+            CriticKind::FilteredPerceptron => {
+                let (sets, filter_hist, _) = configs::perceptron_filter_params(budget);
+                Box::new(FilteredPerceptronCritic::new(
+                    configs::filtered_perceptron_core(budget),
+                    sets,
+                    configs::PERCEPTRON_FILTER_WAYS,
+                    configs::TAG_BITS,
+                    filter_hist,
+                ))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CriticKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully-specified prophet/critic configuration.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HybridSpec {
+    /// Which predictor plays the prophet.
+    pub prophet: ProphetKind,
+    /// The prophet's hardware budget.
+    pub prophet_budget: Budget,
+    /// Which predictor plays the critic.
+    pub critic: CriticKind,
+    /// The critic's hardware budget (ignored for [`CriticKind::None`]).
+    pub critic_budget: Budget,
+    /// Number of future bits the critic waits for.
+    pub future_bits: usize,
+}
+
+/// A heap-allocated hybrid engine built from a [`HybridSpec`].
+pub type DynHybrid = ProphetCritic<Box<dyn DirectionPredictor>, Box<dyn Critic>>;
+
+impl HybridSpec {
+    /// A prophet-alone baseline at `budget`.
+    #[must_use]
+    pub fn alone(prophet: ProphetKind, budget: Budget) -> Self {
+        Self {
+            prophet,
+            prophet_budget: budget,
+            critic: CriticKind::None,
+            critic_budget: budget,
+            future_bits: 0,
+        }
+    }
+
+    /// A full prophet/critic pairing.
+    #[must_use]
+    pub fn paired(
+        prophet: ProphetKind,
+        prophet_budget: Budget,
+        critic: CriticKind,
+        critic_budget: Budget,
+        future_bits: usize,
+    ) -> Self {
+        Self { prophet, prophet_budget, critic, critic_budget, future_bits }
+    }
+
+    /// Builds the hybrid engine.
+    #[must_use]
+    pub fn build(&self) -> DynHybrid {
+        ProphetCritic::new(
+            self.prophet.build(self.prophet_budget),
+            self.critic.build(self.critic_budget),
+            self.future_bits,
+        )
+    }
+
+    /// A display label like `8KB perceptron + 8KB t.gshare (8 fb)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.critic {
+            CriticKind::None => format!("{} {} alone", self.prophet_budget, self.prophet),
+            _ => format!(
+                "{} {} + {} {} ({} fb)",
+                self.prophet_budget,
+                self.prophet,
+                self.critic_budget,
+                self.critic,
+                self.future_bits
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for HybridSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictors::Pc;
+
+    #[test]
+    fn every_combination_builds_and_runs() {
+        for prophet in ProphetKind::ALL {
+            for critic in CriticKind::ALL {
+                let fb = if critic == CriticKind::None { 0 } else { 4 };
+                let spec =
+                    HybridSpec::paired(prophet, Budget::K4, critic, Budget::K2, fb);
+                let mut h = spec.build();
+                for i in 0..32u64 {
+                    h.predict(Pc::new(0x1000 + i * 4));
+                }
+                while let Some(ev) = h.critique_next() {
+                    let _ = ev;
+                }
+                while h.in_flight() > 0 {
+                    if h.force_critique_next().is_none() {
+                        let _ = h.resolve_oldest(true).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alone_spec_has_null_critic_and_zero_future_bits() {
+        let spec = HybridSpec::alone(ProphetKind::BcGskew, Budget::K16);
+        assert_eq!(spec.critic, CriticKind::None);
+        assert_eq!(spec.future_bits, 0);
+        let h = spec.build();
+        // Prophet-alone storage equals the prophet's Table 3 budget.
+        assert_eq!(h.storage_bytes(), Budget::K16.bytes());
+    }
+
+    #[test]
+    fn paired_storage_is_sum_of_halves() {
+        let spec = HybridSpec::paired(
+            ProphetKind::Gshare,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        );
+        let h = spec.build();
+        // 8 KB gshare + ~8 KB tagged gshare: within 15% of 16 KB.
+        let total = h.storage_bytes();
+        assert!(
+            (14 * 1024..=19 * 1024).contains(&total),
+            "8+8 hybrid storage {total} out of range"
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        let spec = HybridSpec::paired(
+            ProphetKind::Perceptron,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        );
+        assert_eq!(spec.label(), "8KB perceptron + 8KB t.gshare (8 fb)");
+        let alone = HybridSpec::alone(ProphetKind::Gshare, Budget::K16);
+        assert_eq!(alone.label(), "16KB gshare alone");
+    }
+}

@@ -1,0 +1,260 @@
+//! Critique taxonomy and statistics (paper §7.3, Figure 8 and Table 4).
+
+/// The decision a critic renders for one prophet prediction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CriticDecision {
+    /// The critic's predicted direction for the branch (the *final*
+    /// prediction when the critic is engaged).
+    pub direction: bool,
+    /// Whether the critic actually engaged. A filtered critic with a tag
+    /// miss does not engage — it *implicitly agrees* and its direction is
+    /// the prophet's (§4).
+    pub engaged: bool,
+}
+
+impl CriticDecision {
+    /// An implicit agreement (filter miss): the prophet's prediction stands.
+    #[must_use]
+    pub fn implicit_agree(prophet_pred: bool) -> Self {
+        Self { direction: prophet_pred, engaged: false }
+    }
+
+    /// An explicit critique with the given direction.
+    #[must_use]
+    pub fn explicit(direction: bool) -> Self {
+        Self { direction, engaged: true }
+    }
+
+    /// Whether the critique agrees with the prophet (implicitly or not).
+    #[must_use]
+    pub fn agrees_with(&self, prophet_pred: bool) -> bool {
+        self.direction == prophet_pred
+    }
+}
+
+/// Classification of one committed branch's critique, following §7.3.
+///
+/// The first word refers to the *prophet's* prediction, the second to the
+/// critic's reaction:
+///
+/// * the ideal case is [`IncorrectDisagree`](Self::IncorrectDisagree) — the
+///   critic fixed a prophet mispredict;
+/// * the case to minimize is [`CorrectDisagree`](Self::CorrectDisagree) —
+///   the critic broke a correct prediction;
+/// * `*None` are the *implicit* critiques from filter misses, reported
+///   separately in Table 4.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CritiqueKind {
+    /// Prophet correct, critic (explicitly) agreed: no change, no harm.
+    CorrectAgree,
+    /// Prophet wrong, critic disagreed: a mispredict was corrected.
+    IncorrectDisagree,
+    /// Prophet wrong, critic agreed: a lost opportunity.
+    IncorrectAgree,
+    /// Prophet correct, critic disagreed: the critic *introduced* a
+    /// mispredict — the worst case.
+    CorrectDisagree,
+    /// Prophet correct, filter miss (implicit agree).
+    CorrectNone,
+    /// Prophet wrong, filter miss (implicit agree).
+    IncorrectNone,
+}
+
+impl CritiqueKind {
+    /// Classifies a committed branch.
+    #[must_use]
+    pub fn classify(prophet_pred: bool, decision: CriticDecision, outcome: bool) -> Self {
+        let prophet_correct = prophet_pred == outcome;
+        match (prophet_correct, decision.engaged, decision.agrees_with(prophet_pred)) {
+            (true, false, _) => Self::CorrectNone,
+            (false, false, _) => Self::IncorrectNone,
+            (true, true, true) => Self::CorrectAgree,
+            (true, true, false) => Self::CorrectDisagree,
+            (false, true, true) => Self::IncorrectAgree,
+            (false, true, false) => Self::IncorrectDisagree,
+        }
+    }
+
+    /// All kinds, in the display order of Figure 8 plus the two implicit
+    /// kinds of Table 4.
+    pub const ALL: [CritiqueKind; 6] = [
+        Self::CorrectAgree,
+        Self::IncorrectDisagree,
+        Self::IncorrectAgree,
+        Self::CorrectDisagree,
+        Self::CorrectNone,
+        Self::IncorrectNone,
+    ];
+
+    /// The snake_case label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CorrectAgree => "correct_agree",
+            Self::IncorrectDisagree => "incorrect_disagree",
+            Self::IncorrectAgree => "incorrect_agree",
+            Self::CorrectDisagree => "correct_disagree",
+            Self::CorrectNone => "correct_none",
+            Self::IncorrectNone => "incorrect_none",
+        }
+    }
+
+    /// Whether the final prediction for a branch of this kind is correct.
+    #[must_use]
+    pub fn final_correct(self) -> bool {
+        match self {
+            Self::CorrectAgree | Self::CorrectNone | Self::IncorrectDisagree => true,
+            Self::IncorrectAgree | Self::CorrectDisagree | Self::IncorrectNone => false,
+        }
+    }
+}
+
+impl std::fmt::Display for CritiqueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters over committed branches, aggregating critique kinds.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CritiqueStats {
+    counts: [u64; 6],
+}
+
+impl CritiqueStats {
+    /// An all-zero table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(kind: CritiqueKind) -> usize {
+        CritiqueKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+    }
+
+    /// Records one committed branch.
+    pub fn record(&mut self, kind: CritiqueKind) {
+        self.counts[Self::slot(kind)] += 1;
+    }
+
+    /// The count for one kind.
+    #[must_use]
+    pub fn count(&self, kind: CritiqueKind) -> u64 {
+        self.counts[Self::slot(kind)]
+    }
+
+    /// Total committed conditional branches.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Branches for which the critic engaged (tag hit / unfiltered).
+    #[must_use]
+    pub fn engaged(&self) -> u64 {
+        self.total() - self.none_total()
+    }
+
+    /// Branches filtered out (implicit agree), Table 4's `% none` numerator.
+    #[must_use]
+    pub fn none_total(&self) -> u64 {
+        self.count(CritiqueKind::CorrectNone) + self.count(CritiqueKind::IncorrectNone)
+    }
+
+    /// Branches whose *final* prediction was wrong.
+    #[must_use]
+    pub fn final_mispredicts(&self) -> u64 {
+        CritiqueKind::ALL
+            .iter()
+            .filter(|k| !k.final_correct())
+            .map(|k| self.count(*k))
+            .sum()
+    }
+
+    /// Branches the *prophet* mispredicted.
+    #[must_use]
+    pub fn prophet_mispredicts(&self) -> u64 {
+        self.count(CritiqueKind::IncorrectDisagree)
+            + self.count(CritiqueKind::IncorrectAgree)
+            + self.count(CritiqueKind::IncorrectNone)
+    }
+
+    /// Merges another stats table into this one.
+    pub fn merge(&mut self, other: &CritiqueStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_all_six_cases() {
+        use CritiqueKind::*;
+        let agree = |p| CriticDecision::explicit(p);
+        let disagree = |p: bool| CriticDecision::explicit(!p);
+        let none = CriticDecision::implicit_agree(true);
+
+        assert_eq!(CritiqueKind::classify(true, agree(true), true), CorrectAgree);
+        assert_eq!(CritiqueKind::classify(true, disagree(true), false), IncorrectDisagree);
+        assert_eq!(CritiqueKind::classify(true, agree(true), false), IncorrectAgree);
+        assert_eq!(CritiqueKind::classify(true, disagree(true), true), CorrectDisagree);
+        assert_eq!(CritiqueKind::classify(true, none, true), CorrectNone);
+        assert_eq!(CritiqueKind::classify(true, none, false), IncorrectNone);
+    }
+
+    #[test]
+    fn final_correct_matches_override_semantics() {
+        // The critic's direction is final: incorrect_disagree repairs,
+        // correct_disagree breaks.
+        assert!(CritiqueKind::IncorrectDisagree.final_correct());
+        assert!(!CritiqueKind::CorrectDisagree.final_correct());
+        assert!(!CritiqueKind::IncorrectAgree.final_correct());
+        assert!(!CritiqueKind::IncorrectNone.final_correct());
+    }
+
+    #[test]
+    fn stats_aggregate_and_derive() {
+        let mut s = CritiqueStats::new();
+        s.record(CritiqueKind::CorrectAgree);
+        s.record(CritiqueKind::CorrectNone);
+        s.record(CritiqueKind::CorrectNone);
+        s.record(CritiqueKind::IncorrectDisagree);
+        s.record(CritiqueKind::IncorrectAgree);
+        s.record(CritiqueKind::CorrectDisagree);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.none_total(), 2);
+        assert_eq!(s.engaged(), 4);
+        assert_eq!(s.final_mispredicts(), 2); // incorrect_agree + correct_disagree
+        assert_eq!(s.prophet_mispredicts(), 2); // disagree + agree on incorrect
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CritiqueStats::new();
+        a.record(CritiqueKind::CorrectAgree);
+        let mut b = CritiqueStats::new();
+        b.record(CritiqueKind::CorrectAgree);
+        b.record(CritiqueKind::IncorrectNone);
+        a.merge(&b);
+        assert_eq!(a.count(CritiqueKind::CorrectAgree), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn implicit_agree_matches_prophet() {
+        let d = CriticDecision::implicit_agree(false);
+        assert!(!d.direction);
+        assert!(!d.engaged);
+        assert!(d.agrees_with(false));
+    }
+
+    #[test]
+    fn labels_are_paper_spelling() {
+        assert_eq!(CritiqueKind::CorrectAgree.to_string(), "correct_agree");
+        assert_eq!(CritiqueKind::IncorrectNone.to_string(), "incorrect_none");
+    }
+}

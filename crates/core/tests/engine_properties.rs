@@ -1,0 +1,130 @@
+//! Property-based tests of the hybrid engine's protocol invariants under
+//! randomized drive sequences.
+
+use proptest::prelude::*;
+
+use predictors::{Bimodal, Gshare, Pc};
+use prophet_critic::{
+    Critic, CritiqueKind, NullCritic, ProphetCritic, TaggedGshareCritic, UnfilteredCritic,
+};
+
+/// Drives a hybrid through a random branch stream with the proper
+/// fetch-order protocol and returns its final stats.
+fn drive<C: Critic>(
+    mut hybrid: ProphetCritic<Bimodal, C>,
+    stream: &[(u16, bool)],
+    depth: usize,
+) -> (u64, u64) {
+    let mut outcomes: std::collections::VecDeque<bool> = std::collections::VecDeque::new();
+    for (pc_raw, outcome) in stream {
+        let pc = Pc::new(0x1000 + u64::from(*pc_raw) * 4);
+        hybrid.predict(pc);
+        outcomes.push_back(*outcome);
+        while hybrid.critique_next().is_some() {}
+        // Keep the in-flight window bounded like the simulator does.
+        while hybrid.in_flight() > depth {
+            if !hybrid.critique_ready() {
+                let _ = hybrid.force_critique_next();
+            }
+            let outcome = outcomes.pop_front().expect("outcome per in-flight branch");
+            let ev = hybrid.resolve_oldest(outcome).expect("head critiqued");
+            if ev.mispredict {
+                // Flushed branches' outcomes are discarded with them.
+                outcomes.drain(..ev.flushed.min(outcomes.len()));
+            }
+        }
+    }
+    // Drain.
+    while hybrid.in_flight() > 0 {
+        if !hybrid.critique_ready() {
+            let _ = hybrid.force_critique_next();
+        }
+        let outcome = outcomes.pop_front().unwrap_or(false);
+        let ev = hybrid.resolve_oldest(outcome).expect("drains cleanly");
+        if ev.mispredict {
+            outcomes.drain(..ev.flushed.min(outcomes.len()));
+        }
+    }
+    (hybrid.stats().total(), hybrid.stats().final_mispredicts())
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u16, bool)>> {
+    prop::collection::vec((0u16..64, any::<bool>()), 1..300)
+}
+
+proptest! {
+    #[test]
+    fn engine_commits_every_branch_exactly_once_null(stream in arb_stream()) {
+        let hybrid = ProphetCritic::new(Bimodal::new(128), NullCritic::new(), 0);
+        // Resolve each branch before predicting the next (depth 0): with
+        // f=0 nothing is speculated past a branch, so every stream entry
+        // commits exactly once.
+        let (committed, misp) = drive(hybrid, &stream, 0);
+        prop_assert_eq!(committed, stream.len() as u64);
+        prop_assert!(misp <= committed);
+    }
+
+    #[test]
+    fn engine_never_wedges_with_future_bits(
+        stream in arb_stream(),
+        fb in 1usize..=8,
+    ) {
+        let critic = UnfilteredCritic::new(Gshare::new(256, 8));
+        let hybrid = ProphetCritic::new(Bimodal::new(128), critic, fb);
+        // Lazy resolution: speculated branches flushed by a mispredict are
+        // not re-fetched by this driver, so commits can be fewer than the
+        // stream length — but the engine must never wedge or over-commit.
+        let (committed, misp) = drive(hybrid, &stream, 12);
+        prop_assert!(committed >= 1);
+        prop_assert!(committed <= stream.len() as u64);
+        prop_assert!(misp <= committed);
+    }
+
+    #[test]
+    fn stats_taxonomy_is_conserved(stream in arb_stream(), fb in 1usize..=6) {
+        let critic = TaggedGshareCritic::new(predictors::TaggedGshare::new(64, 4, 9, 12));
+        let mut hybrid = ProphetCritic::new(Bimodal::new(128), critic, fb);
+        // Drive inline to keep access to stats.
+        let mut outcomes: std::collections::VecDeque<bool> = Default::default();
+        for (pc_raw, outcome) in &stream {
+            hybrid.predict(Pc::new(0x1000 + u64::from(*pc_raw) * 4));
+            outcomes.push_back(*outcome);
+            while hybrid.critique_next().is_some() {}
+            while hybrid.in_flight() > 10 {
+                if !hybrid.critique_ready() {
+                    let _ = hybrid.force_critique_next();
+                }
+                let o = outcomes.pop_front().unwrap();
+                let ev = hybrid.resolve_oldest(o).unwrap();
+                if ev.mispredict {
+                    outcomes.drain(..ev.flushed.min(outcomes.len()));
+                }
+            }
+        }
+        let s = hybrid.stats();
+        let sum: u64 = CritiqueKind::ALL.iter().map(|k| s.count(*k)).sum();
+        prop_assert_eq!(sum, s.total());
+        prop_assert_eq!(
+            s.final_mispredicts(),
+            s.count(CritiqueKind::IncorrectAgree)
+                + s.count(CritiqueKind::IncorrectNone)
+                + s.count(CritiqueKind::CorrectDisagree)
+        );
+    }
+
+    #[test]
+    fn bhr_always_reflects_committed_outcomes_for_null_critic(
+        outcomes in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        // With a NullCritic and immediate resolution, after each commit the
+        // BHR's newest bit must equal the committed outcome (speculative
+        // push repaired on mispredict).
+        let mut hybrid = ProphetCritic::new(Gshare::new(256, 8), NullCritic::new(), 0);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            hybrid.predict(Pc::new(0x2000 + (i as u64 % 16) * 4));
+            while hybrid.critique_next().is_some() {}
+            let _ = hybrid.resolve_oldest(*outcome).unwrap();
+            prop_assert_eq!(hybrid.bhr().outcome(0), *outcome);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The fetch target queue of the decoupled front end (§5, Figure 4).
+//!
+//! The hybrid produces predictions into the FTQ; the instruction cache
+//! consumes them from the head. The critic walks the queue in order,
+//! marking entries criticized. A disagreement flushes only the uncriticized
+//! tail — “the flush is confined to the FTQ, since the cache and the rest
+//! of the machine haven't received any of the flushed predictions.”
+
+use std::collections::VecDeque;
+
+use predictors::Pc;
+use prophet_critic::BranchId;
+
+/// One prediction sitting in the FTQ.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FtqEntry {
+    /// The branch this prediction is for.
+    pub id: BranchId,
+    /// The branch's address.
+    pub pc: Pc,
+    /// The current (prophet's, or overridden final) predicted direction.
+    pub taken: bool,
+    /// Whether the critic has criticized this entry (shaded in Figure 4).
+    pub criticized: bool,
+}
+
+/// The fetch target queue.
+///
+/// # Examples
+///
+/// ```
+/// use frontend::Ftq;
+/// use predictors::Pc;
+/// # use prophet_critic::{ProphetCritic, NullCritic};
+/// # use predictors::Bimodal;
+///
+/// let mut ftq = Ftq::isca04(); // 32 entries (Table 2)
+/// # let mut hybrid = ProphetCritic::new(Bimodal::new(64), NullCritic::new(), 0);
+/// let ev = hybrid.predict(Pc::new(0x400_000));
+/// ftq.push(ev.id, Pc::new(0x400_000), ev.taken);
+/// assert_eq!(ftq.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ftq {
+    entries: VecDeque<FtqEntry>,
+    capacity: usize,
+    /// Times the consumer found the queue empty (the paper measures this to
+    /// show prophet/critic FTQ occupancy matches a conventional front end).
+    empty_on_consume: u64,
+    consumes: u64,
+}
+
+impl Ftq {
+    /// Creates an FTQ with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FTQ needs at least one entry");
+        Self { entries: VecDeque::with_capacity(capacity), capacity, empty_on_consume: 0, consumes: 0 }
+    }
+
+    /// The Table 2 configuration: 32 entries.
+    #[must_use]
+    pub fn isca04() -> Self {
+        Self::new(32)
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (the producer must stall).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a new (uncriticized) prediction at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; check [`is_full`](Self::is_full) first
+    /// (the producer stalls in that case).
+    pub fn push(&mut self, id: BranchId, pc: Pc, taken: bool) {
+        assert!(!self.is_full(), "pushed into a full FTQ");
+        self.entries.push_back(FtqEntry { id, pc, taken, criticized: false });
+    }
+
+    /// Marks entry `id` criticized, recording the (possibly overridden)
+    /// final direction.
+    ///
+    /// Returns `false` if the entry is no longer in the queue (already
+    /// consumed by the cache — the critique then travels with the
+    /// downstream machine instead).
+    pub fn criticize(&mut self, id: BranchId, final_taken: bool) -> bool {
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.criticized = true;
+                e.taken = final_taken;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes every entry *younger* than `id` (the uncriticized tail after
+    /// a disagreement). Returns how many entries were dropped.
+    pub fn flush_younger_than(&mut self, id: BranchId) -> usize {
+        let keep = self.entries.iter().take_while(|e| e.id <= id).count();
+        let dropped = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        dropped
+    }
+
+    /// Flushes the whole queue (pipeline-level mispredict recovery).
+    pub fn flush_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// The oldest entry, if any.
+    #[must_use]
+    pub fn head(&self) -> Option<&FtqEntry> {
+        self.entries.front()
+    }
+
+    /// Consumes the oldest entry (the cache taking a prediction), recording
+    /// occupancy statistics.
+    pub fn consume(&mut self) -> Option<FtqEntry> {
+        self.consumes += 1;
+        let e = self.entries.pop_front();
+        if e.is_none() {
+            self.empty_on_consume += 1;
+        }
+        e
+    }
+
+    /// Fraction of consume attempts that found the queue empty.
+    #[must_use]
+    pub fn empty_rate(&self) -> f64 {
+        if self.consumes == 0 {
+            0.0
+        } else {
+            self.empty_on_consume as f64 / self.consumes as f64
+        }
+    }
+
+    /// Iterates over current entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FtqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictors::Bimodal;
+    use prophet_critic::{NullCritic, ProphetCritic};
+
+    fn ids(n: usize) -> Vec<BranchId> {
+        // BranchIds can only be minted by an engine; run one.
+        let mut h = ProphetCritic::new(Bimodal::new(64), NullCritic::new(), 0);
+        (0..n).map(|i| h.predict(Pc::new(0x1000 + i as u64 * 4)).id).collect()
+    }
+
+    #[test]
+    fn push_consume_fifo_order() {
+        let mut ftq = Ftq::new(4);
+        let ids = ids(3);
+        for (i, id) in ids.iter().enumerate() {
+            ftq.push(*id, Pc::new(0x1000 + i as u64 * 4), true);
+        }
+        assert_eq!(ftq.consume().unwrap().id, ids[0]);
+        assert_eq!(ftq.consume().unwrap().id, ids[1]);
+        assert_eq!(ftq.len(), 1);
+    }
+
+    #[test]
+    fn criticize_marks_and_overrides() {
+        let mut ftq = Ftq::new(4);
+        let ids = ids(2);
+        ftq.push(ids[0], Pc::new(0x1000), true);
+        ftq.push(ids[1], Pc::new(0x1004), true);
+        assert!(ftq.criticize(ids[0], false));
+        let head = ftq.head().unwrap();
+        assert!(head.criticized);
+        assert!(!head.taken, "override direction recorded");
+        // Unknown id: already consumed.
+        let mut other = Ftq::new(2);
+        assert!(!other.criticize(ids[0], true));
+    }
+
+    #[test]
+    fn flush_younger_keeps_criticized_prefix() {
+        let mut ftq = Ftq::new(8);
+        let ids = ids(5);
+        for id in &ids {
+            ftq.push(*id, Pc::new(0x2000), true);
+        }
+        let dropped = ftq.flush_younger_than(ids[1]);
+        assert_eq!(dropped, 3);
+        let remaining: Vec<BranchId> = ftq.iter().map(|e| e.id).collect();
+        assert_eq!(remaining, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn empty_rate_counts_starved_consumes() {
+        let mut ftq = Ftq::new(2);
+        assert!(ftq.consume().is_none());
+        let ids = ids(1);
+        ftq.push(ids[0], Pc::new(0x3000), false);
+        assert!(ftq.consume().is_some());
+        assert!((ftq.empty_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "full FTQ")]
+    fn overfill_panics() {
+        let mut ftq = Ftq::new(1);
+        let ids = ids(2);
+        ftq.push(ids[0], Pc::new(0), true);
+        ftq.push(ids[1], Pc::new(4), true);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut ftq = Ftq::new(4);
+        let ids = ids(3);
+        for id in &ids {
+            ftq.push(*id, Pc::new(0x100), true);
+        }
+        assert_eq!(ftq.flush_all(), 3);
+        assert!(ftq.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Decoupled front-end machinery for the prophet/critic reproduction:
+//! the branch target buffer and the fetch target queue of §5 / Figure 4.
+//!
+//! The prediction engine itself lives in the `prophet-critic` crate; this
+//! crate supplies the structures that surround it in the paper's
+//! implementation — the BTB that identifies branches at fetch and the FTQ
+//! that decouples prediction generation from prediction consumption.
+//!
+//! ```
+//! use frontend::{Btb, Ftq};
+//!
+//! let btb = Btb::isca04(); // 4096 entries, 4-way (Table 2)
+//! let ftq = Ftq::isca04(); // 32 entries (Table 2)
+//! assert_eq!(ftq.capacity(), 32);
+//! assert_eq!(btb.occupancy(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod ftq;
+
+pub use btb::{Btb, BtbEntry};
+pub use ftq::{Ftq, FtqEntry};

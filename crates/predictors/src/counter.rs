@@ -1,0 +1,259 @@
+//! Saturating up/down counters — the storage cell of most branch predictors.
+//!
+//! The paper's component predictors (gshare, 2Bc-gskew, tagged gshare, YAGS,
+//! the 2Bc-gskew META table) all store two-bit saturating counters; the width
+//! is nonetheless configurable because confidence and filter structures
+//! sometimes want one- or three-bit cells.
+
+/// A saturating counter of `bits` width (1–7 bits).
+///
+/// The counter counts from `0` to `2^bits - 1` and saturates at both ends.
+/// For direction prediction, values in the upper half mean *taken*.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::SatCounter;
+///
+/// let mut c = SatCounter::weakly_not_taken(2);
+/// assert!(!c.is_taken());
+/// c.update(true);
+/// assert!(c.is_taken()); // weakly taken
+/// c.update(true);
+/// assert!(c.is_strong()); // strongly taken
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SatCounter {
+    value: u8,
+    bits: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter of the given width initialized to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or if `value` does not fit.
+    #[must_use]
+    pub fn new(bits: usize, value: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width {bits} out of range 1..=7");
+        let c = Self { value, bits: bits as u8 };
+        assert!(value <= c.max(), "initial value {value} exceeds counter maximum");
+        c
+    }
+
+    /// A counter one step below the taken threshold (e.g. `01` for 2 bits).
+    #[must_use]
+    pub fn weakly_not_taken(bits: usize) -> Self {
+        let mut c = Self::new(bits, 0);
+        c.value = c.threshold() - 1;
+        c
+    }
+
+    /// A counter exactly at the taken threshold (e.g. `10` for 2 bits).
+    #[must_use]
+    pub fn weakly_taken(bits: usize) -> Self {
+        let mut c = Self::new(bits, 0);
+        c.value = c.threshold();
+        c
+    }
+
+    /// A counter initialized to weakly agree with `taken`.
+    ///
+    /// This is the paper's initialization rule for newly allocated critic
+    /// entries: “The critic’s prediction structures are also initialized
+    /// according to the branch’s outcome” (§4).
+    #[must_use]
+    pub fn weak_for(bits: usize, taken: bool) -> Self {
+        if taken {
+            Self::weakly_taken(bits)
+        } else {
+            Self::weakly_not_taken(bits)
+        }
+    }
+
+    /// The saturation maximum, `2^bits - 1`.
+    #[must_use]
+    pub fn max(&self) -> u8 {
+        ((1u16 << self.bits) - 1) as u8
+    }
+
+    /// The smallest value that predicts taken, `2^(bits-1)`.
+    #[must_use]
+    pub fn threshold(&self) -> u8 {
+        1 << (self.bits - 1)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// The counter width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// Whether the counter currently predicts taken.
+    #[must_use]
+    pub fn is_taken(&self) -> bool {
+        self.value >= self.threshold()
+    }
+
+    /// Whether the counter is saturated in its current direction.
+    #[must_use]
+    pub fn is_strong(&self) -> bool {
+        self.value == 0 || self.value == self.max()
+    }
+
+    /// Increments with saturation.
+    pub fn inc(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements with saturation.
+    pub fn dec(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter toward `taken`.
+    ///
+    /// This is the non-speculative commit-time update of §3.2: “the two-bit
+    /// counter that provided the prediction is only incremented if the branch
+    /// was actually taken, and only decremented if the branch was actually
+    /// not-taken”.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.inc();
+        } else {
+            self.dec();
+        }
+    }
+
+    /// Moves the counter toward `taken` only if that strengthens (or keeps)
+    /// its current direction — the *partial update* used by 2Bc-gskew banks
+    /// on correct predictions.
+    pub fn strengthen(&mut self, taken: bool) {
+        if self.is_taken() == taken {
+            self.update(taken);
+        }
+    }
+
+    /// Resets to weakly agree with `taken`.
+    pub fn reinit(&mut self, taken: bool) {
+        *self = Self::weak_for(self.bits as usize, taken);
+    }
+}
+
+impl Default for SatCounter {
+    /// A two-bit weakly-not-taken counter, the conventional reset state.
+    fn default() -> Self {
+        Self::weakly_not_taken(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_thresholds() {
+        let c = SatCounter::new(2, 0);
+        assert_eq!(c.max(), 3);
+        assert_eq!(c.threshold(), 2);
+        assert!(!c.is_taken());
+        assert!(c.is_strong());
+    }
+
+    #[test]
+    fn saturates_high() {
+        let mut c = SatCounter::new(2, 3);
+        c.inc();
+        assert_eq!(c.value(), 3);
+        c.update(true);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn saturates_low() {
+        let mut c = SatCounter::new(2, 0);
+        c.dec();
+        assert_eq!(c.value(), 0);
+        c.update(false);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn full_walk_up_and_down() {
+        let mut c = SatCounter::new(3, 0);
+        for expect in 1..=7 {
+            c.inc();
+            assert_eq!(c.value(), expect);
+        }
+        for expect in (0..7).rev() {
+            c.dec();
+            assert_eq!(c.value(), expect);
+        }
+    }
+
+    #[test]
+    fn weakly_taken_predicts_taken_but_not_strong() {
+        let c = SatCounter::weakly_taken(2);
+        assert!(c.is_taken());
+        assert!(!c.is_strong());
+        let c = SatCounter::weakly_not_taken(2);
+        assert!(!c.is_taken());
+        assert!(!c.is_strong());
+    }
+
+    #[test]
+    fn weak_for_matches_direction() {
+        assert!(SatCounter::weak_for(2, true).is_taken());
+        assert!(!SatCounter::weak_for(2, false).is_taken());
+    }
+
+    #[test]
+    fn hysteresis_needs_two_updates_to_flip_from_strong() {
+        let mut c = SatCounter::new(2, 3); // strongly taken
+        c.update(false);
+        assert!(c.is_taken(), "one bad outcome must not flip a strong counter");
+        c.update(false);
+        assert!(!c.is_taken());
+    }
+
+    #[test]
+    fn strengthen_only_moves_in_agreeing_direction() {
+        let mut c = SatCounter::weakly_taken(2);
+        c.strengthen(false); // disagrees: no movement
+        assert_eq!(c.value(), 2);
+        c.strengthen(true); // agrees: strengthens
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn reinit_resets_to_weak() {
+        let mut c = SatCounter::new(2, 3);
+        c.reinit(false);
+        assert_eq!(c.value(), 1);
+        c.reinit(true);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_panics() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial value")]
+    fn oversized_value_panics() {
+        let _ = SatCounter::new(2, 4);
+    }
+}

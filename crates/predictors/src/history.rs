@@ -1,0 +1,340 @@
+//! Branch history registers.
+//!
+//! All predictors in this crate are *pure functions* of a program counter and
+//! a bit register supplied by the caller. The register is either a classic
+//! branch history register (BHR) holding past outcomes, or — in the
+//! prophet/critic hybrid — a branch outcome register (BOR) holding a mix of
+//! past outcomes and predicted *future* outcomes. Both are represented by
+//! [`HistoryBits`].
+//!
+//! The longest register in any Table 3 configuration of the paper is 57 bits
+//! (the 32 KB perceptron), so a fixed 64-bit backing word suffices and
+//! checkpoints are plain copies, which is exactly the repair mechanism the
+//! paper describes (§3.3: “the prophet BHR and the critic BOR are repaired
+//! via checkpointing”).
+
+/// Maximum number of bits a [`HistoryBits`] register can hold.
+pub const MAX_HISTORY_BITS: usize = 64;
+
+/// A fixed-width shift register of branch outcomes.
+///
+/// The most recently inserted outcome occupies bit 0; older outcomes occupy
+/// higher bit positions; outcomes older than `len` are discarded. Pushing a
+/// `taken` outcome shifts every bit left by one.
+///
+/// `HistoryBits` is `Copy`, so taking a checkpoint of a speculative history
+/// is a simple assignment.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::HistoryBits;
+///
+/// let mut h = HistoryBits::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// // newest-to-oldest: taken, not-taken, taken => 0b101
+/// assert_eq!(h.bits(), 0b101);
+/// assert_eq!(h.len(), 4);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct HistoryBits {
+    bits: u64,
+    len: u8,
+}
+
+impl HistoryBits {
+    /// Creates an empty (all not-taken) history of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len <= MAX_HISTORY_BITS,
+            "history length {len} exceeds {MAX_HISTORY_BITS}"
+        );
+        Self { bits: 0, len: len as u8 }
+    }
+
+    /// Creates a history register from a raw bit pattern.
+    ///
+    /// Bits above `len` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    #[must_use]
+    pub fn from_raw(bits: u64, len: usize) -> Self {
+        let mut h = Self::new(len);
+        h.bits = bits & h.mask();
+        h
+    }
+
+    /// The number of outcomes this register retains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the register retains zero outcomes (a zero-length register).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw bit pattern, newest outcome in bit 0.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    fn mask(&self) -> u64 {
+        mask(self.len as usize)
+    }
+
+    /// Shifts in a new outcome (`true` = taken) as the newest bit.
+    pub fn push(&mut self, taken: bool) {
+        if self.len == 0 {
+            return;
+        }
+        self.bits = ((self.bits << 1) | u64::from(taken)) & self.mask();
+    }
+
+    /// Returns the `n` most recent outcomes as the low `n` bits of a word.
+    ///
+    /// If `n` exceeds `len`, the missing (older) bits read as zero, matching
+    /// a hardware register that was cleared at reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn recent(&self, n: usize) -> u64 {
+        assert!(n <= MAX_HISTORY_BITS, "requested {n} bits from a history register");
+        self.bits & mask(n)
+    }
+
+    /// Returns outcome `i` positions back (0 = newest).
+    ///
+    /// Positions at or beyond `len` read as `false`.
+    #[must_use]
+    pub fn outcome(&self, i: usize) -> bool {
+        if i >= self.len as usize {
+            return false;
+        }
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// XOR-folds the full register down to `width` bits.
+    ///
+    /// Folding preserves every retained outcome's influence on the result,
+    /// which is how long histories index small tables (gshare and friends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > 64`.
+    #[must_use]
+    pub fn fold(&self, width: usize) -> u64 {
+        fold_bits(self.bits, self.len as usize, width)
+    }
+
+    /// Re-sizes the register, keeping the newest outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn resize(&mut self, len: usize) {
+        assert!(len <= MAX_HISTORY_BITS);
+        self.len = len as u8;
+        self.bits &= self.mask();
+    }
+}
+
+impl std::fmt::Display for HistoryBits {
+    /// Renders newest-to-oldest as `T`/`N` characters, e.g. `TNTT`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.len() {
+            f.write_str(if self.outcome(i) { "T" } else { "N" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A bit mask with the low `n` bits set.
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+#[must_use]
+pub fn mask(n: usize) -> u64 {
+    assert!(n <= 64, "mask width {n} out of range");
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// XOR-folds the low `len` bits of `bits` down to `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 64`.
+#[must_use]
+pub fn fold_bits(bits: u64, len: usize, width: usize) -> u64 {
+    assert!(width > 0 && width <= 64, "fold width {width} out of range");
+    let mut v = bits & mask(len.min(64));
+    if width >= len {
+        return v;
+    }
+    let mut folded = 0u64;
+    while v != 0 {
+        folded ^= v & mask(width);
+        v >>= width;
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_history_is_all_not_taken() {
+        let h = HistoryBits::new(16);
+        assert_eq!(h.bits(), 0);
+        assert_eq!(h.len(), 16);
+        assert!(!h.outcome(0));
+        assert!(!h.outcome(15));
+    }
+
+    #[test]
+    fn push_shifts_newest_into_bit_zero() {
+        let mut h = HistoryBits::new(8);
+        h.push(true);
+        assert_eq!(h.bits(), 0b1);
+        h.push(false);
+        assert_eq!(h.bits(), 0b10);
+        h.push(true);
+        assert_eq!(h.bits(), 0b101);
+        assert!(h.outcome(0));
+        assert!(!h.outcome(1));
+        assert!(h.outcome(2));
+    }
+
+    #[test]
+    fn push_discards_outcomes_older_than_len() {
+        let mut h = HistoryBits::new(3);
+        for _ in 0..3 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(), 0b111);
+        h.push(false);
+        // Oldest taken bit fell off the top.
+        assert_eq!(h.bits(), 0b110);
+    }
+
+    #[test]
+    fn zero_length_history_ignores_pushes() {
+        let mut h = HistoryBits::new(0);
+        h.push(true);
+        h.push(true);
+        assert_eq!(h.bits(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn recent_returns_low_bits() {
+        let mut h = HistoryBits::new(10);
+        for taken in [true, true, false, true] {
+            h.push(taken);
+        }
+        // bit 0 = newest (T), bit 1 = F, bit 2 = T, bit 3 = T => 0b1101
+        assert_eq!(h.recent(2), 0b01);
+        assert_eq!(h.recent(4), 0b1101);
+        assert_eq!(h.recent(10), 0b1101);
+        // Requesting more than len pads with zeros.
+        assert_eq!(h.recent(64), 0b1101);
+    }
+
+    #[test]
+    fn fold_wider_than_len_is_identity() {
+        let h = HistoryBits::from_raw(0b1011, 4);
+        assert_eq!(h.fold(8), 0b1011);
+        assert_eq!(h.fold(4), 0b1011);
+    }
+
+    #[test]
+    fn fold_xors_chunks() {
+        let h = HistoryBits::from_raw(0b11_0110, 6);
+        // chunks of 3: 0b110 ^ 0b110 = 0
+        assert_eq!(h.fold(3), 0b000);
+        // chunks of 2: 0b10 ^ 0b01 ^ 0b11 = 0b00
+        assert_eq!(h.fold(2), 0b00);
+        let h2 = HistoryBits::from_raw(0b10_0110, 6);
+        assert_eq!(h2.fold(3), 0b100 ^ 0b110);
+    }
+
+    #[test]
+    fn from_raw_masks_extra_bits() {
+        let h = HistoryBits::from_raw(u64::MAX, 5);
+        assert_eq!(h.bits(), 0b11111);
+    }
+
+    #[test]
+    fn resize_keeps_newest() {
+        let mut h = HistoryBits::from_raw(0b101101, 6);
+        h.resize(3);
+        assert_eq!(h.bits(), 0b101);
+        assert_eq!(h.len(), 3);
+        h.resize(6);
+        assert_eq!(h.bits(), 0b101);
+    }
+
+    #[test]
+    fn display_renders_newest_first() {
+        let mut h = HistoryBits::new(4);
+        h.push(true);
+        h.push(false);
+        assert_eq!(h.to_string(), "NTNN");
+    }
+
+    #[test]
+    fn checkpoint_restore_is_copy() {
+        let mut h = HistoryBits::new(12);
+        h.push(true);
+        let cp = h;
+        h.push(false);
+        h.push(true);
+        assert_ne!(h, cp);
+        h = cp;
+        assert_eq!(h.bits(), 0b1);
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn oversized_history_panics() {
+        let _ = HistoryBits::new(65);
+    }
+
+    #[test]
+    fn sixty_four_bit_history_works() {
+        let mut h = HistoryBits::new(64);
+        for _ in 0..64 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(), u64::MAX);
+        h.push(false);
+        assert_eq!(h.bits(), u64::MAX << 1);
+    }
+}

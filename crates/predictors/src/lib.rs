@@ -1,0 +1,255 @@
+//! Component conditional-branch predictors for the prophet/critic
+//! reproduction (Falcón et al., ISCA 2004).
+//!
+//! The paper's hybrid composes *conventional* predictors into the roles of
+//! prophet and critic: “As in a typical hybrid, the components of the
+//! prophet/critic hybrid can be any existing predictors” (§3.1). This crate
+//! provides those components:
+//!
+//! * [`Bimodal`] — per-address two-bit counters (McFarling's baseline).
+//! * [`Gshare`] — global history XOR address ([McFarling, TN-36]).
+//! * [`GAs`] — two-level adaptive with global history concatenation.
+//! * [`Local`] — per-address history, two-level (PAs / 21264-style local).
+//! * [`BcGskew`] — 2Bc-gskew, the de-aliased EV8-style predictor.
+//! * [`Perceptron`] — the Jiménez/Lin neural predictor.
+//! * [`Yags`] — YAGS, a tagged de-aliased scheme (Eden/Mudge).
+//!
+//! Every predictor implements [`DirectionPredictor`], a *pure* interface:
+//! prediction is a function of `(pc, history-bits)` and the caller owns the
+//! history register. This mirrors the paper's split of responsibilities —
+//! speculative history (BHR/BOR) management, checkpointing and repair happen
+//! in the hybrid engine (the `prophet-critic` crate), while pattern tables
+//! are trained non-speculatively at commit (§3.2).
+//!
+//! Table 3 of the paper fixes the configuration of every predictor at each
+//! hardware budget from 2 KB to 32 KB; those configurations are encoded in
+//! [`configs`] and honoured by the [`DirectionPredictor::storage_bits`]
+//! audit.
+//!
+//! # Quick example
+//!
+//! ```
+//! use predictors::{DirectionPredictor, Gshare, HistoryBits, Pc};
+//!
+//! let mut p = Gshare::new(1 << 13, 13); // 8K two-bit counters, 13-bit history
+//! let bhr = HistoryBits::new(13);
+//! let pc = Pc::new(0x401_000);
+//!
+//! // A branch seen taken twice in the same history context is learned.
+//! p.update(pc, bhr, true);
+//! p.update(pc, bhr, true);
+//! assert!(p.predict(pc, bhr).taken());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+pub mod configs;
+mod counter;
+mod gas;
+mod gshare;
+mod gskew;
+mod history;
+pub mod index;
+mod local;
+mod perceptron;
+mod table;
+mod yags;
+
+pub use bimodal::Bimodal;
+pub use counter::SatCounter;
+pub use gas::GAs;
+pub use gshare::{Gshare, TaggedGshare};
+pub use gskew::BcGskew;
+pub use history::{fold_bits, mask, HistoryBits, MAX_HISTORY_BITS};
+pub use local::Local;
+pub use perceptron::Perceptron;
+pub use table::{CounterTable, TagLookup, TaggedTable};
+pub use yags::Yags;
+
+/// The address of a (micro-op level) branch instruction.
+///
+/// A newtype keeps branch addresses from being confused with table indices
+/// or history words in predictor plumbing.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::Pc;
+///
+/// let pc = Pc::new(0x40_1000);
+/// assert_eq!(pc.addr(), 0x40_1000);
+/// assert_eq!(format!("{pc}"), "0x0000000000401000");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Wraps a raw byte address.
+    #[must_use]
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// The raw byte address.
+    #[must_use]
+    pub const fn addr(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(addr: u64) -> Self {
+        Self(addr)
+    }
+}
+
+impl From<Pc> for u64 {
+    fn from(pc: Pc) -> Self {
+        pc.0
+    }
+}
+
+impl std::fmt::Display for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A direction prediction together with the predictor's confidence signal.
+///
+/// Most predictors only produce a direction; the perceptron also exposes the
+/// magnitude of its dot product, which downstream work uses for confidence.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Prediction {
+    taken: bool,
+    confidence: i32,
+}
+
+impl Prediction {
+    /// A prediction with explicit confidence.
+    #[must_use]
+    pub const fn with_confidence(taken: bool, confidence: i32) -> Self {
+        Self { taken, confidence }
+    }
+
+    /// A bare direction prediction (confidence 0).
+    #[must_use]
+    pub const fn taken_or_not(taken: bool) -> Self {
+        Self { taken, confidence: 0 }
+    }
+
+    /// The predicted direction, `true` = taken.
+    #[must_use]
+    pub const fn taken(self) -> bool {
+        self.taken
+    }
+
+    /// Predictor-specific confidence magnitude (0 when not provided).
+    #[must_use]
+    pub const fn confidence(self) -> i32 {
+        self.confidence
+    }
+}
+
+/// A conditional branch direction predictor as a pure function of
+/// `(pc, history)`.
+///
+/// The caller supplies the history register — a BHR when the predictor acts
+/// as a prophet, a BOR (history + future bits) when it acts as the engine of
+/// a critic. Implementations must not retain speculative state between
+/// [`predict`](Self::predict) and [`update`](Self::update); `update` is the
+/// non-speculative commit-time training step of §3.2 and receives the same
+/// history value the prediction was made with.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `pc` given the history
+    /// register value `hist`.
+    fn predict(&self, pc: Pc, hist: HistoryBits) -> Prediction;
+
+    /// Trains the predictor with the resolved outcome of the branch at `pc`,
+    /// using the same history value `hist` that produced its prediction.
+    fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool);
+
+    /// The number of history bits the predictor actually consumes.
+    fn history_len(&self) -> usize;
+
+    /// The storage budget in bits (counters, weights and tags; excludes LRU
+    /// bookkeeping, as is conventional in predictor sizing).
+    fn storage_bits(&self) -> usize;
+
+    /// A short human-readable name (e.g. `"gshare"`).
+    fn name(&self) -> &'static str;
+
+    /// The storage budget in bytes, rounded up.
+    fn storage_bytes(&self) -> usize {
+        self.storage_bits().div_ceil(8)
+    }
+}
+
+impl<P: DirectionPredictor + ?Sized> DirectionPredictor for Box<P> {
+    fn predict(&self, pc: Pc, hist: HistoryBits) -> Prediction {
+        (**self).predict(pc, hist)
+    }
+
+    fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
+        (**self).update(pc, hist, taken);
+    }
+
+    fn history_len(&self) -> usize {
+        (**self).history_len()
+    }
+
+    fn storage_bits(&self) -> usize {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_round_trips_through_u64() {
+        let pc = Pc::new(0xdead_beef);
+        let raw: u64 = pc.into();
+        assert_eq!(Pc::from(raw), pc);
+    }
+
+    #[test]
+    fn pc_display_is_padded_hex() {
+        assert_eq!(Pc::new(0x12).to_string(), "0x0000000000000012");
+        assert_eq!(format!("{:x}", Pc::new(0xab)), "ab");
+    }
+
+    #[test]
+    fn prediction_accessors() {
+        let p = Prediction::with_confidence(true, 42);
+        assert!(p.taken());
+        assert_eq!(p.confidence(), 42);
+        let p = Prediction::taken_or_not(false);
+        assert!(!p.taken());
+        assert_eq!(p.confidence(), 0);
+    }
+
+    #[test]
+    fn boxed_predictor_is_object_safe() {
+        let mut p: Box<dyn DirectionPredictor> = Box::new(Bimodal::new(64));
+        let pc = Pc::new(0x100);
+        let h = HistoryBits::new(0);
+        p.update(pc, h, true);
+        p.update(pc, h, true);
+        assert!(p.predict(pc, h).taken());
+        assert_eq!(p.name(), "bimodal");
+    }
+}

@@ -1,0 +1,249 @@
+//! The perceptron predictor of Jiménez and Lin.
+
+use crate::{DirectionPredictor, HistoryBits, Pc, Prediction};
+
+/// Weight type: 8-bit signed, as budgeted by Table 3 of the paper
+/// (e.g. 2 KB = 113 perceptrons × 18 weights × 1 byte).
+type Weight = i8;
+
+/// The perceptron branch predictor.
+///
+/// Each table entry is a vector of signed weights `w0..wh`; the prediction
+/// for history bits `x1..xh ∈ {-1, +1}` is the sign of
+/// `y = w0 + Σ wi·xi`. Training bumps each weight toward agreement whenever
+/// the prediction was wrong or `|y|` was below the threshold
+/// `θ = ⌊1.93·h + 14⌋`.
+///
+/// “A key advantage of the perceptron predictor is its ability to consider
+/// much longer histories than schemes that use tables with saturating
+/// counters” (§6) — which is also why the paper likes it as a critic: future
+/// bits can be added to the BOR without sacrificing history reach.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::{DirectionPredictor, HistoryBits, Pc, Perceptron};
+///
+/// let mut p = Perceptron::new(113, 17); // the paper's 2 KB configuration
+/// let pc = Pc::new(0x400_300);
+/// let mut bhr = HistoryBits::new(17);
+/// for i in 0..100 {
+///     let taken = i % 2 == 0; // alternating branch
+///     p.update(pc, bhr, taken);
+///     bhr.push(taken);
+/// }
+/// assert!(p.predict(pc, bhr).confidence() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Perceptron {
+    weights: Vec<Weight>, // n_perceptrons × (history_len + 1), bias first
+    n_perceptrons: usize,
+    history_len: usize,
+    theta: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron table of `n_perceptrons` entries, each observing
+    /// `history_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or `history_len > 64`.
+    #[must_use]
+    pub fn new(n_perceptrons: usize, history_len: usize) -> Self {
+        assert!(n_perceptrons > 0, "need at least one perceptron");
+        assert!(
+            (1..=crate::MAX_HISTORY_BITS).contains(&history_len),
+            "history length {history_len} out of range"
+        );
+        Self {
+            weights: vec![0; n_perceptrons * (history_len + 1)],
+            n_perceptrons,
+            history_len,
+            theta: (1.93 * history_len as f64 + 14.0).floor() as i32,
+        }
+    }
+
+    /// The training threshold θ.
+    #[must_use]
+    pub fn theta(&self) -> i32 {
+        self.theta
+    }
+
+    /// Number of perceptrons in the table.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        self.n_perceptrons
+    }
+
+    fn row(&self, pc: Pc) -> usize {
+        // Simple modulo hashing over perceptron count (not power-of-two in
+        // Table 3: 113, 163, 282, ...).
+        ((pc.addr() >> 2) % self.n_perceptrons as u64) as usize
+    }
+
+    fn output(&self, row: usize, hist: HistoryBits) -> i32 {
+        let base = row * (self.history_len + 1);
+        let w = &self.weights[base..base + self.history_len + 1];
+        let mut y = i32::from(w[0]);
+        for i in 0..self.history_len {
+            let x = if hist.outcome(i) { 1 } else { -1 };
+            y += i32::from(w[i + 1]) * x;
+        }
+        y
+    }
+}
+
+impl DirectionPredictor for Perceptron {
+    fn predict(&self, pc: Pc, hist: HistoryBits) -> Prediction {
+        let y = self.output(self.row(pc), hist);
+        // Ties (y == 0) predict taken, per the original description where
+        // "if the output is negative ... not taken", otherwise taken.
+        Prediction::with_confidence(y >= 0, y.abs())
+    }
+
+    fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
+        let row = self.row(pc);
+        let y = self.output(row, hist);
+        let pred = y >= 0;
+        if pred != taken || y.abs() <= self.theta {
+            let t: i32 = if taken { 1 } else { -1 };
+            let base = row * (self.history_len + 1);
+            let w = &mut self.weights[base..base + self.history_len + 1];
+            w[0] = w[0].saturating_add(t as i8);
+            for i in 0..self.history_len {
+                let x: i32 = if hist.outcome(i) { 1 } else { -1 };
+                // weight += 1 if outcome agrees with history bit, else -= 1
+                let delta = (t * x) as i8;
+                w[i + 1] = w[i + 1].saturating_add(delta);
+            }
+        }
+    }
+
+    fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.n_perceptrons * (self.history_len + 1) * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_follows_jimenez_lin_formula() {
+        assert_eq!(Perceptron::new(10, 17).theta(), (1.93f64 * 17.0 + 14.0) as i32);
+        assert_eq!(Perceptron::new(10, 28).theta(), 68);
+    }
+
+    #[test]
+    fn learns_strong_bias_quickly() {
+        let mut p = Perceptron::new(113, 17);
+        let pc = Pc::new(0x100);
+        let h = HistoryBits::new(17);
+        for _ in 0..5 {
+            p.update(pc, h, true);
+        }
+        assert!(p.predict(pc, h).taken());
+    }
+
+    #[test]
+    fn learns_single_history_bit_correlation() {
+        // Outcome = outcome of 3 branches ago. Linearly separable, so a
+        // perceptron learns it exactly.
+        let mut p = Perceptron::new(113, 17);
+        let pc = Pc::new(0x200);
+        let mut bhr = HistoryBits::new(17);
+        let mut rng: u64 = 99;
+        let mut outcomes = std::collections::VecDeque::from([true, false, true]);
+        for _ in 0..1000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let taken = outcomes.front().copied().unwrap();
+            p.update(pc, bhr, taken);
+            bhr.push(taken);
+            outcomes.pop_front();
+            outcomes.push_back(taken);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            let taken = outcomes.front().copied().unwrap();
+            if p.predict(pc, bhr).taken() == taken {
+                correct += 1;
+            }
+            p.update(pc, bhr, taken);
+            bhr.push(taken);
+            outcomes.pop_front();
+            outcomes.push_back(taken);
+        }
+        assert!(correct >= 98, "linearly separable pattern, got {correct}/100");
+    }
+
+    #[test]
+    fn learns_long_history_loop() {
+        // A 30-iteration loop exit needs ~30 bits of history: beyond
+        // counter-based schemes at small budgets but fine for a perceptron
+        // with h=47.
+        let mut p = Perceptron::new(282, 47);
+        let pc = Pc::new(0x300);
+        let mut bhr = HistoryBits::new(47);
+        let period = 30;
+        for i in 0..3000 {
+            let taken = (i % period) != period - 1;
+            p.update(pc, bhr, taken);
+            bhr.push(taken);
+        }
+        let mut correct = 0;
+        for i in 0..period {
+            let taken = (i % period) != period - 1;
+            if p.predict(pc, bhr).taken() == taken {
+                correct += 1;
+            }
+            p.update(pc, bhr, taken);
+            bhr.push(taken);
+        }
+        assert!(correct >= period - 2, "loop exit learned, got {correct}/{period}");
+    }
+
+    #[test]
+    fn confidence_grows_with_training() {
+        let mut p = Perceptron::new(113, 17);
+        let pc = Pc::new(0x400);
+        let h = HistoryBits::from_raw(0x1_5555, 17);
+        p.update(pc, h, true);
+        let early = p.predict(pc, h).confidence();
+        for _ in 0..30 {
+            p.update(pc, h, true);
+        }
+        let late = p.predict(pc, h).confidence();
+        assert!(late > early, "confidence should grow: {early} -> {late}");
+    }
+
+    #[test]
+    fn weights_saturate_instead_of_wrapping() {
+        let mut p = Perceptron::new(1, 1);
+        let pc = Pc::new(0);
+        let h = HistoryBits::from_raw(1, 1);
+        for _ in 0..500 {
+            p.update(pc, h, true);
+        }
+        // Output bounded by 2 weights × 127.
+        assert!(p.predict(pc, h).confidence() <= 254);
+    }
+
+    #[test]
+    fn storage_matches_table3() {
+        // 2 KB: 113 perceptrons × 18 weights × 8 bits = 2034 bytes.
+        assert_eq!(Perceptron::new(113, 17).storage_bytes(), 2034);
+        // 8 KB: 282 × 29 = 8178 bytes.
+        assert_eq!(Perceptron::new(282, 28).storage_bytes(), 8178);
+        // 32 KB: 565 × 58 = 32770 bytes (paper rounds to the 32 KB bucket).
+        assert_eq!(Perceptron::new(565, 57).storage_bytes(), 32770);
+    }
+}

@@ -1,0 +1,333 @@
+//! Prediction table storage: direct-mapped counter tables and set-associative
+//! tagged tables with LRU replacement.
+
+use crate::counter::SatCounter;
+use crate::history::mask;
+
+/// A direct-mapped table of saturating counters (the pattern history table of
+/// two-level predictors).
+///
+/// # Examples
+///
+/// ```
+/// use predictors::CounterTable;
+///
+/// let mut t = CounterTable::new(1024, 2);
+/// assert!(!t.counter(5).is_taken());
+/// t.counter_mut(5).update(true);
+/// t.counter_mut(5).update(true);
+/// assert!(t.counter(5).is_taken());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CounterTable {
+    counters: Vec<SatCounter>,
+    index_mask: u64,
+    counter_bits: usize,
+}
+
+impl CounterTable {
+    /// Creates a table of `entries` counters of `counter_bits` width, all
+    /// initialized weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a non-zero power of two, or if the counter
+    /// width is out of range.
+    #[must_use]
+    pub fn new(entries: usize, counter_bits: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table entries {entries} must be a power of two");
+        Self {
+            counters: vec![SatCounter::weakly_not_taken(counter_bits); entries],
+            index_mask: (entries - 1) as u64,
+            counter_bits,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has zero entries (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// log2 of the entry count — the index width in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> usize {
+        self.counters.len().trailing_zeros() as usize
+    }
+
+    /// Storage budget in bits (entries × counter width).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.counters.len() * self.counter_bits
+    }
+
+    /// The counter at `index` (masked to the table size).
+    #[must_use]
+    pub fn counter(&self, index: u64) -> SatCounter {
+        self.counters[(index & self.index_mask) as usize]
+    }
+
+    /// Mutable access to the counter at `index` (masked to the table size).
+    pub fn counter_mut(&mut self, index: u64) -> &mut SatCounter {
+        &mut self.counters[(index & self.index_mask) as usize]
+    }
+}
+
+/// One way of a set in a [`TaggedTable`].
+#[derive(Clone, Debug)]
+struct Way<T> {
+    valid: bool,
+    tag: u64,
+    lru: u32,
+    data: T,
+}
+
+/// The result of a tagged lookup.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TagLookup {
+    /// The tag was present in the set.
+    Hit,
+    /// The tag was absent.
+    Miss,
+}
+
+/// A set-associative table of tagged payloads with true-LRU replacement.
+///
+/// This is the structure behind the tagged gshare critic (“similar to an
+/// N-way associative cache, with each data item being a two-bit counter”,
+/// §6), the filter tag table of the filtered perceptron, and the BTB.
+#[derive(Clone, Debug)]
+pub struct TaggedTable<T> {
+    sets: Vec<Vec<Way<T>>>,
+    ways: usize,
+    tag_bits: usize,
+    clock: u32,
+    set_mask: u64,
+}
+
+impl<T: Clone> TaggedTable<T> {
+    /// Creates a table with `sets` sets of `ways` ways and `tag_bits`-wide
+    /// tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a non-zero power of two, `ways == 0`, or
+    /// `tag_bits` is 0 or greater than 32.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, tag_bits: usize, fill: T) -> Self {
+        assert!(sets.is_power_of_two(), "sets {sets} must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        assert!((1..=32).contains(&tag_bits), "tag width {tag_bits} out of range");
+        let way = Way { valid: false, tag: 0, lru: 0, data: fill };
+        Self {
+            sets: vec![vec![way; ways]; sets],
+            ways,
+            tag_bits,
+            clock: 0,
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// log2 of the set count — the index width in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> usize {
+        self.sets.len().trailing_zeros() as usize
+    }
+
+    /// Tag width in bits.
+    #[must_use]
+    pub fn tag_bits(&self) -> usize {
+        self.tag_bits
+    }
+
+    /// Total entry capacity (sets × ways).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn set_of(&self, index: u64) -> usize {
+        (index & self.set_mask) as usize
+    }
+
+    fn masked_tag(&self, tag: u64) -> u64 {
+        tag & mask(self.tag_bits)
+    }
+
+    /// Looks up `tag` in the set selected by `index` without touching LRU
+    /// state.
+    #[must_use]
+    pub fn peek(&self, index: u64, tag: u64) -> Option<&T> {
+        let tag = self.masked_tag(tag);
+        self.sets[self.set_of(index)]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| &w.data)
+    }
+
+    /// Looks up `tag` in the set selected by `index`, updating LRU state on a
+    /// hit.
+    pub fn lookup(&mut self, index: u64, tag: u64) -> Option<&mut T> {
+        let tag = self.masked_tag(tag);
+        let set = self.set_of(index);
+        self.clock = self.clock.wrapping_add(1);
+        let clock = self.clock;
+        self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| {
+                w.lru = clock;
+                &mut w.data
+            })
+    }
+
+    /// Inserts `data` under `tag`, evicting the LRU way if the set is full.
+    ///
+    /// Returns [`TagLookup::Hit`] if the tag was already present (its data is
+    /// replaced), [`TagLookup::Miss`] if a way was allocated.
+    pub fn insert(&mut self, index: u64, tag: u64, data: T) -> TagLookup {
+        let tag = self.masked_tag(tag);
+        let set = self.set_of(index);
+        self.clock = self.clock.wrapping_add(1);
+        let clock = self.clock;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.data = data;
+            w.lru = clock;
+            return TagLookup::Hit;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { (1u64, u64::from(w.lru)) } else { (0, 0) })
+            .expect("set has at least one way");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.data = data;
+        victim.lru = clock;
+        TagLookup::Miss
+    }
+
+    /// Number of valid entries currently held.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over all valid `(set, tag, data)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &T)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ways)| ways.iter().filter(|w| w.valid).map(move |w| (s, w.tag, &w.data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_table_indexes_with_mask() {
+        let mut t = CounterTable::new(8, 2);
+        t.counter_mut(3).update(true);
+        t.counter_mut(3).update(true);
+        // Index 11 aliases to 3 in an 8-entry table.
+        assert!(t.counter(11).is_taken());
+        assert_eq!(t.index_bits(), 3);
+        assert_eq!(t.storage_bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn counter_table_rejects_non_power_of_two() {
+        let _ = CounterTable::new(100, 2);
+    }
+
+    #[test]
+    fn tagged_miss_then_hit() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(4, 2, 8, 0);
+        assert!(t.peek(1, 0x42).is_none());
+        assert_eq!(t.insert(1, 0x42, 7), TagLookup::Miss);
+        assert_eq!(t.peek(1, 0x42), Some(&7));
+        assert_eq!(*t.lookup(1, 0x42).unwrap(), 7);
+    }
+
+    #[test]
+    fn tagged_insert_same_tag_replaces() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(4, 2, 8, 0);
+        t.insert(0, 0x11, 1);
+        assert_eq!(t.insert(0, 0x11, 2), TagLookup::Hit);
+        assert_eq!(t.peek(0, 0x11), Some(&2));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(1, 2, 8, 0);
+        t.insert(0, 0xa, 1);
+        t.insert(0, 0xb, 2);
+        // Touch 0xa so 0xb becomes LRU.
+        let _ = t.lookup(0, 0xa);
+        t.insert(0, 0xc, 3);
+        assert!(t.peek(0, 0xa).is_some(), "recently used entry must survive");
+        assert!(t.peek(0, 0xb).is_none(), "LRU entry must be evicted");
+        assert!(t.peek(0, 0xc).is_some());
+    }
+
+    #[test]
+    fn invalid_ways_fill_before_eviction() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(1, 4, 8, 0);
+        for (i, tag) in [0x1u64, 0x2, 0x3, 0x4].iter().enumerate() {
+            t.insert(0, *tag, i as u8);
+        }
+        assert_eq!(t.occupancy(), 4);
+        for tag in [0x1u64, 0x2, 0x3, 0x4] {
+            assert!(t.peek(0, tag).is_some());
+        }
+    }
+
+    #[test]
+    fn tags_are_masked_to_width() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(2, 1, 4, 0);
+        t.insert(0, 0xf3, 9);
+        // Only low 4 bits of the tag are stored/compared.
+        assert_eq!(t.peek(0, 0x3), Some(&9));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(2, 1, 8, 0);
+        t.insert(0, 0x5, 1);
+        t.insert(1, 0x5, 2);
+        assert_eq!(t.peek(0, 0x5), Some(&1));
+        assert_eq!(t.peek(1, 0x5), Some(&2));
+    }
+
+    #[test]
+    fn iter_reports_valid_entries() {
+        let mut t: TaggedTable<u8> = TaggedTable::new(2, 2, 8, 0);
+        t.insert(0, 0x1, 10);
+        t.insert(1, 0x2, 20);
+        let mut entries: Vec<_> = t.iter().map(|(s, tag, d)| (s, tag, *d)).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(0, 0x1, 10), (1, 0x2, 20)]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The experiment runner.
+//!
+//! ```text
+//! experiments [--csv DIR] <id>... | all | list
+//!
+//!   SCALE=2        double the per-benchmark uop budget
+//!   EXP_BENCH=all  sweep all 110 benchmarks instead of 2 per suite
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use sim::experiments::{all, by_id, Experiment, ExpEnv};
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--csv DIR] <id>... | all | list");
+    eprintln!("experiments:");
+    for e in all() {
+        eprintln!("  {:<8} {}", e.id, e.title);
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        csv_dir = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "list" {
+        for e in all() {
+            println!("{:<8} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<Experiment> = if args.iter().any(|a| a == "all") {
+        all()
+    } else {
+        args.iter()
+            .map(|id| by_id(id).unwrap_or_else(|| usage()))
+            .collect()
+    };
+
+    let env = ExpEnv::from_env();
+    eprintln!(
+        "# running {} experiment(s), scale {}, bench set {:?}",
+        selected.len(),
+        env.scale,
+        env.bench_set
+    );
+
+    for e in selected {
+        let start = Instant::now();
+        let tables = (e.run)(&env);
+        let elapsed = start.elapsed();
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let suffix = if tables.len() > 1 { format!("_{}", (b'a' + i as u8) as char) } else { String::new() };
+                let path = format!("{dir}/{}{suffix}.csv", e.id);
+                let mut f = std::fs::File::create(&path).expect("create csv file");
+                f.write_all(t.to_csv().as_bytes()).expect("write csv");
+                eprintln!("# wrote {path}");
+            }
+        }
+        eprintln!("# {} finished in {:.1}s\n", e.id, elapsed.as_secs_f64());
+    }
+}

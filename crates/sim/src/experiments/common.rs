@@ -1,0 +1,177 @@
+//! Shared experiment plumbing: scaling, benchmark selection, pooled runs.
+
+use prophet_critic::HybridSpec;
+use workloads::{all_benchmarks, Benchmark, Program, Suite};
+
+use crate::accuracy::{run_accuracy, SimConfig};
+use crate::metrics::AccuracyResult;
+
+/// Default committed-uop budget per benchmark at `SCALE=1`.
+pub const BASE_UOPS: u64 = 1_200_000;
+
+/// Which benchmarks an experiment sweeps.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BenchSet {
+    /// Two benchmarks per suite — the development/CI scale.
+    Fast,
+    /// All 110 benchmarks of Table 1.
+    All,
+}
+
+/// Environment-derived experiment settings.
+///
+/// * `SCALE` — multiplies the per-benchmark uop budget (default 1.0).
+/// * `EXP_BENCH` — `fast` (default) or `all`.
+#[derive(Copy, Clone, Debug)]
+pub struct ExpEnv {
+    /// Budget multiplier.
+    pub scale: f64,
+    /// Benchmark selection.
+    pub bench_set: BenchSet,
+}
+
+impl ExpEnv {
+    /// Reads `SCALE` and `EXP_BENCH` from the process environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let scale = std::env::var("SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .unwrap_or(1.0);
+        let bench_set = match std::env::var("EXP_BENCH").as_deref() {
+            Ok("all") => BenchSet::All,
+            _ => BenchSet::Fast,
+        };
+        Self { scale, bench_set }
+    }
+
+    /// A fixed tiny environment for tests and Criterion benches.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self { scale: 0.08, bench_set: BenchSet::Fast }
+    }
+
+    /// The per-benchmark committed-uop budget.
+    #[must_use]
+    pub fn uop_budget(&self) -> u64 {
+        ((BASE_UOPS as f64 * self.scale) as u64).max(20_000)
+    }
+
+    /// The accuracy-simulation config for one benchmark.
+    #[must_use]
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        SimConfig::with_budget(self.uop_budget(), seed)
+    }
+
+    /// The benchmarks this environment sweeps, with generated programs.
+    #[must_use]
+    pub fn programs(&self) -> Vec<(Benchmark, Program)> {
+        let per_suite = match self.bench_set {
+            BenchSet::Fast => 2,
+            BenchSet::All => usize::MAX,
+        };
+        let mut out = Vec::new();
+        for suite in Suite::ALL {
+            let mut n = 0;
+            for b in all_benchmarks().into_iter().filter(|b| b.suite == suite) {
+                if n >= per_suite {
+                    break;
+                }
+                let p = b.program();
+                out.push((b, p));
+                n += 1;
+            }
+        }
+        out
+    }
+
+    /// Generates programs for an explicit benchmark-name list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown (experiment definitions are static).
+    #[must_use]
+    pub fn named_programs(&self, names: &[&str]) -> Vec<(Benchmark, Program)> {
+        names
+            .iter()
+            .map(|n| {
+                let b = workloads::benchmark(n).unwrap_or_else(|| panic!("unknown benchmark {n}"));
+                let p = b.program();
+                (b, p)
+            })
+            .collect()
+    }
+}
+
+/// Runs `spec` over a set of programs and pools the results.
+#[must_use]
+pub fn pooled_accuracy(
+    spec: &HybridSpec,
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+) -> AccuracyResult {
+    let runs: Vec<AccuracyResult> = programs
+        .iter()
+        .map(|(b, p)| {
+            let mut hybrid = spec.build();
+            run_accuracy(p, &mut hybrid, &env.sim_config(b.seed))
+        })
+        .collect();
+    AccuracyResult::pooled(&spec.label(), &runs)
+}
+
+/// Runs `spec` on a single program.
+#[must_use]
+pub fn single_accuracy(
+    spec: &HybridSpec,
+    bench: &Benchmark,
+    program: &Program,
+    env: &ExpEnv,
+) -> AccuracyResult {
+    let mut hybrid = spec.build();
+    let mut r = run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed));
+    r.benchmark = bench.name.clone();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_critic::{Budget, ProphetKind};
+
+    #[test]
+    fn tiny_env_budget_is_bounded() {
+        let env = ExpEnv::tiny();
+        assert!(env.uop_budget() >= 20_000);
+        assert!(env.uop_budget() <= BASE_UOPS);
+    }
+
+    #[test]
+    fn fast_set_covers_every_suite() {
+        let env = ExpEnv::tiny();
+        let programs = env.programs();
+        assert_eq!(programs.len(), 14);
+        for suite in Suite::ALL {
+            assert!(programs.iter().any(|(b, _)| b.suite == suite), "{suite} missing");
+        }
+    }
+
+    #[test]
+    fn named_programs_resolve() {
+        let env = ExpEnv::tiny();
+        let ps = env.named_programs(&["gcc", "tpcc"]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].0.name, "gcc");
+    }
+
+    #[test]
+    fn pooled_accuracy_runs_end_to_end() {
+        let env = ExpEnv::tiny();
+        let programs = env.named_programs(&["gzip"]);
+        let spec = HybridSpec::alone(ProphetKind::Gshare, Budget::K8);
+        let r = pooled_accuracy(&spec, &programs, &env);
+        assert!(r.committed_uops > 0);
+        assert!(r.misp_per_kuops() > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 5 — the effect of the number of future bits on accuracy for the
+//! six benchmarks the paper singles out, plus their average.
+//!
+//! Prophet: 8 KB perceptron. Critic: 8 KB tagged gshare. Future bits swept
+//! over {0, 1, 4, 8, 12}; 0 is the conventional-hybrid baseline (no future
+//! information).
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+
+use crate::experiments::common::{single_accuracy, ExpEnv};
+use crate::metrics::AccuracyResult;
+use crate::table::{f2, Table};
+
+/// The six benchmarks of Figure 5.
+pub const FIG5_BENCHMARKS: [&str; 6] = ["unzip", "premiere", "msvc7", "flash", "facerec", "tpcc"];
+
+/// Future-bit sweep points of Figure 5.
+pub const FUTURE_BITS: [usize; 5] = [0, 1, 4, 8, 12];
+
+fn spec(fb: usize) -> HybridSpec {
+    HybridSpec::paired(ProphetKind::Perceptron, Budget::K8, CriticKind::TaggedGshare, Budget::K8, fb)
+}
+
+/// Runs Figure 5.
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let programs = env.named_programs(&FIG5_BENCHMARKS);
+    let mut headers: Vec<&str> = vec!["benchmark"];
+    let fb_labels: Vec<String> = FUTURE_BITS.iter().map(|f| format!("{f} fb")).collect();
+    headers.extend(fb_labels.iter().map(String::as_str));
+    let mut t = Table::new(
+        "Figure 5 — misp/Kuops vs. future bits (prophet: 8KB perceptron; critic: 8KB tagged gshare)",
+        &headers,
+    );
+
+    let mut per_fb_pool: Vec<Vec<AccuracyResult>> = vec![Vec::new(); FUTURE_BITS.len()];
+    for (bench, program) in &programs {
+        let mut cells = vec![bench.name.clone()];
+        for (i, fb) in FUTURE_BITS.iter().enumerate() {
+            let r = single_accuracy(&spec(*fb), bench, program, env);
+            cells.push(f2(r.misp_per_kuops()));
+            per_fb_pool[i].push(r);
+        }
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    for pool in &per_fb_pool {
+        avg.push(f2(AccuracyResult::pooled("avg", pool).misp_per_kuops()));
+    }
+    t.row(avg);
+    t.note("paper: +1 future bit cuts the 6-benchmark average ~15%; more bits help some benchmarks (unzip) and hurt others (tpcc)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_produces_full_grid() {
+        let tables = run(&ExpEnv::tiny());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 7); // 6 benchmarks + AVG
+        assert_eq!(t.headers.len(), 6); // name + 5 future-bit points
+        assert_eq!(t.rows[6][0], "AVG");
+        // Every cell parses as a number.
+        for row in &t.rows {
+            for cell in &row[1..] {
+                cell.parse::<f64>().expect("numeric cell");
+            }
+        }
+    }
+}

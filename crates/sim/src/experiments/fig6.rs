@@ -1,0 +1,73 @@
+//! Figure 6 — accuracy of prophet/critic combinations across sizes.
+//!
+//! Three sub-figures, each a prophet/critic pairing, over prophet sizes
+//! {4 KB, 16 KB} × critic sizes {2 KB, 8 KB, 32 KB} × future bits
+//! {no critic, 1, 4, 8, 12}:
+//!
+//! * (a) 2Bc-gskew prophet + **unfiltered** perceptron critic — the
+//!   configuration whose accuracy *degrades* past 8 future bits, motivating
+//!   filtering (§7.2);
+//! * (b) gshare + filtered perceptron;
+//! * (c) perceptron + tagged gshare.
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+
+use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::table::{f2, Table};
+
+const PROPHET_SIZES: [Budget; 2] = [Budget::K4, Budget::K16];
+const CRITIC_SIZES: [Budget; 3] = [Budget::K2, Budget::K8, Budget::K32];
+const FUTURE_BITS: [usize; 4] = [1, 4, 8, 12];
+
+const COMBOS: [(&str, ProphetKind, CriticKind); 3] = [
+    ("(a) prophet: 2Bc-gskew; critic: perceptron (unfiltered)", ProphetKind::BcGskew, CriticKind::UnfilteredPerceptron),
+    ("(b) prophet: gshare; critic: filtered perceptron", ProphetKind::Gshare, CriticKind::FilteredPerceptron),
+    ("(c) prophet: perceptron; critic: tagged gshare", ProphetKind::Perceptron, CriticKind::TaggedGshare),
+];
+
+/// Runs Figure 6 (all three sub-figures).
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let programs = env.programs();
+    let mut out = Vec::new();
+    for (title, prophet, critic) in COMBOS {
+        let mut t = Table::new(
+            format!("Figure 6{title} — misp/Kuops"),
+            &["prophet", "critic", "no critic", "1 fb", "4 fb", "8 fb", "12 fb"],
+        );
+        for pb in PROPHET_SIZES {
+            let baseline = pooled_accuracy(&HybridSpec::alone(prophet, pb), &programs, env);
+            for cb in CRITIC_SIZES {
+                let mut cells = vec![
+                    format!("{pb} {prophet}"),
+                    format!("{cb} {critic}"),
+                    f2(baseline.misp_per_kuops()),
+                ];
+                for fb in FUTURE_BITS {
+                    let spec = HybridSpec::paired(prophet, pb, critic, cb, fb);
+                    let r = pooled_accuracy(&spec, &programs, env);
+                    cells.push(f2(r.misp_per_kuops()));
+                }
+                t.row(cells);
+            }
+        }
+        t.note("paper shape: larger critics help; filtered critics keep improving with future bits, the unfiltered critic (a) peaks near 8");
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_emits_three_subtables_with_full_grids() {
+        let tables = run(&ExpEnv::tiny());
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 6); // 2 prophet sizes × 3 critic sizes
+            assert_eq!(t.headers.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 7 — conventional predictors vs. prophet/critic hybrids at equal
+//! total budget.
+//!
+//! For each conventional predictor at 16 KB (and 32 KB), the hybrid gets
+//! the *same* total budget split in half: an 8 KB (16 KB) prophet of the
+//! same kind plus an 8 KB (16 KB) critic — filtered perceptron or tagged
+//! gshare — using 8 future bits. The paper reports 15–31 % mispredict
+//! reductions, largest for the tagged-gshare critic.
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+
+use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::metrics::percent_reduction;
+use crate::table::{f2, pct, Table};
+
+const FUTURE_BITS: usize = 8;
+
+fn one_size(env: &ExpEnv, total: Budget, half: Budget) -> Table {
+    let programs = env.programs();
+    let mut t = Table::new(
+        format!("Figure 7 — {total} predictors: conventional vs. prophet/critic (8 future bits)"),
+        &["configuration", "misp/Kuops", "reduction vs conventional"],
+    );
+    for prophet in ProphetKind::ALL {
+        let conventional = pooled_accuracy(&HybridSpec::alone(prophet, total), &programs, env);
+        t.row(vec![
+            format!("{total} {prophet}"),
+            f2(conventional.misp_per_kuops()),
+            "-".to_string(),
+        ]);
+        for critic in [CriticKind::FilteredPerceptron, CriticKind::TaggedGshare] {
+            let spec = HybridSpec::paired(prophet, half, critic, half, FUTURE_BITS);
+            let r = pooled_accuracy(&spec, &programs, env);
+            t.row(vec![
+                format!("{half} {prophet} + {half} {critic}"),
+                f2(r.misp_per_kuops()),
+                pct(percent_reduction(conventional.misp_per_kuops(), r.misp_per_kuops())),
+            ]);
+        }
+    }
+    t.note("paper: 15.2–30.7% reductions at 16KB, 17.5–31.2% at 32KB");
+    t
+}
+
+/// Runs Figure 7 (both total budgets).
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    vec![one_size(env, Budget::K16, Budget::K8), one_size(env, Budget::K32, Budget::K16)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_grids_have_nine_rows_each() {
+        let tables = run(&ExpEnv::tiny());
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            // 3 prophets × (1 conventional + 2 hybrids)
+            assert_eq!(t.rows.len(), 9);
+        }
+    }
+}

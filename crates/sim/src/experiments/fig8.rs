@@ -1,0 +1,73 @@
+//! Figure 8 — the distribution of critiques.
+//!
+//! Prophet: 4 KB perceptron; critic: 8 KB tagged gshare; future bits
+//! {1, 4, 8, 12}. Only *engaged* critiques (filter tag hits) are
+//! distributed, as in the paper; the implicit agreements from filter misses
+//! are Table 4's subject.
+
+use prophet_critic::{Budget, CriticKind, CritiqueKind, HybridSpec, ProphetKind};
+
+use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::table::{pct, Table};
+
+const FUTURE_BITS: [usize; 4] = [1, 4, 8, 12];
+
+const KINDS: [CritiqueKind; 4] = [
+    CritiqueKind::CorrectAgree,
+    CritiqueKind::IncorrectDisagree,
+    CritiqueKind::IncorrectAgree,
+    CritiqueKind::CorrectDisagree,
+];
+
+/// Runs Figure 8.
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let programs = env.programs();
+    let mut t = Table::new(
+        "Figure 8 — distribution of critiques (prophet: 4KB perceptron; critic: 8KB tagged gshare)",
+        &[
+            "future bits",
+            "correct_agree",
+            "incorrect_disagree",
+            "incorrect_agree",
+            "correct_disagree",
+            "total critiques",
+            "i_disagree : c_disagree",
+        ],
+    );
+    for fb in FUTURE_BITS {
+        let spec = HybridSpec::paired(
+            ProphetKind::Perceptron,
+            Budget::K4,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            fb,
+        );
+        let r = pooled_accuracy(&spec, &programs, env);
+        let counts: Vec<u64> = KINDS.iter().map(|k| r.critiques.count(*k)).collect();
+        let engaged = r.critiques.engaged().max(1);
+        let ratio = counts[1] as f64 / counts[3].max(1) as f64;
+        let mut cells = vec![fb.to_string()];
+        for c in &counts {
+            cells.push(format!("{c} ({})", pct(*c as f64 * 100.0 / engaged as f64)));
+        }
+        cells.push(engaged.to_string());
+        cells.push(format!("{ratio:.1}x"));
+        t.row(cells);
+    }
+    t.note("paper shape: incorrect_disagree > correct_disagree; with more future bits correct_disagree falls (-40% from 1 to 12) and incorrect_agree falls (-43%)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_covers_all_future_bit_points() {
+        let t = &run(&ExpEnv::tiny())[0];
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "1");
+        assert_eq!(t.rows[3][0], "12");
+    }
+}

@@ -1,0 +1,139 @@
+//! Figures 9 and 10 — processor performance (uPC) on the cycle model.
+//!
+//! Figure 9: average uPC of 16 KB conventional predictors vs. 8+8 KB
+//! prophet/critic hybrids (tagged gshare critic) with 4, 8 and 12 future
+//! bits, for all three prophets.
+//!
+//! Figure 10: the same comparison for the 2Bc-gskew prophet, broken out per
+//! benchmark suite.
+//!
+//! Following §7.4, each suite is represented by single benchmarks (the
+//! paper simulated one LIT per benchmark at reduced length for these
+//! results).
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use uarch::DataProfile;
+use workloads::{Benchmark, Suite};
+
+use crate::cycle::{run_cycles, CycleConfig};
+use crate::experiments::common::ExpEnv;
+use crate::table::{f2, Table};
+
+const FUTURE_BITS: [usize; 3] = [4, 8, 12];
+
+/// The per-suite data-side character for the cycle model.
+#[must_use]
+pub fn suite_data_profile(suite: Suite) -> DataProfile {
+    match suite {
+        Suite::Fp00 | Suite::Mm => DataProfile::streaming(),
+        Suite::Serv => DataProfile::scattered(),
+        Suite::Int00 | Suite::Web | Suite::Prod | Suite::Ws => DataProfile::resident(),
+    }
+}
+
+/// One representative benchmark per suite (cycle runs are slower).
+fn representatives() -> Vec<Benchmark> {
+    ["gcc", "swim", "specjbb", "premiere", "msvc7", "tpcc", "cad"]
+        .iter()
+        .map(|n| workloads::benchmark(n).expect("representative exists"))
+        .collect()
+}
+
+fn cycle_cfg(env: &ExpEnv, bench: &Benchmark) -> CycleConfig {
+    let mut c = CycleConfig::with_budget(env.uop_budget(), bench.seed);
+    c.data = suite_data_profile(bench.suite);
+    c
+}
+
+fn upc_of(env: &ExpEnv, bench: &Benchmark, spec: &HybridSpec) -> f64 {
+    let program = bench.program();
+    let mut hybrid = spec.build();
+    run_cycles(&program, &mut hybrid, &cycle_cfg(env, bench)).upc()
+}
+
+/// Runs Figure 9.
+#[must_use]
+pub fn fig9(env: &ExpEnv) -> Vec<Table> {
+    let benches = representatives();
+    let mut t = Table::new(
+        "Figure 9 — average uPC: 16KB prophet alone vs 8KB+8KB prophet/critic (tagged gshare)",
+        &["prophet", "16KB alone", "4 fb", "8 fb", "12 fb"],
+    );
+    for prophet in ProphetKind::ALL {
+        let avg = |spec: &HybridSpec| -> f64 {
+            let sum: f64 = benches.iter().map(|b| upc_of(env, b, spec)).sum();
+            sum / benches.len() as f64
+        };
+        let mut cells = vec![format!("{prophet} + tagged gshare")];
+        cells.push(f2(avg(&HybridSpec::alone(prophet, Budget::K16))));
+        for fb in FUTURE_BITS {
+            let spec = HybridSpec::paired(
+                prophet,
+                Budget::K8,
+                CriticKind::TaggedGshare,
+                Budget::K8,
+                fb,
+            );
+            cells.push(f2(avg(&spec)));
+        }
+        t.row(cells);
+    }
+    t.note("paper: 12-fb speedups of 8% (gshare), 7% (2Bc-gskew), 5.2% (perceptron) over the 16KB prophet alone");
+    vec![t]
+}
+
+/// Runs Figure 10.
+#[must_use]
+pub fn fig10(env: &ExpEnv) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 10 — uPC per suite (prophet: 8KB 2Bc-gskew; critic: 8KB tagged gshare)",
+        &["suite", "16KB alone", "4 fb", "8 fb", "12 fb"],
+    );
+    let by_suite: Vec<(Suite, Benchmark)> =
+        representatives().into_iter().map(|b| (b.suite, b)).collect();
+    for (suite, bench) in &by_suite {
+        let mut cells = vec![suite.label().to_string()];
+        cells.push(f2(upc_of(env, bench, &HybridSpec::alone(ProphetKind::BcGskew, Budget::K16))));
+        for fb in FUTURE_BITS {
+            let spec = HybridSpec::paired(
+                ProphetKind::BcGskew,
+                Budget::K8,
+                CriticKind::TaggedGshare,
+                Budget::K8,
+                fb,
+            );
+            cells.push(f2(upc_of(env, bench, &spec)));
+        }
+        t.row(cells);
+    }
+    t.note("paper: hybrid beats the 16KB prophet in every suite; 12-fb speedups from 1.7% (FP00) to 10.7% (INT00)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_covers_three_prophets() {
+        let t = &fig9(&ExpEnv::tiny())[0];
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0 && v < 6.0, "uPC {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_covers_all_suites() {
+        let t = &fig10(&ExpEnv::tiny())[0];
+        assert_eq!(t.rows.len(), 7);
+    }
+
+    #[test]
+    fn suite_profiles_differ() {
+        assert_ne!(suite_data_profile(Suite::Fp00), suite_data_profile(Suite::Serv));
+    }
+}

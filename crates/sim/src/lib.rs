@@ -1,0 +1,32 @@
+//! Execution-driven simulation and the experiment harness reproducing every
+//! table and figure of the prophet/critic paper (ISCA 2004).
+//!
+//! Two simulators:
+//!
+//! * [`run_accuracy`] — the fast accuracy model with full wrong-path fetch
+//!   (the paper's §6 requirement), producing misp/Kuops, critique
+//!   distributions and filter rates.
+//! * [`run_cycles`] — the cycle-level model on the Table 2 machine,
+//!   producing uPC, flush distances and fetched-uop counts.
+//!
+//! The [`experiments`] module defines one entry point per paper artifact
+//! (`fig5` … `fig10`, `table1` … `table4`, `headline`); the `experiments`
+//! binary runs them from the command line:
+//!
+//! ```text
+//! cargo run -p sim --release --bin experiments -- fig5
+//! SCALE=4 cargo run -p sim --release --bin experiments -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+pub mod cycle;
+pub mod experiments;
+mod metrics;
+pub mod table;
+
+pub use accuracy::{run_accuracy, SimConfig};
+pub use cycle::{run_cycles, CycleConfig, CycleResult};
+pub use metrics::{percent_reduction, AccuracyResult};

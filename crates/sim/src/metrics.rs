@@ -1,0 +1,180 @@
+//! Result records and the paper's metrics.
+//!
+//! The paper measures mispredict rate in **misp/Kuops** (mispredicts per
+//! thousand committed micro-ops) and performance in **uPC** (uops per
+//! cycle); the abstract also quotes the *distance between pipeline flushes*
+//! in uops.
+
+use prophet_critic::CritiqueStats;
+
+/// The outcome of one accuracy-simulation run (measured region only).
+#[derive(Clone, Debug, Default)]
+pub struct AccuracyResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Committed micro-ops in the measured region.
+    pub committed_uops: u64,
+    /// Committed conditional branches.
+    pub committed_branches: u64,
+    /// Final-prediction mispredicts (pipeline flushes).
+    pub final_mispredicts: u64,
+    /// Prophet mispredicts (before any critic repair).
+    pub prophet_mispredicts: u64,
+    /// Micro-ops fetched along correct *and* incorrect paths.
+    pub fetched_uops: u64,
+    /// Front-end redirects due to BTB misses on taken branches.
+    pub btb_redirects: u64,
+    /// Critic overrides (disagreements acted upon).
+    pub critic_overrides: u64,
+    /// FTQ entries flushed by overrides.
+    pub ftq_entries_flushed: u64,
+    /// BTB miss rate over the whole run.
+    pub btb_miss_rate: f64,
+    /// Critique-kind distribution over committed, critiqued branches.
+    pub critiques: CritiqueStats,
+}
+
+impl AccuracyResult {
+    /// A blank result for `benchmark`.
+    #[must_use]
+    pub fn new(benchmark: &str) -> Self {
+        Self { benchmark: benchmark.to_string(), ..Self::default() }
+    }
+
+    /// Mispredicts per thousand committed uops — the paper's headline
+    /// accuracy metric.
+    #[must_use]
+    pub fn misp_per_kuops(&self) -> f64 {
+        if self.committed_uops == 0 {
+            return 0.0;
+        }
+        self.final_mispredicts as f64 * 1000.0 / self.committed_uops as f64
+    }
+
+    /// Percentage of committed conditional branches mispredicted (the
+    /// abstract quotes gcc at 3.11 % → 1.23 %).
+    #[must_use]
+    pub fn mispredict_percent(&self) -> f64 {
+        if self.committed_branches == 0 {
+            return 0.0;
+        }
+        self.final_mispredicts as f64 * 100.0 / self.committed_branches as f64
+    }
+
+    /// Committed uops between pipeline flushes (the abstract's
+    /// “one flush per 418 uops” metric).
+    #[must_use]
+    pub fn uops_per_flush(&self) -> f64 {
+        if self.final_mispredicts == 0 {
+            return self.committed_uops as f64;
+        }
+        self.committed_uops as f64 / self.final_mispredicts as f64
+    }
+
+    /// Wrong-path fetch overhead: fetched / committed uops.
+    #[must_use]
+    pub fn fetch_overhead(&self) -> f64 {
+        if self.committed_uops == 0 {
+            return 0.0;
+        }
+        self.fetched_uops as f64 / self.committed_uops as f64
+    }
+
+    /// Merges another run (e.g. another benchmark of the same suite) into
+    /// this aggregate.
+    pub fn merge(&mut self, other: &AccuracyResult) {
+        self.committed_uops += other.committed_uops;
+        self.committed_branches += other.committed_branches;
+        self.final_mispredicts += other.final_mispredicts;
+        self.prophet_mispredicts += other.prophet_mispredicts;
+        self.fetched_uops += other.fetched_uops;
+        self.btb_redirects += other.btb_redirects;
+        self.critic_overrides += other.critic_overrides;
+        self.ftq_entries_flushed += other.ftq_entries_flushed;
+        // Miss rates don't add; keep the max as a conservative summary.
+        self.btb_miss_rate = self.btb_miss_rate.max(other.btb_miss_rate);
+        self.critiques.merge(&other.critiques);
+    }
+
+    /// Aggregates many runs into one (for suite and all-benchmark
+    /// averages; the paper averages rates over benchmarks by pooling).
+    #[must_use]
+    pub fn pooled(name: &str, runs: &[AccuracyResult]) -> Self {
+        let mut out = Self::new(name);
+        for r in runs {
+            out.merge(r);
+        }
+        out
+    }
+}
+
+/// Percentage reduction of `new` relative to `base` (positive = improvement).
+#[must_use]
+pub fn percent_reduction(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (base - new) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccuracyResult {
+        AccuracyResult {
+            benchmark: "x".into(),
+            committed_uops: 100_000,
+            committed_branches: 10_000,
+            final_mispredicts: 250,
+            prophet_mispredicts: 400,
+            fetched_uops: 115_000,
+            ..AccuracyResult::default()
+        }
+    }
+
+    #[test]
+    fn misp_per_kuops_definition() {
+        assert!((sample().misp_per_kuops() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredict_percent_definition() {
+        assert!((sample().mispredict_percent() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uops_per_flush_definition() {
+        assert!((sample().uops_per_flush() - 400.0).abs() < 1e-12);
+        let clean = AccuracyResult { committed_uops: 500, ..AccuracyResult::default() };
+        assert_eq!(clean.uops_per_flush(), 500.0);
+    }
+
+    #[test]
+    fn fetch_overhead_definition() {
+        assert!((sample().fetch_overhead() - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_rates_are_zero() {
+        let r = AccuracyResult::default();
+        assert_eq!(r.misp_per_kuops(), 0.0);
+        assert_eq!(r.mispredict_percent(), 0.0);
+        assert_eq!(r.fetch_overhead(), 0.0);
+    }
+
+    #[test]
+    fn pooling_adds_counters() {
+        let pooled = AccuracyResult::pooled("pool", &[sample(), sample()]);
+        assert_eq!(pooled.committed_uops, 200_000);
+        assert_eq!(pooled.final_mispredicts, 500);
+        assert!((pooled.misp_per_kuops() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_reduction_sign() {
+        assert!((percent_reduction(2.0, 1.0) - 50.0).abs() < 1e-12);
+        assert!(percent_reduction(1.0, 2.0) < 0.0);
+        assert_eq!(percent_reduction(0.0, 1.0), 0.0);
+    }
+}

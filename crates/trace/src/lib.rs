@@ -1,0 +1,58 @@
+//! Branch-trace file formats for the prophet/critic reproduction.
+//!
+//! The paper's simulator executed Intel **LIT**s — proprietary processor
+//! snapshots. This crate provides the open equivalents our simulator uses,
+//! all *hand-parsed* binary and text formats (no serialization framework):
+//!
+//! * [`BtWriter`]/[`BtReader`] — the `.bt` binary branch-trace format:
+//!   delta- and varint-compressed dynamic branch records, streamable.
+//! * [`write_text`]/[`read_text`] — a line-oriented text format for
+//!   debugging and interchange.
+//! * [`WireReader`]/[`WireWriter`] — the underlying wire primitives
+//!   (LEB128 varints, zigzag signed encoding, magic/version headers),
+//!   shared with the program-snapshot format in the `workloads` crate.
+//! * [`TraceStats`] — workload characterisation (taken rate, uops per
+//!   conditional branch, static branch count).
+//!
+//! Note that a *correct-path* branch trace is, by design, insufficient to
+//! evaluate a prophet/critic hybrid (paper §6): the critic's future bits
+//! must be produced by actually fetching down wrong paths. Traces here feed
+//! conventional-predictor experiments and serve as the interchange format;
+//! the execution-driven simulator (the `sim` crate) runs from program
+//! snapshots instead.
+//!
+//! # Example
+//!
+//! ```
+//! use bptrace::{BranchRecord, BtReader, BtWriter, TraceStats};
+//!
+//! let mut buf = Vec::new();
+//! let mut w = BtWriter::new(&mut buf, "loop")?;
+//! for i in 0..10 {
+//!     w.write(&BranchRecord::conditional(0x1000, 0x0ff0, i % 10 != 9, 13))?;
+//! }
+//! w.finish()?;
+//!
+//! let mut r = BtReader::new(buf.as_slice())?;
+//! let records = r.read_all()?;
+//! let stats = TraceStats::from_records(&records);
+//! assert_eq!(stats.conditionals, 10);
+//! # Ok::<(), bptrace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod error;
+mod record;
+mod stats;
+mod text;
+pub mod wire;
+
+pub use binary::{BtReader, BtWriter, BT_MAGIC, BT_VERSION};
+pub use error::{Result, TraceError};
+pub use record::{BranchKind, BranchRecord};
+pub use stats::TraceStats;
+pub use text::{read_text, write_text};
+pub use wire::{WireReader, WireWriter};

@@ -1,0 +1,118 @@
+//! Summary statistics over a branch trace.
+
+use crate::record::{BranchKind, BranchRecord};
+
+/// Aggregate characteristics of a trace, in the vocabulary the paper uses to
+/// describe its workloads (e.g. “conditional branches occur every 13 uops”).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TraceStats {
+    /// Total records.
+    pub branches: u64,
+    /// Conditional branch records.
+    pub conditionals: u64,
+    /// Taken conditional branches.
+    pub taken_conditionals: u64,
+    /// Total micro-ops covered by the trace.
+    pub uops: u64,
+    /// Distinct branch PCs (static branches).
+    pub static_branches: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `records`.
+    #[must_use]
+    pub fn from_records(records: &[BranchRecord]) -> Self {
+        let mut stats = TraceStats::default();
+        let mut pcs = std::collections::HashSet::new();
+        for r in records {
+            stats.branches += 1;
+            stats.uops += u64::from(r.uops_since_prev);
+            if r.kind == BranchKind::Conditional {
+                stats.conditionals += 1;
+                stats.taken_conditionals += u64::from(r.taken);
+            }
+            pcs.insert(r.pc);
+        }
+        stats.static_branches = pcs.len();
+        stats
+    }
+
+    /// Fraction of conditional branches that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.conditionals == 0 {
+            return 0.0;
+        }
+        self.taken_conditionals as f64 / self.conditionals as f64
+    }
+
+    /// Average micro-ops between conditional branches (the paper's “every
+    /// 13 uops” figure for IA32).
+    #[must_use]
+    pub fn uops_per_conditional(&self) -> f64 {
+        if self.conditionals == 0 {
+            return 0.0;
+        }
+        self.uops as f64 / self.conditionals as f64
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} branches ({} cond, {:.1}% taken), {} uops ({:.1} uops/cond), {} static",
+            self.branches,
+            self.conditionals,
+            self.taken_rate() * 100.0,
+            self.uops,
+            self.uops_per_conditional(),
+            self.static_branches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let records = vec![
+            BranchRecord::conditional(0x10, 0x20, true, 10),
+            BranchRecord::conditional(0x30, 0x40, false, 10),
+            BranchRecord::conditional(0x10, 0x20, true, 6),
+            BranchRecord {
+                pc: 0x50,
+                target: 0x60,
+                kind: BranchKind::Jump,
+                taken: true,
+                uops_since_prev: 4,
+            },
+        ];
+        let s = TraceStats::from_records(&records);
+        assert_eq!(s.branches, 4);
+        assert_eq!(s.conditionals, 3);
+        assert_eq!(s.taken_conditionals, 2);
+        assert_eq!(s.uops, 30);
+        assert_eq!(s.static_branches, 3);
+        assert!((s.taken_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.uops_per_conditional() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::from_records(&[]);
+        assert_eq!(s.branches, 0);
+        assert_eq!(s.taken_rate(), 0.0);
+        assert_eq!(s.uops_per_conditional(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let records = vec![BranchRecord::conditional(0x10, 0x20, true, 13)];
+        let text = TraceStats::from_records(&records).to_string();
+        assert!(text.contains("1 branches"));
+        assert!(text.contains("13.0 uops/cond"));
+    }
+}

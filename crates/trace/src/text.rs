@@ -1,0 +1,180 @@
+//! A human-readable text trace format, one branch per line.
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! 0x401000 cond T 0x401080 12
+//! 0x401080 cond N 0x401000 3
+//! 0x401084 call T 0x402000 1
+//! ```
+//!
+//! Fields: `pc kind direction target uops_since_prev`, whitespace separated.
+//! Direction is `T`/`N`. Addresses accept `0x` hex or decimal.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{Result, TraceError};
+use crate::record::{BranchKind, BranchRecord};
+
+/// Writes records in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_text<W: Write>(mut out: W, records: &[BranchRecord]) -> Result<()> {
+    writeln!(out, "# pc kind dir target uops")?;
+    for r in records {
+        writeln!(
+            out,
+            "0x{:x} {} {} 0x{:x} {}",
+            r.pc,
+            r.kind,
+            if r.taken { 'T' } else { 'N' },
+            r.target,
+            r.uops_since_prev
+        )?;
+    }
+    Ok(())
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<u64> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| TraceError::BadLine { line, reason: format!("bad address `{tok}`") })
+}
+
+/// Parses a full text trace.
+///
+/// # Errors
+///
+/// [`TraceError::BadLine`] with a 1-based line number on any malformed line.
+pub fn read_text<R: BufRead>(input: R) -> Result<Vec<BranchRecord>> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tok = trimmed.split_whitespace();
+        let mut next = |what: &str| {
+            tok.next().ok_or_else(|| TraceError::BadLine {
+                line: lineno,
+                reason: format!("missing field `{what}`"),
+            })
+        };
+        let pc = parse_addr(next("pc")?, lineno)?;
+        let kind_tok = next("kind")?;
+        let kind: BranchKind = kind_tok.parse().map_err(|()| TraceError::BadLine {
+            line: lineno,
+            reason: format!("bad kind `{kind_tok}`"),
+        })?;
+        let dir_tok = next("dir")?;
+        let taken = match dir_tok {
+            "T" | "t" | "1" => true,
+            "N" | "n" | "0" => false,
+            other => {
+                return Err(TraceError::BadLine {
+                    line: lineno,
+                    reason: format!("bad direction `{other}` (want T or N)"),
+                })
+            }
+        };
+        let target = parse_addr(next("target")?, lineno)?;
+        let uops_tok = next("uops")?;
+        let uops_since_prev: u32 = uops_tok.parse().map_err(|_| TraceError::BadLine {
+            line: lineno,
+            reason: format!("bad uop count `{uops_tok}`"),
+        })?;
+        if tok.next().is_some() {
+            return Err(TraceError::BadLine {
+                line: lineno,
+                reason: "trailing fields".to_string(),
+            });
+        }
+        out.push(BranchRecord { pc, target, kind, taken, uops_since_prev });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::conditional(0x40_1000, 0x40_1080, true, 12),
+            BranchRecord::conditional(0x40_1080, 0x40_1000, false, 3),
+            BranchRecord {
+                pc: 0x40_1084,
+                target: 0x40_2000,
+                kind: BranchKind::Call,
+                taken: true,
+                uops_since_prev: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &samples()).unwrap();
+        let parsed = read_text(buf.as_slice()).unwrap();
+        assert_eq!(parsed, samples());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0x10 cond T 0x20 5\n   \n# tail\n";
+        let parsed = read_text(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].pc, 0x10);
+    }
+
+    #[test]
+    fn decimal_addresses_accepted() {
+        let parsed = read_text("16 cond N 32 0\n".as_bytes()).unwrap();
+        assert_eq!(parsed[0].pc, 16);
+        assert_eq!(parsed[0].target, 32);
+        assert!(!parsed[0].taken);
+    }
+
+    #[test]
+    fn bad_lines_report_line_numbers() {
+        let text = "0x10 cond T 0x20 5\n0x30 bogus T 0x40 1\n";
+        match read_text(text.as_bytes()) {
+            Err(TraceError::BadLine { line, reason }) => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("bogus"));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_detected() {
+        assert!(matches!(
+            read_text("0x10 cond T\n".as_bytes()),
+            Err(TraceError::BadLine { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_fields_detected() {
+        assert!(matches!(
+            read_text("0x10 cond T 0x20 5 extra\n".as_bytes()),
+            Err(TraceError::BadLine { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_direction_detected() {
+        assert!(matches!(
+            read_text("0x10 cond X 0x20 5\n".as_bytes()),
+            Err(TraceError::BadLine { line: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,396 @@
+//! Low-level wire primitives: LEB128 varints, zigzag signed encoding, and
+//! counted byte readers/writers.
+//!
+//! These are the building blocks of every binary format in the workspace —
+//! the branch-trace format here and the program-snapshot (LIT-analog) format
+//! in the `workloads` crate. All parsing is manual, byte by byte; no
+//! serialization framework is involved (the reproduction hint calls for
+//! hand-parsed trace formats).
+
+use std::io::{Read, Write};
+
+use crate::error::{Result, TraceError};
+
+/// Maximum encoded length of a 64-bit LEB128 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Maps a signed value onto an unsigned one with small absolute values
+/// staying small (zigzag encoding).
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A byte-counting writer of wire primitives.
+#[derive(Debug)]
+pub struct WireWriter<W> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write> WireWriter<W> {
+    /// Wraps a writer. A `&mut W` also works, since `Write` is implemented
+    /// for mutable references.
+    pub fn new(out: W) -> Self {
+        Self { out, written: 0 }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// Writes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        self.out.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, v: u8) -> Result<()> {
+        self.write_bytes(&[v])
+    }
+
+    /// Writes a little-endian u16.
+    pub fn write_u16(&mut self, v: u16) -> Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, v: u32) -> Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, v: u64) -> Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn write_varint(&mut self, mut v: u64) -> Result<()> {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                return self.write_u8(byte);
+            }
+            self.write_u8(byte | 0x80)?;
+        }
+    }
+
+    /// Writes a zigzag-encoded signed varint.
+    pub fn write_signed(&mut self, v: i64) -> Result<()> {
+        self.write_varint(zigzag(v))
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) -> Result<()> {
+        self.write_varint(s.len() as u64)?;
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// A byte-counting reader of wire primitives.
+#[derive(Debug)]
+pub struct WireReader<R> {
+    input: R,
+    consumed: u64,
+}
+
+impl<R: Read> WireReader<R> {
+    /// Wraps a reader. A `&mut R` also works.
+    pub fn new(input: R) -> Self {
+        Self { input, consumed: 0 }
+    }
+
+    /// Bytes consumed so far — used in error offsets.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.input
+    }
+
+    /// Reads exactly `buf.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::UnexpectedEof`] if the stream ends first.
+    pub fn read_exact(&mut self, buf: &mut [u8], what: &'static str) -> Result<()> {
+        match self.input.read_exact(buf) {
+            Ok(()) => {
+                self.consumed += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(TraceError::UnexpectedEof { what })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reads one byte, or `None` at a clean end of stream.
+    ///
+    /// “Clean” means the EOF falls on a record boundary; callers use this to
+    /// detect stream ends without a length prefix.
+    pub fn read_u8_or_eof(&mut self) -> Result<Option<u8>> {
+        let mut buf = [0u8; 1];
+        let mut read = 0;
+        while read == 0 {
+            match self.input.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => read = n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.consumed += 1;
+        Ok(Some(buf[0]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8> {
+        let mut buf = [0u8; 1];
+        self.read_exact(&mut buf, what)?;
+        Ok(buf[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn read_u16(&mut self, what: &'static str) -> Result<u16> {
+        let mut buf = [0u8; 2];
+        self.read_exact(&mut buf, what)?;
+        Ok(u16::from_le_bytes(buf))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn read_u32(&mut self, what: &'static str) -> Result<u32> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf, what)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&mut self, what: &'static str) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf, what)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::VarintOverflow`] if the encoding exceeds 10 bytes;
+    /// [`TraceError::UnexpectedEof`] if the stream ends mid-varint.
+    pub fn read_varint(&mut self, what: &'static str) -> Result<u64> {
+        let start = self.consumed;
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(TraceError::VarintOverflow { offset: start });
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(TraceError::VarintOverflow { offset: start });
+            }
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    pub fn read_signed(&mut self, what: &'static str) -> Result<i64> {
+        Ok(unzigzag(self.read_varint(what)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string (max 1 MiB).
+    pub fn read_str(&mut self, what: &'static str) -> Result<String> {
+        let start = self.consumed;
+        let len = self.read_varint(what)?;
+        if len > 1 << 20 {
+            return Err(TraceError::Corrupt { offset: start, what });
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.read_exact(&mut buf, what)?;
+        String::from_utf8(buf).map_err(|_| TraceError::Corrupt { offset: start, what })
+    }
+}
+
+/// Checks a 4-byte magic and a version header.
+///
+/// # Errors
+///
+/// [`TraceError::BadMagic`] or [`TraceError::UnsupportedVersion`].
+pub fn read_header<R: Read>(
+    r: &mut WireReader<R>,
+    magic: [u8; 4],
+    supported_version: u16,
+) -> Result<u16> {
+    let mut found = [0u8; 4];
+    r.read_exact(&mut found, "magic")?;
+    if found != magic {
+        return Err(TraceError::BadMagic { expected: magic, found });
+    }
+    let version = r.read_u16("version")?;
+    if version == 0 || version > supported_version {
+        return Err(TraceError::UnsupportedVersion { found: version, supported: supported_version });
+    }
+    Ok(version)
+}
+
+/// Writes a 4-byte magic and a version header.
+pub fn write_header<W: Write>(
+    w: &mut WireWriter<W>,
+    magic: [u8; 4],
+    version: u16,
+) -> Result<()> {
+    w.write_bytes(&magic)?;
+    w.write_u16(version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            for v in values {
+                w.write_varint(v).unwrap();
+            }
+        }
+        let mut r = WireReader::new(buf.as_slice());
+        for v in values {
+            assert_eq!(r.read_varint("test").unwrap(), v);
+        }
+        assert!(r.read_u8_or_eof().unwrap().is_none());
+    }
+
+    #[test]
+    fn varint_single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf).write_varint(127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        WireWriter::new(&mut buf).write_varint(128).unwrap();
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        let bad = [0xffu8; 11];
+        let mut r = WireReader::new(bad.as_slice());
+        assert!(matches!(r.read_varint("test"), Err(TraceError::VarintOverflow { .. })));
+    }
+
+    #[test]
+    fn eof_mid_varint_is_an_error() {
+        let bad = [0x80u8];
+        let mut r = WireReader::new(bad.as_slice());
+        assert!(matches!(r.read_varint("test"), Err(TraceError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn signed_round_trips() {
+        let mut buf = Vec::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            for v in [-5i64, 0, 5, i64::MIN, i64::MAX] {
+                w.write_signed(v).unwrap();
+            }
+        }
+        let mut r = WireReader::new(buf.as_slice());
+        for v in [-5i64, 0, 5, i64::MIN, i64::MAX] {
+            assert_eq!(r.read_signed("test").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf).write_str("hello, trace").unwrap();
+        let mut r = WireReader::new(buf.as_slice());
+        assert_eq!(r.read_str("name").unwrap(), "hello, trace");
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects() {
+        let mut buf = Vec::new();
+        write_header(&mut WireWriter::new(&mut buf), *b"BPTR", 1).unwrap();
+        let mut r = WireReader::new(buf.as_slice());
+        assert_eq!(read_header(&mut r, *b"BPTR", 1).unwrap(), 1);
+
+        let mut r = WireReader::new(buf.as_slice());
+        assert!(matches!(
+            read_header(&mut r, *b"PCLS", 1),
+            Err(TraceError::BadMagic { .. })
+        ));
+
+        let mut buf2 = Vec::new();
+        write_header(&mut WireWriter::new(&mut buf2), *b"BPTR", 7).unwrap();
+        let mut r = WireReader::new(buf2.as_slice());
+        assert!(matches!(
+            read_header(&mut r, *b"BPTR", 1),
+            Err(TraceError::UnsupportedVersion { found: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_width_integers_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            w.write_u8(0xab).unwrap();
+            w.write_u16(0xbeef).unwrap();
+            w.write_u32(0xdead_beef).unwrap();
+            w.write_u64(0x0123_4567_89ab_cdef).unwrap();
+            assert_eq!(w.position(), 15);
+        }
+        let mut r = WireReader::new(buf.as_slice());
+        assert_eq!(r.read_u8("a").unwrap(), 0xab);
+        assert_eq!(r.read_u16("b").unwrap(), 0xbeef);
+        assert_eq!(r.read_u32("c").unwrap(), 0xdead_beef);
+        assert_eq!(r.read_u64("d").unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.position(), 15);
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine parameters — Table 2 of the paper, encoded verbatim.
+
+/// Geometry and latency of one cache level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheParams {
+    /// Total size in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheParams {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into a power-of-two set count.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(sets.is_power_of_two(), "cache sets {sets} not a power of two");
+        sets
+    }
+}
+
+/// The simulated machine (Table 2): a superscalar out-of-order
+/// microarchitecture derived from the Intel Pentium 4 processor — twice as
+/// wide, with a 16× instruction window and a decoupled front end.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct MachineParams {
+    /// Processor frequency in GHz (3.8).
+    pub frequency_ghz: f64,
+    /// Fetch/issue/retire width in uops (6).
+    pub width: u64,
+    /// Branch mispredict penalty in cycles (30).
+    pub mispredict_penalty: u64,
+    /// BTB entries (4096) and associativity (4).
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// FTQ size in entries (32).
+    pub ftq_entries: usize,
+    /// Instruction window size in uops (2048).
+    pub window_uops: u64,
+    /// Prophet throughput in predictions per cycle (§5: 2).
+    pub prophet_per_cycle: u64,
+    /// Critic throughput in critiques per cycle (§5: 1).
+    pub critic_per_cycle: u64,
+    /// Instruction cache (64 KB, 8-way, 64-byte lines).
+    pub icache: CacheParams,
+    /// L1 data cache (32 KB, 16-way, 64-byte lines, 3-cycle hit).
+    pub l1d: CacheParams,
+    /// Unified L2 (2 MB, 16-way, 64-byte lines, 16-cycle hit).
+    pub l2: CacheParams,
+    /// Memory latency in nanoseconds (100).
+    pub memory_ns: f64,
+    /// Hardware prefetcher stream count (16).
+    pub prefetch_streams: usize,
+}
+
+impl MachineParams {
+    /// The exact Table 2 configuration.
+    #[must_use]
+    pub fn isca04() -> Self {
+        Self {
+            frequency_ghz: 3.8,
+            width: 6,
+            mispredict_penalty: 30,
+            btb_entries: 4096,
+            btb_ways: 4,
+            ftq_entries: 32,
+            window_uops: 2048,
+            prophet_per_cycle: 2,
+            critic_per_cycle: 1,
+            icache: CacheParams { size_bytes: 64 << 10, ways: 8, line_bytes: 64, hit_cycles: 1 },
+            l1d: CacheParams { size_bytes: 32 << 10, ways: 16, line_bytes: 64, hit_cycles: 3 },
+            l2: CacheParams { size_bytes: 2 << 20, ways: 16, line_bytes: 64, hit_cycles: 16 },
+            memory_ns: 100.0,
+            prefetch_streams: 16,
+        }
+    }
+
+    /// Memory latency converted to cycles at the machine frequency
+    /// (100 ns × 3.8 GHz = 380 cycles).
+    #[must_use]
+    pub fn memory_cycles(&self) -> u64 {
+        (self.memory_ns * self.frequency_ghz).round() as u64
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        Self::isca04()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let m = MachineParams::isca04();
+        assert_eq!(m.width, 6);
+        assert_eq!(m.mispredict_penalty, 30);
+        assert_eq!(m.btb_entries, 4096);
+        assert_eq!(m.ftq_entries, 32);
+        assert_eq!(m.window_uops, 2048);
+        assert_eq!(m.memory_cycles(), 380);
+    }
+
+    #[test]
+    fn cache_geometries() {
+        let m = MachineParams::isca04();
+        assert_eq!(m.icache.sets(), 128);
+        assert_eq!(m.l1d.sets(), 32);
+        assert_eq!(m.l2.sets(), 2048);
+        assert_eq!(m.l1d.hit_cycles, 3);
+        assert_eq!(m.l2.hit_cycles, 16);
+    }
+
+    #[test]
+    fn front_end_rates_match_section5() {
+        let m = MachineParams::isca04();
+        assert_eq!(m.prophet_per_cycle, 2);
+        assert_eq!(m.critic_per_cycle, 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Branch behaviours: deterministic direction generators covering the
+//! predictability classes real code exhibits.
+//!
+//! Each static conditional branch owns a [`Behavior`] (shape) and a
+//! [`BranchState`] (mutable per-branch data: counter + private RNG stream).
+//! Evaluation is a pure function of `(behavior, state, global history)` that
+//! advances the state — so cloning the state and replaying produces the
+//! identical outcome sequence. This is what lets the simulator walk wrong
+//! paths and rewind them exactly (ghost execution).
+
+/// Index of a behaviour within a program's behaviour table.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BehaviorId(pub u32);
+
+impl BehaviorId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The direction-generating shape of one static branch.
+///
+/// The classes map onto the workload descriptions of the paper's Table 1
+/// suites:
+///
+/// * [`Bias`](Self::Bias) — data-independent skew; at ~500‰ this is the
+///   *chaotic*, effectively unpredictable branch dominating server
+///   workloads (tpcc).
+/// * [`Loop`](Self::Loop) — counted loop back-edge: `trip - 1` taken then
+///   one not-taken. Perfectly predictable given enough history reach.
+/// * [`Pattern`](Self::Pattern) — a fixed periodic direction pattern
+///   (media/codec kernels).
+/// * [`HistoryParity`](Self::HistoryParity) — direction is the parity of
+///   selected recent *global* outcomes: the classic correlated branch
+///   (integer control flow); linearly separable, so learnable by both
+///   two-level schemes (short masks) and perceptrons (long masks).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Behavior {
+    /// Taken with probability `taken_permille`/1000, from a per-branch RNG
+    /// stream.
+    Bias {
+        /// Probability of taken, in thousandths.
+        taken_permille: u16,
+    },
+    /// A loop back-edge with the given trip count (`trip >= 1`): taken
+    /// `trip - 1` times, then not-taken once, repeating.
+    Loop {
+        /// Loop trip count.
+        trip: u32,
+    },
+    /// A cyclic pattern: bit `i % period` of `bits` (1 = taken).
+    Pattern {
+        /// The pattern bits, LSB first.
+        bits: u64,
+        /// Pattern length (1–64).
+        period: u8,
+    },
+    /// Parity of the global outcome history under `mask` (bit 0 = most
+    /// recent committed-path outcome), optionally inverted.
+    HistoryParity {
+        /// Which history bits participate.
+        mask: u64,
+        /// Invert the parity.
+        invert: bool,
+    },
+    /// A two-state Markov (bursty) branch: with probability
+    /// `sticky_permille` the outcome repeats the branch's previous outcome,
+    /// otherwise it flips. Real data-dependent branches come in runs —
+    /// value locality makes consecutive outcomes correlate — so this, not
+    /// an i.i.d. coin, is the realistic model of a “hard” branch.
+    Sticky {
+        /// Probability (permille) that the outcome repeats the last one.
+        sticky_permille: u16,
+    },
+}
+
+impl Behavior {
+    /// A ~50/50 unpredictable branch.
+    #[must_use]
+    pub fn chaotic() -> Self {
+        Behavior::Bias { taken_permille: 500 }
+    }
+
+    /// Expected taken rate of this behaviour (for workload characterization;
+    /// `HistoryParity` is taken as 0.5).
+    #[must_use]
+    pub fn expected_taken_rate(&self) -> f64 {
+        match *self {
+            Behavior::Bias { taken_permille } => f64::from(taken_permille) / 1000.0,
+            Behavior::Loop { trip } => (f64::from(trip) - 1.0) / f64::from(trip),
+            Behavior::Pattern { bits, period } => {
+                let period = usize::from(period).clamp(1, 64);
+                (0..period).filter(|i| (bits >> i) & 1 == 1).count() as f64 / period as f64
+            }
+            Behavior::HistoryParity { .. } => 0.5,
+            // Symmetric two-state Markov: stationary distribution is 50/50.
+            Behavior::Sticky { .. } => 0.5,
+        }
+    }
+}
+
+/// Mutable per-branch state: an iteration counter and a private RNG stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BranchState {
+    /// Loop/pattern position counter.
+    pub counter: u32,
+    /// xorshift64* state for [`Behavior::Bias`].
+    pub rng: u64,
+}
+
+impl BranchState {
+    /// Fresh state seeded per branch (seed must be non-zero for the RNG).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self { counter: 0, rng: seed | 1 }
+    }
+}
+
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Evaluates a behaviour, advancing its state.
+///
+/// `ghist` is the global outcome register as seen at this point of the walk
+/// (bit 0 = most recent outcome on the current path).
+#[must_use]
+pub fn eval(behavior: Behavior, state: &mut BranchState, ghist: u64) -> bool {
+    match behavior {
+        Behavior::Bias { taken_permille } => {
+            let r = xorshift64star(&mut state.rng);
+            // Map the top bits onto 0..1000.
+            (r >> 32) % 1000 < u64::from(taken_permille)
+        }
+        Behavior::Loop { trip } => {
+            let trip = trip.max(1);
+            let taken = state.counter + 1 < trip;
+            state.counter = if taken { state.counter + 1 } else { 0 };
+            taken
+        }
+        Behavior::Pattern { bits, period } => {
+            let period = u32::from(period).clamp(1, 64);
+            let taken = (bits >> state.counter) & 1 == 1;
+            state.counter = (state.counter + 1) % period;
+            taken
+        }
+        Behavior::HistoryParity { mask, invert } => {
+            let parity = (ghist & mask).count_ones() % 2 == 1;
+            parity ^ invert
+        }
+        Behavior::Sticky { sticky_permille } => {
+            let last = state.counter & 1 == 1;
+            let r = xorshift64star(&mut state.rng);
+            let repeat = (r >> 32) % 1000 < u64::from(sticky_permille);
+            let outcome = last == repeat; // repeat keeps last; flip otherwise
+            state.counter = u32::from(outcome);
+            outcome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_behavior_emits_trip_pattern() {
+        let mut st = BranchState::seeded(1);
+        let mut outcomes = Vec::new();
+        for _ in 0..8 {
+            outcomes.push(eval(Behavior::Loop { trip: 4 }, &mut st, 0));
+        }
+        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn loop_trip_one_is_never_taken() {
+        let mut st = BranchState::seeded(1);
+        for _ in 0..5 {
+            assert!(!eval(Behavior::Loop { trip: 1 }, &mut st, 0));
+        }
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let mut st = BranchState::seeded(1);
+        let b = Behavior::Pattern { bits: 0b011, period: 3 };
+        let outcomes: Vec<bool> = (0..6).map(|_| eval(b, &mut st, 0)).collect();
+        assert_eq!(outcomes, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn bias_matches_probability_roughly() {
+        let mut st = BranchState::seeded(0xfeed);
+        let b = Behavior::Bias { taken_permille: 800 };
+        let taken = (0..10_000).filter(|_| eval(b, &mut st, 0)).count();
+        assert!((7_500..=8_500).contains(&taken), "taken {taken}/10000 for p=0.8");
+    }
+
+    #[test]
+    fn bias_is_deterministic_per_seed() {
+        let b = Behavior::chaotic();
+        let mut a = BranchState::seeded(42);
+        let mut bb = BranchState::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(eval(b, &mut a, 0), eval(b, &mut bb, 0));
+        }
+    }
+
+    #[test]
+    fn cloned_state_replays_identically() {
+        // The property ghost execution relies on.
+        let b = Behavior::Bias { taken_permille: 300 };
+        let mut st = BranchState::seeded(7);
+        for _ in 0..10 {
+            let _ = eval(b, &mut st, 0);
+        }
+        let mut ghost = st;
+        let real: Vec<bool> = (0..20).map(|_| eval(b, &mut st, 0)).collect();
+        let replay: Vec<bool> = (0..20).map(|_| eval(b, &mut ghost, 0)).collect();
+        assert_eq!(real, replay);
+    }
+
+    #[test]
+    fn history_parity_follows_ghist() {
+        let b = Behavior::HistoryParity { mask: 0b101, invert: false };
+        let mut st = BranchState::seeded(1);
+        assert!(!eval(b, &mut st, 0b000));
+        assert!(eval(b, &mut st, 0b001));
+        assert!(eval(b, &mut st, 0b100));
+        assert!(!eval(b, &mut st, 0b101));
+        let inv = Behavior::HistoryParity { mask: 0b101, invert: true };
+        assert!(eval(inv, &mut st, 0b000));
+    }
+
+    #[test]
+    fn sticky_produces_runs() {
+        let b = Behavior::Sticky { sticky_permille: 900 };
+        let mut st = BranchState::seeded(5);
+        let outcomes: Vec<bool> = (0..2000).map(|_| eval(b, &mut st, 0)).collect();
+        // Count transitions: with s=0.9 expect ~10% flips.
+        let flips = outcomes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            (100..=320).contains(&flips),
+            "expected ~200 transitions out of 2000, got {flips}"
+        );
+        // Roughly balanced marginally.
+        let taken = outcomes.iter().filter(|t| **t).count();
+        assert!((600..=1400).contains(&taken), "marginal balance, got {taken}");
+    }
+
+    #[test]
+    fn sticky_outcome_repeats_deterministically_per_seed() {
+        let b = Behavior::Sticky { sticky_permille: 800 };
+        let mut a = BranchState::seeded(9);
+        let mut c = BranchState::seeded(9);
+        for _ in 0..200 {
+            assert_eq!(eval(b, &mut a, 0), eval(b, &mut c, 0));
+        }
+    }
+
+    #[test]
+    fn expected_rates() {
+        assert!((Behavior::Loop { trip: 4 }.expected_taken_rate() - 0.75).abs() < 1e-12);
+        assert!(
+            (Behavior::Pattern { bits: 0b011, period: 3 }.expected_taken_rate() - 2.0 / 3.0)
+                .abs()
+                < 1e-12
+        );
+        assert!((Behavior::Bias { taken_permille: 900 }.expected_taken_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(Behavior::chaotic().expected_taken_rate(), 0.5);
+    }
+}

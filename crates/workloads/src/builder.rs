@@ -1,0 +1,170 @@
+//! Incremental construction of [`Program`]s with automatic address
+//! assignment and deferred successor patching.
+
+use crate::behavior::{Behavior, BehaviorId};
+use crate::cfg::{BasicBlock, BlockId, Program, ProgramError, Terminator};
+
+/// Base address of generated code (an arbitrary, realistic-looking text
+/// segment origin).
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+#[derive(Copy, Clone, Debug)]
+enum PendingTerm {
+    Unset,
+    Cond { behavior: BehaviorId, taken: Option<BlockId>, not_taken: Option<BlockId> },
+    Jump { to: Option<BlockId> },
+}
+
+/// A builder for [`Program`]s.
+///
+/// Blocks are allocated first and wired afterwards, which is the natural
+/// order for generators that create loops and joins. Each block's
+/// terminator receives a unique address derived from its position in the
+/// (synthetic) text segment.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{Behavior, ProgramBuilder};
+///
+/// // A 3-iteration do-while loop around a 6-uop body.
+/// let mut b = ProgramBuilder::new("tiny-loop");
+/// let behavior = b.add_behavior(Behavior::Loop { trip: 3 });
+/// let body = b.add_block(6);
+/// b.set_cond(body, behavior, body, body); // back-edge both ways: spins forever
+/// let program = b.build(body)?;
+/// assert_eq!(program.static_conditionals(), 1);
+/// # Ok::<(), workloads::ProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    uops: Vec<u32>,
+    terms: Vec<PendingTerm>,
+    behaviors: Vec<Behavior>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), uops: Vec::new(), terms: Vec::new(), behaviors: Vec::new() }
+    }
+
+    /// Registers a behaviour, returning its id.
+    pub fn add_behavior(&mut self, b: Behavior) -> BehaviorId {
+        self.behaviors.push(b);
+        BehaviorId((self.behaviors.len() - 1) as u32)
+    }
+
+    /// Allocates a block of `uops` micro-ops (terminator unset).
+    pub fn add_block(&mut self, uops: u32) -> BlockId {
+        self.uops.push(uops.max(1));
+        self.terms.push(PendingTerm::Unset);
+        BlockId((self.uops.len() - 1) as u32)
+    }
+
+    /// Terminates `block` with a conditional branch.
+    pub fn set_cond(&mut self, block: BlockId, behavior: BehaviorId, taken: BlockId, not_taken: BlockId) {
+        self.terms[block.index()] =
+            PendingTerm::Cond { behavior, taken: Some(taken), not_taken: Some(not_taken) };
+    }
+
+    /// Terminates `block` with an unconditional jump.
+    pub fn set_jump(&mut self, block: BlockId, to: BlockId) {
+        self.terms[block.index()] = PendingTerm::Jump { to: Some(to) };
+    }
+
+    /// Number of blocks allocated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether no blocks have been allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Finalizes the program with `entry` as the start block.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError`] if any block is unterminated or a reference dangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block's terminator was never set (a generator bug, not a
+    /// data error).
+    pub fn build(self, entry: BlockId) -> Result<Program, ProgramError> {
+        let mut blocks = Vec::with_capacity(self.uops.len());
+        let mut addr = CODE_BASE;
+        for (i, (&uops, term)) in self.uops.iter().zip(&self.terms).enumerate() {
+            // The terminator is the block's last uop slot.
+            let pc = addr + u64::from(uops - 1) * 4;
+            let term = match *term {
+                PendingTerm::Unset => panic!("block bb{i} was never terminated"),
+                PendingTerm::Cond { behavior, taken, not_taken } => Terminator::Cond {
+                    pc,
+                    behavior,
+                    taken: taken.expect("taken successor set"),
+                    not_taken: not_taken.expect("not-taken successor set"),
+                },
+                PendingTerm::Jump { to } => Terminator::Jump { pc, to: to.expect("jump target set") },
+            };
+            blocks.push(BasicBlock { uops, term });
+            addr += u64::from(uops) * 4;
+        }
+        Program::new(self.name, blocks, self.behaviors, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_unique_and_monotonic() {
+        let mut b = ProgramBuilder::new("addr");
+        let bh = b.add_behavior(Behavior::chaotic());
+        let b0 = b.add_block(5);
+        let b1 = b.add_block(3);
+        let b2 = b.add_block(1);
+        b.set_cond(b0, bh, b1, b2);
+        b.set_jump(b1, b0);
+        b.set_jump(b2, b0);
+        let p = b.build(b0).unwrap();
+        let pcs: Vec<u64> = p.blocks().iter().map(|bb| bb.term.pc()).collect();
+        assert_eq!(pcs[0], CODE_BASE + 4 * 4);
+        assert_eq!(pcs[1], CODE_BASE + 5 * 4 + 2 * 4);
+        assert_eq!(pcs[2], CODE_BASE + 8 * 4);
+        assert!(pcs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_uop_blocks_are_clamped() {
+        let mut b = ProgramBuilder::new("clamp");
+        let blk = b.add_block(0);
+        b.set_jump(blk, blk);
+        let p = b.build(blk).unwrap();
+        assert_eq!(p.block(blk).uops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut b = ProgramBuilder::new("oops");
+        let blk = b.add_block(1);
+        let _ = blk;
+        let _ = b.build(BlockId(0));
+    }
+
+    #[test]
+    fn len_tracks_blocks() {
+        let mut b = ProgramBuilder::new("len");
+        assert!(b.is_empty());
+        b.add_block(1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! The synthetic program model: a control-flow graph of basic blocks.
+//!
+//! A program is the unit our execution-driven simulator runs, standing in
+//! for the paper's LIT snapshots. Each basic block carries a micro-op count
+//! and ends in a terminator — a conditional branch (whose direction is
+//! produced by a [`Behavior`](crate::Behavior)) or an unconditional jump.
+//! Programs are deliberately non-terminating (the simulator stops after a
+//! budget of committed uops, as trace-driven studies stop after N
+//! instructions).
+
+use crate::behavior::{Behavior, BehaviorId};
+
+/// Index of a basic block within a [`Program`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How a basic block ends.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// A conditional branch: direction decided by `behavior`, control
+    /// proceeds to `taken` or `not_taken`.
+    Cond {
+        /// The branch instruction's address.
+        pc: u64,
+        /// The behaviour that resolves this branch's direction.
+        behavior: BehaviorId,
+        /// Successor when taken.
+        taken: BlockId,
+        /// Successor when not taken (fall-through).
+        not_taken: BlockId,
+    },
+    /// An unconditional jump to `to`.
+    Jump {
+        /// The jump instruction's address.
+        pc: u64,
+        /// The jump target block.
+        to: BlockId,
+    },
+}
+
+impl Terminator {
+    /// The terminator instruction's address.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Terminator::Cond { pc, .. } | Terminator::Jump { pc, .. } => pc,
+        }
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, Terminator::Cond { .. })
+    }
+}
+
+/// One basic block: `uops` micro-ops ending in `term`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    /// Micro-ops in the block, including the terminator.
+    pub uops: u32,
+    /// The block's terminator.
+    pub term: Terminator,
+}
+
+/// A validation failure for a hand- or generator-built program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// The program has no blocks.
+    Empty,
+    /// A terminator references a block that does not exist.
+    DanglingBlock {
+        /// The referencing block.
+        from: BlockId,
+        /// The missing target.
+        to: BlockId,
+    },
+    /// A conditional branch references a behaviour that does not exist.
+    DanglingBehavior {
+        /// The referencing block.
+        from: BlockId,
+        /// The missing behaviour.
+        behavior: BehaviorId,
+    },
+    /// The entry block is out of range.
+    BadEntry(BlockId),
+    /// A block has zero uops (the terminator itself counts as one).
+    EmptyBlock(BlockId),
+    /// Two blocks' terminators share an address.
+    DuplicatePc(u64),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => f.write_str("program has no blocks"),
+            Self::DanglingBlock { from, to } => {
+                write!(f, "{from} targets nonexistent block {to}")
+            }
+            Self::DanglingBehavior { from, behavior } => {
+                write!(f, "{from} uses nonexistent behavior #{}", behavior.0)
+            }
+            Self::BadEntry(b) => write!(f, "entry block {b} out of range"),
+            Self::EmptyBlock(b) => write!(f, "block {b} has zero uops"),
+            Self::DuplicatePc(pc) => write!(f, "duplicate terminator pc 0x{pc:x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A synthetic program: blocks, behaviours, an entry point and a name.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    behaviors: Vec<Behavior>,
+    entry: BlockId,
+}
+
+impl Program {
+    /// Assembles and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProgramError`] describing the first structural defect found.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        behaviors: Vec<Behavior>,
+        entry: BlockId,
+    ) -> Result<Self, ProgramError> {
+        let p = Self { name: name.into(), blocks, behaviors, entry };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        if self.blocks.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.entry.index() >= self.blocks.len() {
+            return Err(ProgramError::BadEntry(self.entry));
+        }
+        let mut pcs = std::collections::HashSet::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let from = BlockId(i as u32);
+            if b.uops == 0 {
+                return Err(ProgramError::EmptyBlock(from));
+            }
+            if !pcs.insert(b.term.pc()) {
+                return Err(ProgramError::DuplicatePc(b.term.pc()));
+            }
+            let check = |to: BlockId| {
+                if to.index() >= self.blocks.len() {
+                    Err(ProgramError::DanglingBlock { from, to })
+                } else {
+                    Ok(())
+                }
+            };
+            match b.term {
+                Terminator::Cond { behavior, taken, not_taken, .. } => {
+                    check(taken)?;
+                    check(not_taken)?;
+                    if behavior.index() >= self.behaviors.len() {
+                        return Err(ProgramError::DanglingBehavior { from, behavior });
+                    }
+                }
+                Terminator::Jump { to, .. } => check(to)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The program's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All basic blocks, indexable by [`BlockId`].
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block `id` refers to.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All behaviours, indexable by [`BehaviorId`].
+    #[must_use]
+    pub fn behaviors(&self) -> &[Behavior] {
+        &self.behaviors
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of static conditional branches.
+    #[must_use]
+    pub fn static_conditionals(&self) -> usize {
+        self.blocks.iter().filter(|b| b.term.is_conditional()).count()
+    }
+
+    /// Average uops per block — a rough code-density characterization.
+    #[must_use]
+    pub fn mean_block_uops(&self) -> f64 {
+        let total: u64 = self.blocks.iter().map(|b| u64::from(b.uops)).sum();
+        total as f64 / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+
+    fn cond(pc: u64, behavior: usize, taken: u32, not_taken: u32) -> Terminator {
+        Terminator::Cond {
+            pc,
+            behavior: BehaviorId(behavior as u32),
+            taken: BlockId(taken),
+            not_taken: BlockId(not_taken),
+        }
+    }
+
+    fn two_block_loop() -> Program {
+        Program::new(
+            "loop",
+            vec![
+                BasicBlock { uops: 5, term: cond(0x100, 0, 0, 1) },
+                BasicBlock { uops: 3, term: Terminator::Jump { pc: 0x200, to: BlockId(0) } },
+            ],
+            vec![Behavior::Loop { trip: 4 }],
+            BlockId(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_program_accepted() {
+        let p = two_block_loop();
+        assert_eq!(p.static_conditionals(), 1);
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(p.name(), "loop");
+        assert!((p.mean_block_uops() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dangling_block_rejected() {
+        let err = Program::new(
+            "bad",
+            vec![BasicBlock { uops: 1, term: cond(0x100, 0, 7, 0) }],
+            vec![Behavior::Bias { taken_permille: 500 }],
+            BlockId(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::DanglingBlock { to: BlockId(7), .. }));
+    }
+
+    #[test]
+    fn dangling_behavior_rejected() {
+        let err = Program::new(
+            "bad",
+            vec![BasicBlock { uops: 1, term: cond(0x100, 3, 0, 0) }],
+            vec![Behavior::Bias { taken_permille: 500 }],
+            BlockId(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::DanglingBehavior { .. }));
+    }
+
+    #[test]
+    fn empty_and_bad_entry_rejected() {
+        assert!(matches!(
+            Program::new("e", vec![], vec![], BlockId(0)),
+            Err(ProgramError::Empty)
+        ));
+        let err = Program::new(
+            "bad",
+            vec![BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } }],
+            vec![],
+            BlockId(9),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::BadEntry(_)));
+    }
+
+    #[test]
+    fn zero_uop_block_rejected() {
+        let err = Program::new(
+            "bad",
+            vec![BasicBlock { uops: 0, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } }],
+            vec![],
+            BlockId(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::EmptyBlock(_)));
+    }
+
+    #[test]
+    fn duplicate_pcs_rejected() {
+        let err = Program::new(
+            "bad",
+            vec![
+                BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(1) } },
+                BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } },
+            ],
+            vec![],
+            BlockId(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::DuplicatePc(0x1)));
+    }
+}

@@ -1,0 +1,426 @@
+//! Ghost execution: walking a program's CFG along *any* path — including
+//! wrong paths — with exact rewind.
+//!
+//! The paper is explicit that prophet/critic hybrids “must be evaluated on
+//! simulators that model going down wrong paths” (§6): the critic's future
+//! bits are produced by actually fetching past a mispredict. The [`Walker`]
+//! here provides that capability for synthetic programs:
+//!
+//! * [`Walker::next_branch`] advances fetch to the next conditional branch,
+//!   evaluating its direction from the program's behaviours (mutating
+//!   per-branch state and the walk-local history);
+//! * [`Walker::follow`] continues down either arm — the *predicted* one,
+//!   which may well be the wrong path;
+//! * [`Walker::checkpoint`]/[`Walker::restore`] implement exact recovery:
+//!   every behaviour-state mutation is journaled in an undo log, so
+//!   rewinding to a checkpoint replays the machine to precisely the
+//!   architectural state at that branch (outcome already evaluated, ready
+//!   to [`follow`](Walker::follow) the corrected direction).
+//!
+//! Because every committed branch lies on the surviving path and every
+//! divergence is rewound through the journal, the outcome recorded at fetch
+//! time *is* the architectural outcome for every branch that commits; the
+//! ghost outcomes evaluated on squashed wrong paths are never counted —
+//! they only shape the future bits, exactly as in the real machine.
+
+use std::collections::VecDeque;
+
+use crate::behavior::{eval, BranchState};
+use crate::cfg::{BlockId, Program, Terminator};
+
+/// A branch the walker has arrived at, direction already evaluated.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BranchEvent {
+    /// The branch instruction's address.
+    pub pc: u64,
+    /// The evaluated direction on the *current walk* (architectural if the
+    /// walk is on the correct path; a ghost outcome otherwise).
+    pub outcome: bool,
+    /// Micro-ops traversed since the previous branch event (including the
+    /// blocks of any unconditional jumps skipped over, and this branch's
+    /// block).
+    pub uops: u64,
+    /// The block containing this branch.
+    pub block: BlockId,
+    /// Target address of the taken arm (for BTB modelling).
+    pub taken_target: u64,
+    /// Address of the fall-through arm.
+    pub not_taken_target: u64,
+}
+
+/// A rewind point: the walk positioned at a branch, outcome evaluated,
+/// successor not yet chosen.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Checkpoint {
+    at: BlockId,
+    ghist: u64,
+    journal_pos: u64,
+    uops_retired: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct JournalEntry {
+    branch_slot: u32,
+    prior: BranchState,
+    prior_ghist: u64,
+}
+
+/// The ghost-execution walker over one [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{suite_programs, Suite, Walker};
+///
+/// let program = &suite_programs(Suite::Int00, 1)[0];
+/// let mut w = Walker::new(program);
+/// let ev = w.next_branch();
+/// let cp = w.checkpoint();
+/// // Speculatively walk the wrong arm...
+/// w.follow(!ev.outcome);
+/// let _ghost = w.next_branch();
+/// // ...then rewind and take the correct arm.
+/// w.restore(&cp);
+/// w.follow(ev.outcome);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Walker<'p> {
+    program: &'p Program,
+    /// Per-static-conditional mutable state, indexed by behaviour slot.
+    states: Vec<BranchState>,
+    /// Maps block index -> slot in `states` (conditional blocks only).
+    slot_of_block: Vec<u32>,
+    at: BlockId,
+    ghist: u64,
+    journal: VecDeque<JournalEntry>,
+    journal_base: u64,
+    uops_retired: u64,
+}
+
+impl<'p> Walker<'p> {
+    /// Starts a walk at the program's entry.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        Self::with_seed(program, 0x5eed_0000_dead_beef)
+    }
+
+    /// Starts a walk with an explicit seed for the per-branch RNG streams.
+    #[must_use]
+    pub fn with_seed(program: &'p Program, seed: u64) -> Self {
+        let mut states = Vec::new();
+        let mut slot_of_block = vec![u32::MAX; program.blocks().len()];
+        for (i, b) in program.blocks().iter().enumerate() {
+            if b.term.is_conditional() {
+                slot_of_block[i] = states.len() as u32;
+                // Decorrelate per-branch streams from one another.
+                states.push(BranchState::seeded(
+                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ));
+            }
+        }
+        Self {
+            program,
+            states,
+            slot_of_block,
+            at: program.entry(),
+            ghist: 0,
+            journal: VecDeque::new(),
+            journal_base: 0,
+            uops_retired: 0,
+        }
+    }
+
+    /// The program being walked.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Total uops traversed on the current walk (speculative included).
+    #[must_use]
+    pub fn uops_walked(&self) -> u64 {
+        self.uops_retired
+    }
+
+    /// Advances to the next conditional branch, following unconditional
+    /// jumps, and evaluates its direction.
+    ///
+    /// The walk is left *at* the branch: call [`follow`](Self::follow) to
+    /// choose a successor (typically the predicted direction).
+    pub fn next_branch(&mut self) -> BranchEvent {
+        let mut uops = 0u64;
+        loop {
+            let block = self.program.block(self.at);
+            uops += u64::from(block.uops);
+            match block.term {
+                Terminator::Jump { to, .. } => {
+                    self.at = to;
+                }
+                Terminator::Cond { pc, behavior, taken, not_taken } => {
+                    let slot = self.slot_of_block[self.at.index()];
+                    debug_assert_ne!(slot, u32::MAX);
+                    let state = &mut self.states[slot as usize];
+                    // Journal the mutation so a restore can undo it.
+                    self.journal.push_back(JournalEntry {
+                        branch_slot: slot,
+                        prior: *state,
+                        prior_ghist: self.ghist,
+                    });
+                    let outcome =
+                        eval(self.program.behaviors()[behavior.index()], state, self.ghist);
+                    self.ghist = (self.ghist << 1) | u64::from(outcome);
+                    self.uops_retired += uops;
+                    return BranchEvent {
+                        pc,
+                        outcome,
+                        uops,
+                        block: self.at,
+                        // Successor blocks are identified by their
+                        // terminator address (the model's stable per-block
+                        // address); used for BTB and trace targets.
+                        taken_target: self.program.block(taken).term.pc(),
+                        not_taken_target: self.program.block(not_taken).term.pc(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Proceeds down one arm of the branch the walk is currently at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block's terminator is not conditional (i.e. if
+    /// called without a preceding [`next_branch`](Self::next_branch)).
+    pub fn follow(&mut self, taken: bool) {
+        match self.program.block(self.at).term {
+            Terminator::Cond { taken: t, not_taken: nt, .. } => {
+                self.at = if taken { t } else { nt };
+            }
+            Terminator::Jump { .. } => panic!("follow() requires the walk to sit at a branch"),
+        }
+    }
+
+    /// Captures a rewind point at the current branch (call between
+    /// [`next_branch`](Self::next_branch) and [`follow`](Self::follow)).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            at: self.at,
+            ghist: self.ghist,
+            journal_pos: self.journal_base + self.journal.len() as u64,
+            uops_retired: self.uops_retired,
+        }
+    }
+
+    /// Rewinds the walk to `cp`, undoing every behaviour evaluation made
+    /// since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's journal region was already released by
+    /// [`release`](Self::release) (i.e. restoring a committed branch).
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        assert!(
+            cp.journal_pos >= self.journal_base,
+            "checkpoint was released: journal position {} < base {}",
+            cp.journal_pos,
+            self.journal_base
+        );
+        while self.journal_base + self.journal.len() as u64 > cp.journal_pos {
+            let e = self.journal.pop_back().expect("journal length checked");
+            self.states[e.branch_slot as usize] = e.prior;
+            self.ghist = e.prior_ghist;
+        }
+        // The checkpoint was taken post-evaluation: the branch's own journal
+        // entry (at journal_pos - 1) stays applied, and ghist includes its
+        // outcome.
+        self.at = cp.at;
+        self.ghist = cp.ghist;
+        self.uops_retired = cp.uops_retired;
+    }
+
+    /// Releases journal space older than `cp` — call with the checkpoint of
+    /// each branch as it commits (it can never be restored again).
+    pub fn release(&mut self, cp: &Checkpoint) {
+        while self.journal_base < cp.journal_pos {
+            if self.journal.pop_front().is_none() {
+                break;
+            }
+            self.journal_base += 1;
+        }
+    }
+
+    /// Current journal length (for memory-pressure diagnostics).
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, BehaviorId};
+    use crate::cfg::{BasicBlock, BlockId, Program};
+
+    /// A diamond: b0 cond -> (b1 | b2) -> both jump to b0.
+    fn diamond(behavior: Behavior) -> Program {
+        Program::new(
+            "diamond",
+            vec![
+                BasicBlock {
+                    uops: 4,
+                    term: Terminator::Cond {
+                        pc: 0x100,
+                        behavior: BehaviorId(0),
+                        taken: BlockId(1),
+                        not_taken: BlockId(2),
+                    },
+                },
+                BasicBlock { uops: 7, term: Terminator::Jump { pc: 0x200, to: BlockId(0) } },
+                BasicBlock { uops: 2, term: Terminator::Jump { pc: 0x300, to: BlockId(0) } },
+            ],
+            vec![behavior],
+            BlockId(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn walk_visits_branch_every_iteration() {
+        let p = diamond(Behavior::Loop { trip: 3 });
+        let mut w = Walker::new(&p);
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            let ev = w.next_branch();
+            assert_eq!(ev.pc, 0x100);
+            outcomes.push(ev.outcome);
+            w.follow(ev.outcome);
+        }
+        assert_eq!(outcomes, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn uops_accumulate_across_jumps() {
+        let p = diamond(Behavior::Loop { trip: 2 });
+        let mut w = Walker::new(&p);
+        let first = w.next_branch();
+        assert_eq!(first.uops, 4); // entry block only
+        w.follow(true); // through b1 (7 uops) back to b0 (4 uops)
+        let second = w.next_branch();
+        assert_eq!(second.uops, 11);
+        w.follow(false); // through b2 (2 uops)
+        let third = w.next_branch();
+        assert_eq!(third.uops, 6);
+        assert_eq!(w.uops_walked(), 21);
+    }
+
+    #[test]
+    fn wrong_path_rewind_replays_exactly() {
+        // Walk the correct path for a while; then at each branch, wander a
+        // few branches down the wrong arm, rewind, and check the subsequent
+        // correct-path outcomes are unchanged versus an undisturbed walk.
+        let p = diamond(Behavior::Bias { taken_permille: 700 });
+        let mut reference = Walker::new(&p);
+        let mut speculative = Walker::new(&p);
+        for _ in 0..50 {
+            let want = reference.next_branch();
+            reference.follow(want.outcome);
+
+            let got = speculative.next_branch();
+            assert_eq!(got.outcome, want.outcome, "correct-path outcome diverged");
+            let cp = speculative.checkpoint();
+            // Ghost trip down the wrong arm.
+            speculative.follow(!got.outcome);
+            for _ in 0..3 {
+                let ghost = speculative.next_branch();
+                speculative.follow(ghost.outcome);
+            }
+            speculative.restore(&cp);
+            speculative.follow(got.outcome);
+        }
+    }
+
+    #[test]
+    fn restore_resets_uop_count() {
+        let p = diamond(Behavior::chaotic());
+        let mut w = Walker::new(&p);
+        let ev = w.next_branch();
+        let cp = w.checkpoint();
+        let before = w.uops_walked();
+        w.follow(!ev.outcome);
+        let _ = w.next_branch();
+        assert!(w.uops_walked() > before);
+        w.restore(&cp);
+        assert_eq!(w.uops_walked(), before);
+    }
+
+    #[test]
+    fn release_trims_journal_and_blocks_reuse() {
+        let p = diamond(Behavior::chaotic());
+        let mut w = Walker::new(&p);
+        let mut cps = Vec::new();
+        for _ in 0..10 {
+            let ev = w.next_branch();
+            cps.push(w.checkpoint());
+            w.follow(ev.outcome);
+        }
+        assert_eq!(w.journal_len(), 10);
+        w.release(&cps[4]);
+        assert!(w.journal_len() <= 6);
+        // Restoring a still-live checkpoint works.
+        w.restore(&cps[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn restoring_released_checkpoint_panics() {
+        let p = diamond(Behavior::chaotic());
+        let mut w = Walker::new(&p);
+        let ev = w.next_branch();
+        let cp = w.checkpoint();
+        w.follow(ev.outcome);
+        let ev2 = w.next_branch();
+        let cp2 = w.checkpoint();
+        w.follow(ev2.outcome);
+        w.release(&cp2);
+        w.restore(&cp);
+    }
+
+    #[test]
+    fn history_parity_sees_path_local_history() {
+        // On the wrong path the ghist reflects the ghost outcomes; after
+        // rewind it reflects the architectural ones again.
+        let p = diamond(Behavior::HistoryParity { mask: 0b1, invert: false });
+        let mut w = Walker::new(&p);
+        // First outcome: ghist=0 -> parity 0 -> not taken.
+        let e1 = w.next_branch();
+        assert!(!e1.outcome);
+        let cp = w.checkpoint();
+        w.follow(true); // wrong arm
+        let ghost = w.next_branch();
+        // ghist now ends with e1's outcome (0) -> still not taken.
+        assert!(!ghost.outcome);
+        w.restore(&cp);
+        w.follow(false);
+        let e2 = w.next_branch();
+        assert!(!e2.outcome);
+    }
+
+    #[test]
+    fn seeds_change_bias_streams() {
+        let p = diamond(Behavior::chaotic());
+        let mut a = Walker::with_seed(&p, 1);
+        let mut b = Walker::with_seed(&p, 2);
+        let mut diff = false;
+        for _ in 0..32 {
+            let ea = a.next_branch();
+            let eb = b.next_branch();
+            diff |= ea.outcome != eb.outcome;
+            a.follow(ea.outcome);
+            b.follow(eb.outcome);
+        }
+        assert!(diff, "different seeds should produce different streams");
+    }
+}

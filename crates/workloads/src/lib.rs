@@ -1,0 +1,56 @@
+//! Synthetic benchmark programs for the prophet/critic reproduction.
+//!
+//! The paper evaluates on 341 proprietary Intel LITs spanning 108 benchmarks
+//! in 7 suites (Table 1). This crate is the open substitute: seeded,
+//! validated synthetic programs whose *branch streams* exhibit the
+//! predictability classes real code shows — static bias, counted loops,
+//! periodic patterns, global-history correlation (including linearly
+//! inseparable XOR pairs), and chaotic data-dependent noise — arranged in
+//! control-flow graphs that the simulator actually walks, wrong paths and
+//! all.
+//!
+//! * [`Program`]/[`ProgramBuilder`] — the CFG model and its builder.
+//! * [`Behavior`] — per-branch direction generators.
+//! * [`Walker`] — ghost execution with checkpoints and exact rewind; this
+//!   is what lets the simulator model wrong-path fetch, which §6 of the
+//!   paper requires for any honest prophet/critic evaluation.
+//! * [`Suite`]/[`Benchmark`] — the Table 1 suites with per-benchmark
+//!   profiles, including the individually-discussed benchmarks
+//!   (`gcc`, `unzip`, `premiere`, `msvc7`, `flash`, `facerec`, `tpcc`).
+//! * [`Snapshot`] — the `.pcl` LIT-analog file format.
+//! * [`correct_path_trace`] — dynamic trace extraction for the `.bt`
+//!   tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{benchmark, Walker};
+//!
+//! let gcc = benchmark("gcc").expect("gcc is in INT00");
+//! let program = gcc.program();
+//! let mut walker = Walker::with_seed(&program, gcc.seed);
+//! let ev = walker.next_branch();
+//! walker.follow(ev.outcome);
+//! assert!(program.static_conditionals() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod builder;
+mod cfg;
+mod exec;
+mod snapshot;
+mod suites;
+mod synth;
+mod tracegen;
+
+pub use behavior::{eval, Behavior, BehaviorId, BranchState};
+pub use builder::{ProgramBuilder, CODE_BASE};
+pub use cfg::{BasicBlock, BlockId, Program, ProgramError, Terminator};
+pub use exec::{BranchEvent, Checkpoint, Walker};
+pub use snapshot::{Snapshot, SnapshotEvent, PCL_MAGIC, PCL_VERSION};
+pub use suites::{all_benchmarks, benchmark, suite_programs, Benchmark, Suite};
+pub use synth::{generate_program, Profile, TemplateMix};
+pub use tracegen::correct_path_trace;

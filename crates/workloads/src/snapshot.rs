@@ -1,0 +1,329 @@
+//! The `.pcl` program-snapshot format — our analog of the paper's LIT files.
+//!
+//! A LIT is “a snapshot of the processor state … that can be used to
+//! initialize an execution-based performance simulator”, plus a list of
+//! system interrupts (§6). Our snapshot serializes everything needed to
+//! re-run a synthetic program bit-identically: the CFG, the behaviour
+//! table, the execution seed, and an (optional) interrupt-analog list of
+//! scheduled history perturbations.
+//!
+//! Layout (all integers varint unless noted; hand-parsed like every format
+//! in this workspace):
+//!
+//! ```text
+//! magic     "PCL1"              4 bytes
+//! version   u16 LE
+//! name      varint len + UTF-8
+//! seed      u64 LE
+//! entry     varint block index
+//! behaviors varint count, then per behaviour:
+//!   tag u8 (0=Bias,1=Loop,2=Pattern,3=HistoryParity)
+//!   Bias: permille varint  Loop: trip varint
+//!   Pattern: bits u64 LE + period u8
+//!   HistoryParity: mask u64 LE + invert u8
+//! blocks    varint count, then per block:
+//!   uops varint
+//!   term tag u8 (0=Cond,1=Jump)
+//!   Cond: pc varint, behavior varint, taken varint, not_taken varint
+//!   Jump: pc varint, to varint
+//! events    varint count, then per event (interrupt analog):
+//!   at_uops varint, kind u8 (0=HistoryClobber)
+//! ```
+
+use std::io::{Read, Write};
+
+use bptrace::wire::{read_header, write_header, WireReader, WireWriter};
+use bptrace::{Result, TraceError};
+
+use crate::behavior::{Behavior, BehaviorId};
+use crate::cfg::{BasicBlock, BlockId, Program, Terminator};
+
+/// Magic bytes of the `.pcl` snapshot format.
+pub const PCL_MAGIC: [u8; 4] = *b"PCL1";
+
+/// Newest `.pcl` version this build reads and writes.
+pub const PCL_VERSION: u16 = 1;
+
+/// The interrupt-analog event kinds a snapshot can schedule.
+///
+/// The paper's LITs carry DMA/interrupt lists so system effects replay
+/// deterministically; our equivalent perturbs predictor-visible state at
+/// fixed uop counts, exercising the same “asynchronous event at a known
+/// point” code path in the simulator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotEvent {
+    /// At `at_uops` committed uops, the OS/interrupt analog clobbers the
+    /// global history (context-switch effect on predictor state).
+    HistoryClobber {
+        /// Commit-time uop count at which the event fires.
+        at_uops: u64,
+    },
+}
+
+impl SnapshotEvent {
+    /// The uop count at which the event fires.
+    #[must_use]
+    pub fn at_uops(&self) -> u64 {
+        match *self {
+            SnapshotEvent::HistoryClobber { at_uops } => at_uops,
+        }
+    }
+}
+
+/// A program snapshot: everything needed to reproduce a simulation run.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The program.
+    pub program: Program,
+    /// The execution seed for the per-branch RNG streams.
+    pub seed: u64,
+    /// Scheduled interrupt-analog events, sorted by uop count.
+    pub events: Vec<SnapshotEvent>,
+}
+
+impl Snapshot {
+    /// Wraps a program with a seed and no events.
+    #[must_use]
+    pub fn new(program: Program, seed: u64) -> Self {
+        Self { program, seed, events: Vec::new() }
+    }
+
+    /// Serializes the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, out: W) -> Result<()> {
+        let mut w = WireWriter::new(out);
+        write_header(&mut w, PCL_MAGIC, PCL_VERSION)?;
+        w.write_str(self.program.name())?;
+        w.write_u64(self.seed)?;
+        w.write_varint(self.program.entry().0 as u64)?;
+
+        w.write_varint(self.program.behaviors().len() as u64)?;
+        for b in self.program.behaviors() {
+            match *b {
+                Behavior::Bias { taken_permille } => {
+                    w.write_u8(0)?;
+                    w.write_varint(u64::from(taken_permille))?;
+                }
+                Behavior::Loop { trip } => {
+                    w.write_u8(1)?;
+                    w.write_varint(u64::from(trip))?;
+                }
+                Behavior::Pattern { bits, period } => {
+                    w.write_u8(2)?;
+                    w.write_u64(bits)?;
+                    w.write_u8(period)?;
+                }
+                Behavior::HistoryParity { mask, invert } => {
+                    w.write_u8(3)?;
+                    w.write_u64(mask)?;
+                    w.write_u8(u8::from(invert))?;
+                }
+                Behavior::Sticky { sticky_permille } => {
+                    w.write_u8(4)?;
+                    w.write_varint(u64::from(sticky_permille))?;
+                }
+            }
+        }
+
+        w.write_varint(self.program.blocks().len() as u64)?;
+        for b in self.program.blocks() {
+            w.write_varint(u64::from(b.uops))?;
+            match b.term {
+                Terminator::Cond { pc, behavior, taken, not_taken } => {
+                    w.write_u8(0)?;
+                    w.write_varint(pc)?;
+                    w.write_varint(u64::from(behavior.0))?;
+                    w.write_varint(u64::from(taken.0))?;
+                    w.write_varint(u64::from(not_taken.0))?;
+                }
+                Terminator::Jump { pc, to } => {
+                    w.write_u8(1)?;
+                    w.write_varint(pc)?;
+                    w.write_varint(u64::from(to.0))?;
+                }
+            }
+        }
+
+        w.write_varint(self.events.len() as u64)?;
+        for e in &self.events {
+            match *e {
+                SnapshotEvent::HistoryClobber { at_uops } => {
+                    w.write_varint(at_uops)?;
+                    w.write_u8(0)?;
+                }
+            }
+        }
+        w.flush()
+    }
+
+    /// Parses a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] variants on foreign, truncated or corrupt input, and
+    /// `Corrupt` if the decoded program fails structural validation.
+    pub fn read_from<R: Read>(input: R) -> Result<Self> {
+        let mut r = WireReader::new(input);
+        read_header(&mut r, PCL_MAGIC, PCL_VERSION)?;
+        let name = r.read_str("program name")?;
+        let seed = r.read_u64("seed")?;
+        let entry = r.read_varint("entry block")? as u32;
+
+        let n_behaviors = r.read_varint("behavior count")?;
+        if n_behaviors > 1 << 24 {
+            return Err(TraceError::Corrupt { offset: r.position(), what: "behavior count" });
+        }
+        let mut behaviors = Vec::with_capacity(n_behaviors as usize);
+        for _ in 0..n_behaviors {
+            let offset = r.position();
+            let tag = r.read_u8("behavior tag")?;
+            behaviors.push(match tag {
+                0 => Behavior::Bias {
+                    taken_permille: r.read_varint("bias permille")?.min(1000) as u16,
+                },
+                1 => Behavior::Loop { trip: r.read_varint("loop trip")? as u32 },
+                2 => {
+                    let bits = r.read_u64("pattern bits")?;
+                    let period = r.read_u8("pattern period")?;
+                    Behavior::Pattern { bits, period }
+                }
+                3 => {
+                    let mask = r.read_u64("parity mask")?;
+                    let invert = r.read_u8("parity invert")? != 0;
+                    Behavior::HistoryParity { mask, invert }
+                }
+                4 => Behavior::Sticky {
+                    sticky_permille: r.read_varint("sticky permille")?.min(1000) as u16,
+                },
+                _ => return Err(TraceError::Corrupt { offset, what: "behavior tag" }),
+            });
+        }
+
+        let n_blocks = r.read_varint("block count")?;
+        if n_blocks > 1 << 24 {
+            return Err(TraceError::Corrupt { offset: r.position(), what: "block count" });
+        }
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for _ in 0..n_blocks {
+            let uops = r.read_varint("block uops")? as u32;
+            let offset = r.position();
+            let tag = r.read_u8("terminator tag")?;
+            let term = match tag {
+                0 => Terminator::Cond {
+                    pc: r.read_varint("branch pc")?,
+                    behavior: BehaviorId(r.read_varint("behavior id")? as u32),
+                    taken: BlockId(r.read_varint("taken block")? as u32),
+                    not_taken: BlockId(r.read_varint("not-taken block")? as u32),
+                },
+                1 => Terminator::Jump {
+                    pc: r.read_varint("jump pc")?,
+                    to: BlockId(r.read_varint("jump target")? as u32),
+                },
+                _ => return Err(TraceError::Corrupt { offset, what: "terminator tag" }),
+            };
+            blocks.push(BasicBlock { uops, term });
+        }
+
+        let n_events = r.read_varint("event count")?;
+        if n_events > 1 << 24 {
+            return Err(TraceError::Corrupt { offset: r.position(), what: "event count" });
+        }
+        let mut events = Vec::with_capacity(n_events as usize);
+        for _ in 0..n_events {
+            let at_uops = r.read_varint("event uops")?;
+            let offset = r.position();
+            let kind = r.read_u8("event kind")?;
+            match kind {
+                0 => events.push(SnapshotEvent::HistoryClobber { at_uops }),
+                _ => return Err(TraceError::Corrupt { offset, what: "event kind" }),
+            }
+        }
+
+        let program = Program::new(name, blocks, behaviors, BlockId(entry)).map_err(|_| {
+            TraceError::Corrupt { offset: r.position(), what: "program structure" }
+        })?;
+        Ok(Self { program, seed, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::benchmark;
+
+    #[test]
+    fn snapshot_round_trips_a_generated_program() {
+        let b = benchmark("gcc").unwrap();
+        let program = b.program();
+        let snap = Snapshot { program, seed: b.seed, events: vec![] };
+
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let decoded = Snapshot::read_from(buf.as_slice()).unwrap();
+
+        assert_eq!(decoded.program.name(), snap.program.name());
+        assert_eq!(decoded.seed, snap.seed);
+        assert_eq!(decoded.program.blocks().len(), snap.program.blocks().len());
+        assert_eq!(decoded.program.behaviors(), snap.program.behaviors());
+        // Block-by-block equality.
+        for (a, b) in decoded.program.blocks().iter().zip(snap.program.blocks()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let b = benchmark("tpcc").unwrap();
+        let mut snap = Snapshot::new(b.program(), 99);
+        snap.events = vec![
+            SnapshotEvent::HistoryClobber { at_uops: 10_000 },
+            SnapshotEvent::HistoryClobber { at_uops: 50_000 },
+        ];
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let decoded = Snapshot::read_from(buf.as_slice()).unwrap();
+        assert_eq!(decoded.events, snap.events);
+        assert_eq!(decoded.events[0].at_uops(), 10_000);
+    }
+
+    #[test]
+    fn foreign_magic_rejected() {
+        assert!(matches!(
+            Snapshot::read_from(b"BPTRxxxxxxxx".as_slice()),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = benchmark("swim").unwrap();
+        let snap = Snapshot::new(b.program(), 1);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Snapshot::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corruption_never_panics_and_is_often_detected() {
+        // Fuzz-lite: flipping any single byte must never panic the parser;
+        // flips that land on structural bytes must be detected as errors.
+        let b = benchmark("swim").unwrap();
+        let snap = Snapshot::new(b.program(), 1);
+        let mut clean = Vec::new();
+        snap.write_to(&mut clean).unwrap();
+        let mut detected = 0;
+        let step = (clean.len() / 200).max(1);
+        for pos in (0..clean.len()).step_by(step) {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0xee;
+            if Snapshot::read_from(buf.as_slice()).is_err() {
+                detected += 1;
+            }
+        }
+        assert!(detected > 0, "structural corruption must be detectable");
+    }
+}

@@ -1,0 +1,481 @@
+//! The benchmark suites of Table 1 and the named benchmarks the paper
+//! discusses individually.
+//!
+//! The paper simulates 108 benchmarks in 7 suites. Our substitutes carry the
+//! same names and counts; each suite's synthesis profile is tuned to its
+//! qualitative character (the features that matter to a branch predictor):
+//!
+//! | Suite | Character reproduced |
+//! |---|---|
+//! | INT00 | dense control flow, heavy history correlation, moderate bias |
+//! | FP00  | long counted loops, large blocks, few hard branches |
+//! | WEB   | large static footprint, mixed behaviours |
+//! | MM    | kernel loops + periodic patterns (codec inner loops) |
+//! | PROD  | very large footprint, correlation + chaotic mix |
+//! | SERV  | chaotic data-dependent branches, huge footprint (tpcc) |
+//! | WS    | loops + diamonds, CAD/simulator-ish mix |
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cfg::Program;
+use crate::synth::{generate_program, Profile, TemplateMix};
+
+/// One of the paper's seven benchmark suites (Table 1).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Suite {
+    /// SPECint2K.
+    Int00,
+    /// SPECfp2K.
+    Fp00,
+    /// Internet (SPECjbb, WebMark).
+    Web,
+    /// Multimedia (MPEG, speech recognition, Quake).
+    Mm,
+    /// Productivity (SYSmark2K, Winstone).
+    Prod,
+    /// Server (TPC-C, TimesTen).
+    Serv,
+    /// Workstation (CAD, Verilog).
+    Ws,
+}
+
+impl Suite {
+    /// All suites in the paper's display order.
+    pub const ALL: [Suite; 7] = [
+        Suite::Int00,
+        Suite::Fp00,
+        Suite::Web,
+        Suite::Mm,
+        Suite::Prod,
+        Suite::Serv,
+        Suite::Ws,
+    ];
+
+    /// The paper's abbreviation.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Int00 => "INT00",
+            Suite::Fp00 => "FP00",
+            Suite::Web => "WEB",
+            Suite::Mm => "MM",
+            Suite::Prod => "PROD",
+            Suite::Serv => "SERV",
+            Suite::Ws => "WS",
+        }
+    }
+
+    /// Number of benchmarks in the suite (Table 1).
+    #[must_use]
+    pub fn benchmark_count(self) -> usize {
+        match self {
+            Suite::Int00 => 12,
+            Suite::Fp00 => 14,
+            Suite::Web => 28,
+            Suite::Mm => 15,
+            Suite::Prod => 27,
+            Suite::Serv => 2,
+            Suite::Ws => 12,
+        }
+    }
+
+    /// The benchmark names of the suite. Real names are used where Table 1
+    /// names them (the SPEC suites, TPC-C) and for the benchmarks the paper
+    /// discusses individually; the rest are numbered.
+    #[must_use]
+    pub fn benchmark_names(self) -> Vec<String> {
+        let named: &[&str] = match self {
+            Suite::Int00 => &[
+                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap",
+                "vortex", "bzip2", "twolf",
+            ],
+            Suite::Fp00 => &[
+                "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake",
+                "facerec", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+            ],
+            Suite::Web => &["specjbb", "webmark"],
+            Suite::Mm => &["mpeg-enc", "mpeg-dec", "speech", "quake", "premiere", "flash"],
+            Suite::Prod => &["sysmark", "winstone", "msvc7", "unzip"],
+            Suite::Serv => &["tpcc", "timesten"],
+            Suite::Ws => &["cad", "verilog"],
+        };
+        let mut names: Vec<String> = named.iter().map(|s| (*s).to_string()).collect();
+        let prefix = self.label().to_ascii_lowercase();
+        let mut i = named.len() + 1;
+        while names.len() < self.benchmark_count() {
+            names.push(format!("{prefix}{i:02}"));
+            i += 1;
+        }
+        names.truncate(self.benchmark_count());
+        names
+    }
+
+    /// The suite's base synthesis profile.
+    #[must_use]
+    pub fn profile(self) -> Profile {
+        match self {
+            Suite::Int00 => Profile {
+                routines: 480,
+                mix: TemplateMix {
+                    counted_loop: 20,
+                    biased_diamond: 25,
+                    correlated_pair: 35,
+                    pattern: 8,
+                    chaotic: 3,
+                    nested_loop: 7,
+                },
+                bias_permille: (900, 990),
+                trip: (2, 12),
+                block_uops: (2, 8),
+                pattern_period: (3, 20),
+                correlation_distance: (2, 12),
+                xor2_permille: 200,
+                repeat: (4, 20),
+                phase_routines: 60,
+                phase_repeat: (2, 5),
+            },
+            Suite::Fp00 => Profile {
+                routines: 100,
+                mix: TemplateMix {
+                    counted_loop: 45,
+                    biased_diamond: 15,
+                    correlated_pair: 6,
+                    pattern: 5,
+                    chaotic: 1,
+                    nested_loop: 28,
+                },
+                bias_permille: (920, 995),
+                trip: (8, 64),
+                block_uops: (8, 28),
+                pattern_period: (2, 8),
+                correlation_distance: (1, 4),
+                xor2_permille: 50,
+                repeat: (4, 24),
+                phase_routines: 12,
+                phase_repeat: (2, 5),
+            },
+            Suite::Web => Profile {
+                routines: 560,
+                mix: TemplateMix {
+                    counted_loop: 15,
+                    biased_diamond: 30,
+                    correlated_pair: 25,
+                    pattern: 8,
+                    chaotic: 5,
+                    nested_loop: 10,
+                },
+                bias_permille: (880, 985),
+                trip: (2, 10),
+                block_uops: (3, 10),
+                pattern_period: (3, 16),
+                correlation_distance: (2, 10),
+                xor2_permille: 150,
+                repeat: (3, 12),
+                phase_routines: 80,
+                phase_repeat: (2, 5),
+            },
+            Suite::Mm => Profile {
+                routines: 300,
+                mix: TemplateMix {
+                    counted_loop: 30,
+                    biased_diamond: 18,
+                    correlated_pair: 14,
+                    pattern: 25,
+                    chaotic: 3,
+                    nested_loop: 9,
+                },
+                bias_permille: (900, 985),
+                trip: (4, 32),
+                block_uops: (4, 14),
+                pattern_period: (4, 32),
+                correlation_distance: (2, 8),
+                xor2_permille: 150,
+                repeat: (6, 24),
+                phase_routines: 50,
+                phase_repeat: (2, 6),
+            },
+            Suite::Prod => Profile {
+                routines: 720,
+                mix: TemplateMix {
+                    counted_loop: 14,
+                    biased_diamond: 30,
+                    correlated_pair: 28,
+                    pattern: 8,
+                    chaotic: 4,
+                    nested_loop: 10,
+                },
+                bias_permille: (880, 985),
+                trip: (2, 10),
+                block_uops: (2, 9),
+                pattern_period: (3, 24),
+                correlation_distance: (2, 14),
+                xor2_permille: 150,
+                repeat: (3, 12),
+                phase_routines: 90,
+                phase_repeat: (2, 5),
+            },
+            Suite::Serv => Profile {
+                routines: 500,
+                mix: TemplateMix {
+                    counted_loop: 12,
+                    biased_diamond: 28,
+                    correlated_pair: 20,
+                    pattern: 4,
+                    chaotic: 12,
+                    nested_loop: 10,
+                },
+                bias_permille: (820, 960),
+                trip: (2, 8),
+                block_uops: (3, 10),
+                pattern_period: (3, 12),
+                correlation_distance: (2, 10),
+                xor2_permille: 200,
+                repeat: (2, 8),
+                phase_routines: 80,
+                phase_repeat: (2, 4),
+            },
+            Suite::Ws => Profile {
+                routines: 400,
+                mix: TemplateMix {
+                    counted_loop: 28,
+                    biased_diamond: 22,
+                    correlated_pair: 18,
+                    pattern: 10,
+                    chaotic: 4,
+                    nested_loop: 15,
+                },
+                bias_permille: (900, 985),
+                trip: (3, 24),
+                block_uops: (3, 12),
+                pattern_period: (3, 16),
+                correlation_distance: (2, 10),
+                xor2_permille: 200,
+                repeat: (4, 20),
+                phase_routines: 50,
+                phase_repeat: (2, 6),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named benchmark: a suite membership plus a per-benchmark profile and
+/// seed.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The benchmark's name (unique across all suites).
+    pub name: String,
+    /// The suite it belongs to.
+    pub suite: Suite,
+    /// Its synthesis profile.
+    pub profile: Profile,
+    /// Its generation seed.
+    pub seed: u64,
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Per-benchmark jitter: vary the routine count and ranges slightly so the
+/// members of a suite are distinct programs, then apply hand tunings for
+/// the benchmarks the paper singles out (Figure 5's six behaviours).
+fn benchmark_profile(name: &str, suite: Suite) -> Profile {
+    let mut p = suite.profile();
+    let mut rng = SmallRng::seed_from_u64(name_hash(name));
+    let jitter = |v: usize, rng: &mut SmallRng| -> usize {
+        let lo = (v * 7) / 10;
+        let hi = (v * 13) / 10;
+        rng.gen_range(lo..=hi.max(lo + 1))
+    };
+    p.routines = jitter(p.routines, &mut rng).max(8);
+
+    match name {
+        // gcc: branchy, highly correlated integer code with a huge static
+        // footprint; the paper's headline per-benchmark example
+        // (3.11% -> 1.23% mispredicts).
+        "gcc" => {
+            p.routines = 550;
+            p.repeat = (2, 8);
+            p.mix.correlated_pair = 45;
+            p.mix.chaotic = 2;
+            p.correlation_distance = (2, 14);
+            p.block_uops = (2, 6);
+        }
+        // unzip: long periodic structure — keeps improving all the way to
+        // 12 future bits in Figure 5.
+        "unzip" => {
+            p.repeat = (8, 32);
+            p.mix.pattern = 45;
+            p.pattern_period = (24, 56);
+            p.mix.correlated_pair = 20;
+            p.correlation_distance = (8, 16);
+            p.mix.chaotic = 4;
+        }
+        // premiere: most of its gain arrives with the first future bit.
+        "premiere" => {
+            p.mix.correlated_pair = 40;
+            p.correlation_distance = (1, 3);
+            p.mix.pattern = 8;
+            p.mix.chaotic = 6;
+        }
+        // msvc7: gains up to ~8 future bits, slight degradation beyond.
+        "msvc7" => {
+            p.mix.correlated_pair = 34;
+            p.correlation_distance = (4, 9);
+            p.mix.chaotic = 10;
+        }
+        // flash: gains to ~4 future bits, worse beyond.
+        "flash" => {
+            p.mix.correlated_pair = 30;
+            p.correlation_distance = (2, 5);
+            p.mix.chaotic = 12;
+        }
+        // facerec: loop-dominated FP code, insensitive to future bits.
+        "facerec" => {
+            p.mix.counted_loop = 55;
+            p.mix.nested_loop = 30;
+            p.mix.correlated_pair = 3;
+            p.mix.chaotic = 2;
+        }
+        // tpcc: chaotic server workload; extra future bits never help.
+        "tpcc" => {
+            p.mix.chaotic = 22;
+            p.mix.correlated_pair = 12;
+            p.repeat = (2, 5);
+            p.correlation_distance = (2, 4);
+            p.routines = 600;
+        }
+        _ => {}
+    }
+    p
+}
+
+/// All 108 benchmarks of Table 1.
+#[must_use]
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for suite in Suite::ALL {
+        for name in suite.benchmark_names() {
+            let profile = benchmark_profile(&name, suite);
+            let seed = name_hash(&name) ^ 0xb01d_face_cafe_f00d;
+            out.push(Benchmark { name, suite, profile, seed });
+        }
+    }
+    out
+}
+
+/// Looks up one benchmark by name.
+#[must_use]
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+impl Benchmark {
+    /// Generates this benchmark's program.
+    #[must_use]
+    pub fn program(&self) -> Program {
+        generate_program(&self.name, &self.profile, self.seed)
+    }
+}
+
+/// Generates the first `count` programs of a suite (convenience for tests
+/// and examples).
+#[must_use]
+pub fn suite_programs(suite: Suite, count: usize) -> Vec<Program> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == suite)
+        .take(count)
+        .map(|b| b.program())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_the_paper() {
+        let counts: Vec<usize> = Suite::ALL.iter().map(|s| s.benchmark_count()).collect();
+        assert_eq!(counts, vec![12, 14, 28, 15, 27, 2, 12]);
+        // The paper's prose says 108 benchmarks but Table 1's column sums to
+        // 110 (a two-benchmark overlap the paper does not identify). We
+        // reproduce the per-suite counts, which drive every per-suite
+        // figure.
+        assert_eq!(all_benchmarks().len(), 110);
+    }
+
+    #[test]
+    fn benchmark_names_are_unique() {
+        let all = all_benchmarks();
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn figure5_benchmarks_exist() {
+        for name in ["gcc", "unzip", "premiere", "msvc7", "flash", "facerec", "tpcc"] {
+            let b = benchmark(name).unwrap_or_else(|| panic!("{name} missing"));
+            // Each generates a valid program.
+            let p = b.program();
+            assert!(p.static_conditionals() > 10, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn suite_membership_of_named_benchmarks() {
+        assert_eq!(benchmark("gcc").unwrap().suite, Suite::Int00);
+        assert_eq!(benchmark("facerec").unwrap().suite, Suite::Fp00);
+        assert_eq!(benchmark("tpcc").unwrap().suite, Suite::Serv);
+        assert_eq!(benchmark("premiere").unwrap().suite, Suite::Mm);
+        assert_eq!(benchmark("msvc7").unwrap().suite, Suite::Prod);
+        assert_eq!(benchmark("unzip").unwrap().suite, Suite::Prod);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = benchmark("gcc").unwrap().program();
+        let b = benchmark("gcc").unwrap().program();
+        assert_eq!(a.blocks().len(), b.blocks().len());
+    }
+
+    #[test]
+    fn fp_programs_have_bigger_blocks_than_int() {
+        let int = benchmark("gzip").unwrap().program();
+        let fp = benchmark("swim").unwrap().program();
+        assert!(
+            fp.mean_block_uops() > int.mean_block_uops(),
+            "FP blocks {} vs INT blocks {}",
+            fp.mean_block_uops(),
+            int.mean_block_uops()
+        );
+    }
+
+    #[test]
+    fn serv_has_largest_footprint() {
+        let tpcc = benchmark("tpcc").unwrap().program();
+        let fp = benchmark("swim").unwrap().program();
+        assert!(tpcc.static_conditionals() > 3 * fp.static_conditionals());
+    }
+
+    #[test]
+    fn suite_programs_helper_generates() {
+        let ps = suite_programs(Suite::Serv, 2);
+        assert_eq!(ps.len(), 2);
+    }
+}

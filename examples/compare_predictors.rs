@@ -1,0 +1,38 @@
+//! Compare the component predictors head-to-head across hardware budgets
+//! (the substrate of Figure 7), prophet-alone, on one workload.
+//!
+//! ```text
+//! cargo run --release --example compare_predictors
+//! ```
+
+use prophet_critic_repro::prophet_critic::{Budget, HybridSpec, ProphetKind};
+use prophet_critic_repro::sim::{run_accuracy, SimConfig};
+use prophet_critic_repro::workloads;
+
+fn main() {
+    let bench = workloads::benchmark("specjbb").expect("WEB suite member");
+    let program = bench.program();
+    let config = SimConfig::with_budget(500_000, bench.seed);
+
+    println!(
+        "misp/Kuops on {} ({} static conditionals)\n",
+        bench.name,
+        program.static_conditionals()
+    );
+    print!("{:<12}", "predictor");
+    for b in Budget::ALL {
+        print!("  {b:>6}");
+    }
+    println!();
+
+    for prophet in ProphetKind::ALL {
+        print!("{:<12}", prophet.label());
+        for budget in Budget::ALL {
+            let mut engine = HybridSpec::alone(prophet, budget).build();
+            let r = run_accuracy(&program, &mut engine, &config);
+            print!("  {:>6.2}", r.misp_per_kuops());
+        }
+        println!();
+    }
+    println!("\n(de-aliased 2Bc-gskew should dominate gshare at every budget)");
+}

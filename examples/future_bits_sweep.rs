@@ -1,0 +1,43 @@
+//! A miniature Figure 5: sweep the number of future bits the critic waits
+//! for and watch the mispredict rate respond, per benchmark.
+//!
+//! ```text
+//! cargo run --release --example future_bits_sweep
+//! ```
+
+use prophet_critic_repro::prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use prophet_critic_repro::sim::{run_accuracy, SimConfig};
+use prophet_critic_repro::workloads;
+
+fn main() {
+    let benchmarks = ["unzip", "premiere", "facerec", "tpcc"];
+    let future_bits = [0usize, 1, 4, 8, 12];
+
+    println!("misp/Kuops (prophet: 8KB perceptron; critic: 8KB tagged gshare)\n");
+    print!("{:<10}", "benchmark");
+    for fb in future_bits {
+        print!("  {fb:>5} fb");
+    }
+    println!();
+
+    for name in benchmarks {
+        let bench = workloads::benchmark(name).expect("known benchmark");
+        let program = bench.program();
+        let config = SimConfig::with_budget(400_000, bench.seed);
+        print!("{name:<10}");
+        for fb in future_bits {
+            let spec = HybridSpec::paired(
+                ProphetKind::Perceptron,
+                Budget::K8,
+                CriticKind::TaggedGshare,
+                Budget::K8,
+                fb,
+            );
+            let mut engine = spec.build();
+            let r = run_accuracy(&program, &mut engine, &config);
+            print!("  {:>8.2}", r.misp_per_kuops());
+        }
+        println!();
+    }
+    println!("\n(0 future bits = a conventional hybrid: no future information)");
+}

@@ -1,0 +1,40 @@
+//! Run the cycle-level Table 2 machine model and report uPC — the paper's
+//! §7.4 performance metric — for a conventional predictor vs. the hybrid.
+//!
+//! ```text
+//! cargo run --release --example pipeline_upc
+//! ```
+
+use prophet_critic_repro::prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use prophet_critic_repro::sim::{run_cycles, CycleConfig};
+use prophet_critic_repro::uarch::DataProfile;
+use prophet_critic_repro::workloads;
+
+fn main() {
+    let bench = workloads::benchmark("gcc").expect("INT00 member");
+    let program = bench.program();
+
+    let mut config = CycleConfig::with_budget(500_000, bench.seed);
+    config.data = DataProfile::resident(); // integer-code data character
+
+    let specs = [
+        HybridSpec::alone(ProphetKind::BcGskew, Budget::K16),
+        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 4),
+        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 8),
+        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 12),
+    ];
+
+    println!("cycle model on {} (Table 2 machine: 6-wide, 30-cycle penalty)\n", bench.name);
+    for spec in specs {
+        let mut engine = spec.build();
+        let r = run_cycles(&program, &mut engine, &config);
+        let (l1, l2, mem) = r.data_counts;
+        println!(
+            "{:<44} uPC {:.3}  flush every {:>6.0} uops  forced critiques {:.3}%  D$ {l1}/{l2}/{mem}",
+            spec.label(),
+            r.upc(),
+            r.uops_per_flush(),
+            r.forced_critique_rate() * 100.0,
+        );
+    }
+}

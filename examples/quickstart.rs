@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 8 KB + 8 KB prophet/critic hybrid, run it
+//! on a synthetic benchmark with full wrong-path simulation, and print the
+//! paper's metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prophet_critic_repro::prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use prophet_critic_repro::sim::{run_accuracy, SimConfig};
+use prophet_critic_repro::workloads;
+
+fn main() {
+    // The benchmark the paper highlights: gcc (SPECint2K).
+    let bench = workloads::benchmark("gcc").expect("gcc is part of INT00");
+    let program = bench.program();
+    println!(
+        "benchmark: {} ({} static conditional branches)",
+        bench.name,
+        program.static_conditionals()
+    );
+
+    // A 16 KB conventional gshare baseline vs. the prophet/critic hybrid
+    // at the same total budget: 8 KB gshare prophet + 8 KB tagged-gshare
+    // critic with one future bit. (On synthetic workloads the critic's
+    // gains concentrate on conflict-prone prophets like gshare; see
+    // EXPERIMENTS.md for the full shape analysis, including the paper's
+    // 2Bc-gskew headline configuration.)
+    let baseline = HybridSpec::alone(ProphetKind::Gshare, Budget::K16);
+    let hybrid = HybridSpec::paired(
+        ProphetKind::Gshare,
+        Budget::K8,
+        CriticKind::TaggedGshare,
+        Budget::K8,
+        1,
+    );
+
+    let config = SimConfig::with_budget(600_000, bench.seed);
+    for spec in [baseline, hybrid] {
+        let mut engine = spec.build();
+        let r = run_accuracy(&program, &mut engine, &config);
+        println!("\n== {} ({} bytes total)", spec.label(), engine.storage_bytes());
+        println!("   misp/Kuops          : {:.2}", r.misp_per_kuops());
+        println!("   mispredicted branches: {:.2}%", r.mispredict_percent());
+        println!("   uops per flush      : {:.0}", r.uops_per_flush());
+        println!("   critic overrides    : {}", r.critic_overrides);
+        println!("   fetch overhead      : {:.3}x", r.fetch_overhead());
+    }
+}

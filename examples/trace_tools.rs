@@ -1,0 +1,57 @@
+//! Exercise the trace-file formats: extract a correct-path trace from a
+//! synthetic benchmark, round-trip it through the binary `.bt` format and
+//! the text format, and snapshot the program itself as a `.pcl` (the LIT
+//! analog).
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use prophet_critic_repro::bptrace::{read_text, write_text, BtReader, BtWriter, TraceStats};
+use prophet_critic_repro::workloads::{self, correct_path_trace, Snapshot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = workloads::benchmark("mcf").expect("INT00 member");
+    let program = bench.program();
+
+    // 1. Extract a correct-path dynamic branch trace.
+    let records = correct_path_trace(&program, bench.seed, 20_000);
+    let stats = TraceStats::from_records(&records);
+    println!("extracted: {stats}");
+
+    // 2. Round-trip through the binary format.
+    let mut binary = Vec::new();
+    let mut writer = BtWriter::new(&mut binary, &bench.name)?;
+    for r in &records {
+        writer.write(r)?;
+    }
+    writer.finish()?;
+    println!(
+        "binary .bt: {} bytes ({:.2} bytes/record)",
+        binary.len(),
+        binary.len() as f64 / records.len() as f64
+    );
+    let mut reader = BtReader::new(binary.as_slice())?;
+    let decoded = reader.read_all()?;
+    assert_eq!(decoded, records, "binary round trip must be lossless");
+
+    // 3. Round-trip the first records through the text format.
+    let mut text = Vec::new();
+    write_text(&mut text, &records[..20])?;
+    let parsed = read_text(text.as_slice())?;
+    assert_eq!(parsed, records[..20]);
+    println!("text format sample:\n{}", String::from_utf8_lossy(&text[..200.min(text.len())]));
+
+    // 4. Snapshot the program itself — the LIT analog the simulator runs.
+    let snap = Snapshot::new(program, bench.seed);
+    let mut pcl = Vec::new();
+    snap.write_to(&mut pcl)?;
+    let back = Snapshot::read_from(pcl.as_slice())?;
+    println!(
+        ".pcl snapshot: {} bytes for {} blocks ({} behaviours)",
+        pcl.len(),
+        back.program.blocks().len(),
+        back.program.behaviors().len()
+    );
+    Ok(())
+}

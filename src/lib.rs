@@ -1,0 +1,48 @@
+//! Reproduction of **“Prophet/Critic Hybrid Branch Prediction”**
+//! (Falcón, Stark, Ramirez, Lai, Valero — ISCA 2004).
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`predictors`] — component predictors (gshare, 2Bc-gskew, perceptron,
+//!   YAGS, …) and the Table 3 configurations.
+//! * [`prophet_critic`] — the paper's contribution: the BOR, critics,
+//!   filtering, and the hybrid engine.
+//! * [`workloads`] — synthetic Table 1 benchmark suites with ghost
+//!   execution (wrong-path fetch support).
+//! * [`bptrace`] — hand-parsed branch-trace and snapshot file formats.
+//! * [`frontend`] — BTB + FTQ of the decoupled front end.
+//! * [`uarch`] — Table 2 machine model: caches, prefetcher, data streams.
+//! * [`sim`] — the execution-driven simulators and the experiment harness
+//!   reproducing every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prophet_critic_repro::prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+//! use prophet_critic_repro::sim::{run_accuracy, SimConfig};
+//!
+//! let gcc = prophet_critic_repro::workloads::benchmark("gcc").unwrap();
+//! let program = gcc.program();
+//! let spec = HybridSpec::paired(
+//!     ProphetKind::Gshare,
+//!     Budget::K8,
+//!     CriticKind::TaggedGshare,
+//!     Budget::K8,
+//!     8,
+//! );
+//! let mut hybrid = spec.build();
+//! let result = run_accuracy(&program, &mut hybrid, &SimConfig::with_budget(50_000, gcc.seed));
+//! assert!(result.committed_uops > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bptrace;
+pub use frontend;
+pub use predictors;
+pub use prophet_critic;
+pub use sim;
+pub use uarch;
+pub use workloads;

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) over core data structures and
+//! cross-crate invariants.
+
+use proptest::prelude::*;
+
+use prophet_critic_repro::bptrace::{BranchKind, BranchRecord, BtReader, BtWriter};
+use prophet_critic_repro::predictors::{fold_bits, HistoryBits, SatCounter};
+use prophet_critic_repro::workloads::{
+    generate_program, Behavior, BranchState, Profile, TemplateMix, Walker,
+};
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..1 << 48,
+        0u64..1 << 48,
+        0..4u8,
+        any::<bool>(),
+        0u32..100_000,
+    )
+        .prop_map(|(pc, target, kind, taken, uops)| BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::from_code(kind).unwrap(),
+            taken,
+            uops_since_prev: uops,
+        })
+}
+
+proptest! {
+    #[test]
+    fn bt_format_round_trips_arbitrary_records(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = BtWriter::new(&mut buf, "prop").unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let decoded = BtReader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn history_push_keeps_len_and_recent_bit(bits in any::<u64>(), len in 1usize..=64, taken: bool) {
+        let mut h = HistoryBits::from_raw(bits, len);
+        let before = h.bits();
+        h.push(taken);
+        prop_assert_eq!(h.len(), len);
+        prop_assert_eq!(h.outcome(0), taken);
+        // All older bits shifted by exactly one.
+        for i in 1..len.min(63) {
+            prop_assert_eq!(h.outcome(i), (before >> (i - 1)) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn fold_is_stable_and_bounded(bits in any::<u64>(), len in 0usize..=64, width in 1usize..=64) {
+        let a = fold_bits(bits, len, width);
+        let b = fold_bits(bits, len, width);
+        prop_assert_eq!(a, b);
+        if width < 64 {
+            prop_assert!(a < (1u64 << width));
+        }
+    }
+
+    #[test]
+    fn counters_stay_in_range_under_any_update_sequence(
+        bits in 1usize..=7,
+        updates in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut c = SatCounter::weakly_not_taken(bits);
+        for t in updates {
+            c.update(t);
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    #[test]
+    fn counter_converges_to_constant_stream(bits in 1usize..=7, taken: bool) {
+        let mut c = SatCounter::weakly_taken(bits);
+        for _ in 0..200 {
+            c.update(taken);
+        }
+        prop_assert_eq!(c.is_taken(), taken);
+        prop_assert!(c.is_strong());
+    }
+
+    #[test]
+    fn behavior_eval_is_deterministic_in_state(
+        seed in 1u64..u64::MAX,
+        sticky in 0u16..=1000,
+    ) {
+        let b = Behavior::Sticky { sticky_permille: sticky };
+        let mut s1 = BranchState::seeded(seed);
+        let mut s2 = BranchState::seeded(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(
+                prophet_critic_repro::workloads::eval(b, &mut s1, 0),
+                prophet_critic_repro::workloads::eval(b, &mut s2, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_walkable_from_any_seed(
+        gen_seed in 0u64..1 << 32,
+        walk_seed in 0u64..1 << 32,
+    ) {
+        let profile = Profile {
+            routines: 12,
+            mix: TemplateMix {
+                counted_loop: 1,
+                biased_diamond: 1,
+                correlated_pair: 1,
+                pattern: 1,
+                chaotic: 1,
+                nested_loop: 1,
+            },
+            bias_permille: (800, 990),
+            trip: (2, 10),
+            block_uops: (1, 8),
+            pattern_period: (2, 16),
+            correlation_distance: (1, 6),
+            xor2_permille: 300,
+            repeat: (1, 6),
+            phase_routines: 4,
+            phase_repeat: (1, 4),
+        };
+        let program = generate_program("prop", &profile, gen_seed);
+        let mut w = Walker::with_seed(&program, walk_seed);
+        for _ in 0..500 {
+            let ev = w.next_branch();
+            w.follow(ev.outcome);
+        }
+        prop_assert!(w.uops_walked() >= 500);
+    }
+
+    #[test]
+    fn walker_rewind_is_exact_under_random_speculation(
+        depth in 1usize..6,
+        walk_seed in 0u64..1 << 32,
+    ) {
+        let bench = prophet_critic_repro::workloads::benchmark("eon").unwrap();
+        let program = bench.program();
+        let mut honest = Walker::with_seed(&program, walk_seed);
+        let mut spec = Walker::with_seed(&program, walk_seed);
+        for _ in 0..100 {
+            let want = honest.next_branch();
+            honest.follow(want.outcome);
+            let got = spec.next_branch();
+            prop_assert_eq!(got.outcome, want.outcome);
+            let cp = spec.checkpoint();
+            spec.follow(!got.outcome);
+            for _ in 0..depth {
+                let ghost = spec.next_branch();
+                spec.follow(ghost.outcome);
+            }
+            spec.restore(&cp);
+            spec.follow(got.outcome);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the trace formats against real generated
+//! workloads, including on-disk round trips.
+
+use prophet_critic_repro::bptrace::{
+    read_text, write_text, BtReader, BtWriter, TraceError, TraceStats,
+};
+use prophet_critic_repro::workloads::{self, correct_path_trace, Snapshot, Walker};
+
+#[test]
+fn bt_file_round_trip_on_disk() {
+    let bench = workloads::benchmark("crafty").unwrap();
+    let program = bench.program();
+    let records = correct_path_trace(&program, bench.seed, 5_000);
+
+    let dir = std::env::temp_dir().join("pc-repro-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("crafty.bt");
+
+    let file = std::fs::File::create(&path).unwrap();
+    let mut w = BtWriter::new(std::io::BufWriter::new(file), "crafty").unwrap();
+    for r in &records {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+
+    let file = std::fs::File::open(&path).unwrap();
+    let mut r = BtReader::new(std::io::BufReader::new(file)).unwrap();
+    assert_eq!(r.name(), "crafty");
+    let decoded = r.read_all().unwrap();
+    assert_eq!(decoded, records);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn snapshot_reruns_identically() {
+    // A snapshot must reproduce the exact branch stream: serialize the
+    // program, read it back, and compare walks step by step.
+    let bench = workloads::benchmark("applu").unwrap();
+    let program = bench.program();
+    let snap = Snapshot::new(program, bench.seed);
+    let mut buf = Vec::new();
+    snap.write_to(&mut buf).unwrap();
+    let restored = Snapshot::read_from(buf.as_slice()).unwrap();
+
+    let mut original = Walker::with_seed(&snap.program, snap.seed);
+    let mut replayed = Walker::with_seed(&restored.program, restored.seed);
+    for _ in 0..5_000 {
+        let a = original.next_branch();
+        let b = replayed.next_branch();
+        assert_eq!((a.pc, a.outcome, a.uops), (b.pc, b.outcome, b.uops));
+        original.follow(a.outcome);
+        replayed.follow(b.outcome);
+    }
+}
+
+#[test]
+fn text_and_binary_agree() {
+    let bench = workloads::benchmark("quake").unwrap();
+    let program = bench.program();
+    let records = correct_path_trace(&program, 77, 500);
+
+    let mut text = Vec::new();
+    write_text(&mut text, &records).unwrap();
+    let from_text = read_text(text.as_slice()).unwrap();
+
+    let mut binary = Vec::new();
+    let mut w = BtWriter::new(&mut binary, "quake").unwrap();
+    for r in &records {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+    let from_binary = BtReader::new(binary.as_slice()).unwrap().read_all().unwrap();
+
+    assert_eq!(from_text, from_binary);
+}
+
+#[test]
+fn workload_characteristics_are_plausible() {
+    // The paper: IA32 conditional branches every ~13 uops averaged over all
+    // benchmarks (integer code denser). Verify our suites span a similar
+    // range.
+    let mut ratios = Vec::new();
+    for name in ["gzip", "swim", "specjbb", "premiere", "tpcc"] {
+        let bench = workloads::benchmark(name).unwrap();
+        let program = bench.program();
+        let records = correct_path_trace(&program, bench.seed, 8_000);
+        let stats = TraceStats::from_records(&records);
+        ratios.push((name, stats.uops_per_conditional(), stats.taken_rate()));
+    }
+    for (name, upc, taken) in &ratios {
+        assert!((3.0..45.0).contains(upc), "{name}: {upc} uops/cond out of band");
+        // Loop-dominated FP code legitimately reaches ~95% taken.
+        assert!((0.3..0.98).contains(taken), "{name}: taken rate {taken} out of band");
+    }
+    // FP code is sparser in branches than integer code.
+    let gzip = ratios.iter().find(|r| r.0 == "gzip").unwrap().1;
+    let swim = ratios.iter().find(|r| r.0 == "swim").unwrap().1;
+    assert!(swim > gzip, "FP uops/cond {swim} should exceed INT {gzip}");
+}
+
+#[test]
+fn corrupt_files_error_cleanly() {
+    // Both formats must fail with typed errors, never panic.
+    assert!(matches!(
+        BtReader::new(&b"NOTATRACEFILE..."[..]),
+        Err(TraceError::BadMagic { .. })
+    ));
+    assert!(Snapshot::read_from(&b"JUNKJUNKJUNK"[..]).is_err());
+
+    let bench = workloads::benchmark("gap").unwrap();
+    let snap = Snapshot::new(bench.program(), 3);
+    let mut buf = Vec::new();
+    snap.write_to(&mut buf).unwrap();
+    for cut in [7, buf.len() / 2, buf.len() - 1] {
+        let truncated = &buf[..cut];
+        assert!(Snapshot::read_from(truncated).is_err(), "truncation at {cut} undetected");
+    }
+}
