@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the predictor hot paths: predict+update throughput
 //! for every component predictor and the full hybrid engine.
 
-use criterion::{BenchmarkId, Criterion};
+use bench_suite::{BenchmarkId, Criterion};
 use predictors::configs::{self, Budget};
 use predictors::{DirectionPredictor, HistoryBits, Pc};
 use prophet_critic::{CriticKind, HybridSpec, ProphetKind};
@@ -14,7 +14,10 @@ fn bench_predictors(c: &mut Criterion) {
         ("gshare_8k", Box::new(configs::gshare(Budget::K8))),
         ("2bc_gskew_8k", Box::new(configs::bc_gskew(Budget::K8))),
         ("perceptron_8k", Box::new(configs::perceptron(Budget::K8))),
-        ("tagged_gshare_8k", Box::new(configs::tagged_gshare(Budget::K8))),
+        (
+            "tagged_gshare_8k",
+            Box::new(configs::tagged_gshare(Budget::K8)),
+        ),
     ];
 
     for (name, p) in &mut cases {
@@ -24,7 +27,7 @@ fn bench_predictors(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 let pc = Pc::new(0x40_0000 + (i % 512) * 4);
-                let taken = i % 3 != 0;
+                let taken = !i.is_multiple_of(3);
                 let pred = p.predict(pc, hist);
                 p.update(pc, hist, taken);
                 hist.push(taken);
@@ -56,7 +59,7 @@ fn bench_hybrid_engine(c: &mut Criterion) {
             // Resolve whatever is resolvable to keep the queue bounded.
             while h.in_flight() > 16 {
                 if h.force_critique_next().is_none() {
-                    let _ = h.resolve_oldest(i % 2 == 0);
+                    let _ = h.resolve_oldest(i.is_multiple_of(2));
                 }
             }
             std::hint::black_box(ev.taken)

@@ -1,0 +1,299 @@
+//! A minimal, dependency-free timing harness with a Criterion-shaped API.
+//!
+//! The workspace builds offline, so the usual Criterion dependency is not
+//! available; this module provides the subset the bench targets use:
+//! [`Criterion::benchmark_group`], per-group `sample_size` /
+//! `measurement_time` / `warm_up_time`, [`BenchmarkGroup::bench_function`]
+//! with a [`Bencher::iter`] closure, and [`BenchmarkId`] labels. Each
+//! measurement reports the median and min/max ns-per-iteration over the
+//! configured number of samples.
+
+use std::time::{Duration, Instant};
+
+/// A benchmark label, either a plain string or a `group/function` pair.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part label rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timing configuration shared by groups unless overridden.
+#[derive(Copy, Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The harness root: holds defaults and collects results for the final
+/// summary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    results: Vec<Measurement>,
+}
+
+#[derive(Clone, Debug)]
+struct Measurement {
+    label: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Criterion {
+    /// Sets the default number of samples per measurement.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the default time budget of one measurement.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the default warm-up time before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// Prints every measurement taken through this harness.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let width = self
+            .results
+            .iter()
+            .map(|m| m.label.len())
+            .max()
+            .unwrap_or(0);
+        println!(
+            "\n== bench summary ({} measurements) ==",
+            self.results.len()
+        );
+        for m in &self.results {
+            println!(
+                "{:<width$}  median {}  (min {}, max {}, {} iters/sample)",
+                m.label,
+                fmt_ns(m.median_ns),
+                fmt_ns(m.min_ns),
+                fmt_ns(m.max_ns),
+                m.iters,
+            );
+        }
+    }
+}
+
+/// A named group of measurements with its own timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Times `f` and records the result under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let BenchmarkId(fn_label) = id.into();
+        let label = format!("{}/{}", self.name, fn_label);
+
+        // Warm-up: run the closure untimed until the warm-up budget is
+        // spent, and learn roughly how long one iteration takes.
+        let mut bencher = Bencher {
+            mode: Mode::Warmup {
+                until: Instant::now() + self.config.warm_up_time,
+            },
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 {
+            bencher.elapsed.as_secs_f64() / bencher.iters as f64
+        } else {
+            1e-6
+        };
+
+        // Size each sample so all samples together fit the measurement
+        // budget.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).round() as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                mode: Mode::Fixed {
+                    iters: iters_per_sample,
+                },
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            sample_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median_ns = sample_ns[sample_ns.len() / 2];
+        let measurement = Measurement {
+            label,
+            median_ns,
+            min_ns: sample_ns[0],
+            max_ns: *sample_ns.last().expect("at least one sample"),
+            iters: iters_per_sample,
+        };
+        println!(
+            "{:<40} median {}  ({} iters/sample, {} samples)",
+            measurement.label,
+            fmt_ns(measurement.median_ns),
+            measurement.iters,
+            samples,
+        );
+        self.criterion.results.push(measurement);
+    }
+
+    /// Closes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    Warmup { until: Instant },
+    Fixed { iters: u64 },
+}
+
+/// Passed to the benchmark closure; [`iter`](Self::iter) runs and times the
+/// measured routine.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly under the harness's timing policy.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Warmup { until } => {
+                let start = Instant::now();
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                    self.iters += 1;
+                }
+                self.elapsed = start.elapsed();
+            }
+            Mode::Fixed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_summarizes() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("unit");
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            });
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns >= 0.0);
+        assert!(count > 0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn benchmark_id_renders_two_parts() {
+        let BenchmarkId(label) = BenchmarkId::new("predictor", "gshare_8k");
+        assert_eq!(label, "predictor/gshare_8k");
+    }
+}

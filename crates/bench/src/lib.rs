@@ -1,15 +1,23 @@
-//! Shared plumbing for the Criterion benchmark harness.
+//! Shared plumbing for the benchmark harness.
 //!
 //! Every paper table/figure has a bench target that (1) regenerates the
 //! artifact at a reduced scale and prints it, and (2) times the underlying
 //! simulation so regressions in the hot paths are caught. Full-scale
 //! numbers come from `cargo run -p sim --release --bin experiments`.
+//!
+//! The container this workspace builds in has no network access, so the
+//! harness is a small in-repo stand-in for Criterion: same `sample_size` /
+//! `measurement_time` / `bench_function` surface, median-of-samples
+//! reporting, no external dependency.
 
-use criterion::Criterion;
+pub mod harness;
+
+pub use harness::{BenchmarkId, Criterion};
+
 use sim::experiments::{by_id, ExpEnv};
 
 /// Runs experiment `id` at bench scale, prints its tables, and registers a
-/// Criterion measurement that re-runs it.
+/// timing measurement that re-runs it.
 ///
 /// # Panics
 ///
@@ -19,7 +27,10 @@ pub fn bench_experiment(c: &mut Criterion, id: &str) {
     // Smallest meaningful scale: the uop budget clamps to its 20 K floor,
     // so a full experiment iteration stays in the seconds range even for
     // the 78-configuration Figure 6 grid.
-    let env = ExpEnv { scale: 0.01, ..ExpEnv::tiny() };
+    let env = ExpEnv {
+        scale: 0.01,
+        ..ExpEnv::tiny()
+    };
 
     // Regenerate and print the artifact once.
     for table in (exp.run)(&env) {
@@ -39,7 +50,7 @@ pub fn bench_experiment(c: &mut Criterion, id: &str) {
     group.finish();
 }
 
-/// The default Criterion configuration for experiment benches: few samples,
+/// The default harness configuration for experiment benches: few samples,
 /// short measurement windows (each iteration is a full mini-simulation).
 #[must_use]
 pub fn criterion() -> Criterion {

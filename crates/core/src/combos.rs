@@ -4,12 +4,17 @@
 //! The figures pair three prophets (gshare, 2Bc-gskew, perceptron) with two
 //! filtered critics (tagged gshare, filtered perceptron) and one unfiltered
 //! critic (perceptron), at the Table 3 budgets. [`HybridSpec`] names such a
-//! combination and [`HybridSpec::build`] constructs the boxed engine.
+//! combination and [`HybridSpec::build`] constructs the monomorphized
+//! engine ([`Hybrid`]); [`HybridSpec::build_boxed`] still produces the
+//! old trait-object engine for open-set compositions.
 
 use predictors::configs::{self, Budget};
 use predictors::DirectionPredictor;
 
-use crate::critic::{Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic, UnfilteredCritic};
+use crate::critic::{
+    Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic, UnfilteredCritic,
+};
+use crate::dispatch::{AnyCritic, AnyProphet};
 use crate::hybrid::ProphetCritic;
 
 /// The prophet component of a [`HybridSpec`].
@@ -25,8 +30,11 @@ pub enum ProphetKind {
 
 impl ProphetKind {
     /// All prophets evaluated in the paper.
-    pub const ALL: [ProphetKind; 3] =
-        [ProphetKind::Gshare, ProphetKind::BcGskew, ProphetKind::Perceptron];
+    pub const ALL: [ProphetKind; 3] = [
+        ProphetKind::Gshare,
+        ProphetKind::BcGskew,
+        ProphetKind::Perceptron,
+    ];
 
     /// The paper's display name.
     #[must_use]
@@ -38,14 +46,23 @@ impl ProphetKind {
         }
     }
 
-    /// Builds the prophet at `budget` per Table 3.
+    /// Builds the prophet at `budget` per Table 3, statically dispatched.
     #[must_use]
-    pub fn build(self, budget: Budget) -> Box<dyn DirectionPredictor> {
+    pub fn build(self, budget: Budget) -> AnyProphet {
         match self {
-            ProphetKind::Gshare => Box::new(configs::gshare(budget)),
-            ProphetKind::BcGskew => Box::new(configs::bc_gskew(budget)),
-            ProphetKind::Perceptron => Box::new(configs::perceptron(budget)),
+            ProphetKind::Gshare => AnyProphet::Gshare(configs::gshare(budget)),
+            ProphetKind::BcGskew => AnyProphet::BcGskew(configs::bc_gskew(budget)),
+            ProphetKind::Perceptron => AnyProphet::Perceptron(configs::perceptron(budget)),
         }
+    }
+
+    /// Builds the prophet as a heap-allocated trait object (the pre-engine
+    /// path, kept for open-set compositions and equivalence testing).
+    /// Construction is shared with [`build`](Self::build) so the two
+    /// paths cannot drift apart.
+    #[must_use]
+    pub fn build_boxed(self, budget: Budget) -> Box<dyn DirectionPredictor> {
+        self.build(budget).into()
     }
 }
 
@@ -88,20 +105,20 @@ impl CriticKind {
         }
     }
 
-    /// Builds the critic at `budget` per Table 3.
+    /// Builds the critic at `budget` per Table 3, statically dispatched.
     #[must_use]
-    pub fn build(self, budget: Budget) -> Box<dyn Critic> {
+    pub fn build(self, budget: Budget) -> AnyCritic {
         match self {
-            CriticKind::None => Box::new(NullCritic::new()),
-            CriticKind::UnfilteredPerceptron => {
-                Box::new(UnfilteredCritic::new(configs::perceptron(budget)))
-            }
+            CriticKind::None => AnyCritic::Null(NullCritic::new()),
+            CriticKind::UnfilteredPerceptron => AnyCritic::Unfiltered(UnfilteredCritic::new(
+                AnyProphet::Perceptron(configs::perceptron(budget)),
+            )),
             CriticKind::TaggedGshare => {
-                Box::new(TaggedGshareCritic::new(configs::tagged_gshare(budget)))
+                AnyCritic::TaggedGshare(TaggedGshareCritic::new(configs::tagged_gshare(budget)))
             }
             CriticKind::FilteredPerceptron => {
                 let (sets, filter_hist, _) = configs::perceptron_filter_params(budget);
-                Box::new(FilteredPerceptronCritic::new(
+                AnyCritic::FilteredPerceptron(FilteredPerceptronCritic::new(
                     configs::filtered_perceptron_core(budget),
                     sets,
                     configs::PERCEPTRON_FILTER_WAYS,
@@ -110,6 +127,15 @@ impl CriticKind {
                 ))
             }
         }
+    }
+
+    /// Builds the critic as a heap-allocated trait object (the pre-engine
+    /// path, kept for open-set compositions and equivalence testing).
+    /// Construction is shared with [`build`](Self::build) so the two
+    /// paths cannot drift apart.
+    #[must_use]
+    pub fn build_boxed(self, budget: Budget) -> Box<dyn Critic> {
+        self.build(budget).into()
     }
 }
 
@@ -134,8 +160,21 @@ pub struct HybridSpec {
     pub future_bits: usize,
 }
 
-/// A heap-allocated hybrid engine built from a [`HybridSpec`].
-pub type DynHybrid = ProphetCritic<Box<dyn DirectionPredictor>, Box<dyn Critic>>;
+/// The monomorphized hybrid engine built from a [`HybridSpec`]: enum-based
+/// static dispatch end to end, no vtables on the per-branch hot path.
+pub type Hybrid = ProphetCritic<AnyProphet, AnyCritic>;
+
+/// Compatibility alias for the engine [`HybridSpec::build`] returns.
+///
+/// Historically this named the boxed trait-object engine; the experiment
+/// engine now monomorphizes the hot path, so the alias points at
+/// [`Hybrid`]. Code that needs genuine trait objects should use
+/// [`BoxedHybrid`] via [`HybridSpec::build_boxed`].
+pub type DynHybrid = Hybrid;
+
+/// The heap-allocated trait-object engine, for compositions outside the
+/// closed [`AnyProphet`]/[`AnyCritic`] set.
+pub type BoxedHybrid = ProphetCritic<Box<dyn DirectionPredictor>, Box<dyn Critic>>;
 
 impl HybridSpec {
     /// A prophet-alone baseline at `budget`.
@@ -159,15 +198,32 @@ impl HybridSpec {
         critic_budget: Budget,
         future_bits: usize,
     ) -> Self {
-        Self { prophet, prophet_budget, critic, critic_budget, future_bits }
+        Self {
+            prophet,
+            prophet_budget,
+            critic,
+            critic_budget,
+            future_bits,
+        }
     }
 
-    /// Builds the hybrid engine.
+    /// Builds the monomorphized hybrid engine.
     #[must_use]
-    pub fn build(&self) -> DynHybrid {
+    pub fn build(&self) -> Hybrid {
         ProphetCritic::new(
             self.prophet.build(self.prophet_budget),
             self.critic.build(self.critic_budget),
+            self.future_bits,
+        )
+    }
+
+    /// Builds the trait-object engine (the pre-monomorphization path; the
+    /// equivalence tests pin `build` to it prediction-for-prediction).
+    #[must_use]
+    pub fn build_boxed(&self) -> BoxedHybrid {
+        ProphetCritic::new(
+            self.prophet.build_boxed(self.prophet_budget),
+            self.critic.build_boxed(self.critic_budget),
             self.future_bits,
         )
     }
@@ -205,8 +261,7 @@ mod tests {
         for prophet in ProphetKind::ALL {
             for critic in CriticKind::ALL {
                 let fb = if critic == CriticKind::None { 0 } else { 4 };
-                let spec =
-                    HybridSpec::paired(prophet, Budget::K4, critic, Budget::K2, fb);
+                let spec = HybridSpec::paired(prophet, Budget::K4, critic, Budget::K2, fb);
                 let mut h = spec.build();
                 for i in 0..32u64 {
                     h.predict(Pc::new(0x1000 + i * 4));

@@ -394,7 +394,7 @@ mod tests {
         let c = FilteredPerceptronCritic::new(Perceptron::new(73, 13), 128, 3, 9, 18);
         let d = c.critique(Pc::new(0x50), bor(0x5a5a, 18), true);
         assert!(!d.engaged);
-        assert_eq!(d.direction, true);
+        assert!(d.direction);
     }
 
     #[test]

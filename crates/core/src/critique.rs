@@ -16,13 +16,19 @@ impl CriticDecision {
     /// An implicit agreement (filter miss): the prophet's prediction stands.
     #[must_use]
     pub fn implicit_agree(prophet_pred: bool) -> Self {
-        Self { direction: prophet_pred, engaged: false }
+        Self {
+            direction: prophet_pred,
+            engaged: false,
+        }
     }
 
     /// An explicit critique with the given direction.
     #[must_use]
     pub fn explicit(direction: bool) -> Self {
-        Self { direction, engaged: true }
+        Self {
+            direction,
+            engaged: true,
+        }
     }
 
     /// Whether the critique agrees with the prophet (implicitly or not).
@@ -65,7 +71,11 @@ impl CritiqueKind {
     #[must_use]
     pub fn classify(prophet_pred: bool, decision: CriticDecision, outcome: bool) -> Self {
         let prophet_correct = prophet_pred == outcome;
-        match (prophet_correct, decision.engaged, decision.agrees_with(prophet_pred)) {
+        match (
+            prophet_correct,
+            decision.engaged,
+            decision.agrees_with(prophet_pred),
+        ) {
             (true, false, _) => Self::CorrectNone,
             (false, false, _) => Self::IncorrectNone,
             (true, true, true) => Self::CorrectAgree,
@@ -129,7 +139,10 @@ impl CritiqueStats {
     }
 
     fn slot(kind: CritiqueKind) -> usize {
-        CritiqueKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+        CritiqueKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL")
     }
 
     /// Records one committed branch.
@@ -198,10 +211,22 @@ mod tests {
         let disagree = |p: bool| CriticDecision::explicit(!p);
         let none = CriticDecision::implicit_agree(true);
 
-        assert_eq!(CritiqueKind::classify(true, agree(true), true), CorrectAgree);
-        assert_eq!(CritiqueKind::classify(true, disagree(true), false), IncorrectDisagree);
-        assert_eq!(CritiqueKind::classify(true, agree(true), false), IncorrectAgree);
-        assert_eq!(CritiqueKind::classify(true, disagree(true), true), CorrectDisagree);
+        assert_eq!(
+            CritiqueKind::classify(true, agree(true), true),
+            CorrectAgree
+        );
+        assert_eq!(
+            CritiqueKind::classify(true, disagree(true), false),
+            IncorrectDisagree
+        );
+        assert_eq!(
+            CritiqueKind::classify(true, agree(true), false),
+            IncorrectAgree
+        );
+        assert_eq!(
+            CritiqueKind::classify(true, disagree(true), true),
+            CorrectDisagree
+        );
         assert_eq!(CritiqueKind::classify(true, none, true), CorrectNone);
         assert_eq!(CritiqueKind::classify(true, none, false), IncorrectNone);
     }

@@ -122,6 +122,11 @@ impl std::fmt::Display for HybridError {
 
 impl std::error::Error for HybridError {}
 
+/// Initial capacity of the in-flight ring buffer: one more than the
+/// deepest speculation window the simulators drive (their cap is 48), so
+/// steady-state prediction never grows the allocation.
+const INFLIGHT_CAPACITY: usize = 64;
+
 /// One in-flight (predicted, not yet committed) branch.
 #[derive(Copy, Clone, Debug)]
 struct InFlight {
@@ -220,7 +225,10 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
             future_bits,
             bhr,
             bor,
-            inflight: VecDeque::new(),
+            // Pre-size for the deepest speculation any driver sustains
+            // (the simulators cap in-flight branches at 48): the hot loop
+            // then never reallocates the ring buffer.
+            inflight: VecDeque::with_capacity(INFLIGHT_CAPACITY),
             next_seq: 0,
             stats: CritiqueStats::new(),
         }
@@ -303,7 +311,11 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
             prophet_pred: pred,
             bhr_at_predict: self.bhr,
             bor_before: self.bor,
-            bor_stamped: if self.future_bits == 0 { Some(self.bor) } else { None },
+            bor_stamped: if self.future_bits == 0 {
+                Some(self.bor)
+            } else {
+                None
+            },
             critique: None,
         };
 
@@ -452,7 +464,8 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
         // mispredict that value contains the wrong-path future bits, which
         // is precisely what lets it recognize the situation next time.
         self.prophet.update(head.pc, head.bhr_at_predict, outcome);
-        self.critic.train(head.pc, critique.bor_used, outcome, head.prophet_pred);
+        self.critic
+            .train(head.pc, critique.bor_used, outcome, head.prophet_pred);
         self.stats.record(kind);
 
         Ok(ResolveEvent {
@@ -519,7 +532,10 @@ mod tests {
         );
         h.predict(Pc::new(0x10));
         assert_eq!(h.resolve_oldest(true), Err(HybridError::HeadNotCritiqued));
-        assert_eq!(null_hybrid().resolve_oldest(true), Err(HybridError::NothingInFlight));
+        assert_eq!(
+            null_hybrid().resolve_oldest(true),
+            Err(HybridError::NothingInFlight)
+        );
     }
 
     #[test]
@@ -692,7 +708,10 @@ mod tests {
             let _ = h.resolve_oldest(i % 2 == 0).unwrap();
         }
         assert_eq!(h.stats().total(), 10);
-        assert_eq!(h.stats().final_mispredicts(), h.stats().prophet_mispredicts());
+        assert_eq!(
+            h.stats().final_mispredicts(),
+            h.stats().prophet_mispredicts()
+        );
     }
 
     #[test]

@@ -64,17 +64,17 @@
 mod combos;
 mod critic;
 mod critique;
+mod dispatch;
 mod hybrid;
 
-pub use combos::{CriticKind, DynHybrid, HybridSpec, ProphetKind};
+pub use combos::{BoxedHybrid, CriticKind, DynHybrid, Hybrid, HybridSpec, ProphetKind};
 pub use critic::{
     AllocationPolicy, Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic,
     UnfilteredCritic,
 };
 pub use critique::{CriticDecision, CritiqueKind, CritiqueStats};
-pub use hybrid::{
-    BranchId, CritiqueEvent, HybridError, PredictEvent, ProphetCritic, ResolveEvent,
-};
+pub use dispatch::{AnyCritic, AnyProphet};
+pub use hybrid::{BranchId, CritiqueEvent, HybridError, PredictEvent, ProphetCritic, ResolveEvent};
 
 // Re-export the budget type: every spec in this crate is parameterized by it.
 pub use predictors::configs::Budget;

@@ -1,15 +1,23 @@
-//! Property-based tests of the hybrid engine's protocol invariants under
-//! randomized drive sequences.
+//! Randomized tests of the hybrid engine's protocol invariants under
+//! seeded drive sequences (offline stand-in for proptest).
 
-use proptest::prelude::*;
+use workloads::rng::SmallRng;
 
 use predictors::{Bimodal, Gshare, Pc};
 use prophet_critic::{
     Critic, CritiqueKind, NullCritic, ProphetCritic, TaggedGshareCritic, UnfilteredCritic,
 };
 
-/// Drives a hybrid through a random branch stream with the proper
-/// fetch-order protocol and returns its final stats.
+/// A seeded random branch stream of `(pc index, outcome)` pairs.
+fn stream(rng: &mut SmallRng) -> Vec<(u16, bool)> {
+    let len = rng.gen_range(1usize..300);
+    (0..len)
+        .map(|_| (rng.gen_range(0u16..64), rng.gen::<bool>()))
+        .collect()
+}
+
+/// Drives a hybrid through a branch stream with the proper fetch-order
+/// protocol and returns its final stats.
 fn drive<C: Critic>(
     mut hybrid: ProphetCritic<Bimodal, C>,
     stream: &[(u16, bool)],
@@ -48,45 +56,50 @@ fn drive<C: Critic>(
     (hybrid.stats().total(), hybrid.stats().final_mispredicts())
 }
 
-fn arb_stream() -> impl Strategy<Value = Vec<(u16, bool)>> {
-    prop::collection::vec((0u16..64, any::<bool>()), 1..300)
-}
-
-proptest! {
-    #[test]
-    fn engine_commits_every_branch_exactly_once_null(stream in arb_stream()) {
+#[test]
+fn engine_commits_every_branch_exactly_once_null() {
+    let mut rng = SmallRng::seed_from_u64(0xB001);
+    for _ in 0..40 {
+        let s = stream(&mut rng);
         let hybrid = ProphetCritic::new(Bimodal::new(128), NullCritic::new(), 0);
         // Resolve each branch before predicting the next (depth 0): with
         // f=0 nothing is speculated past a branch, so every stream entry
         // commits exactly once.
-        let (committed, misp) = drive(hybrid, &stream, 0);
-        prop_assert_eq!(committed, stream.len() as u64);
-        prop_assert!(misp <= committed);
+        let (committed, misp) = drive(hybrid, &s, 0);
+        assert_eq!(committed, s.len() as u64);
+        assert!(misp <= committed);
     }
+}
 
-    #[test]
-    fn engine_never_wedges_with_future_bits(
-        stream in arb_stream(),
-        fb in 1usize..=8,
-    ) {
+#[test]
+fn engine_never_wedges_with_future_bits() {
+    let mut rng = SmallRng::seed_from_u64(0xB002);
+    for _ in 0..40 {
+        let s = stream(&mut rng);
+        let fb = rng.gen_range(1usize..=8);
         let critic = UnfilteredCritic::new(Gshare::new(256, 8));
         let hybrid = ProphetCritic::new(Bimodal::new(128), critic, fb);
         // Lazy resolution: speculated branches flushed by a mispredict are
         // not re-fetched by this driver, so commits can be fewer than the
         // stream length — but the engine must never wedge or over-commit.
-        let (committed, misp) = drive(hybrid, &stream, 12);
-        prop_assert!(committed >= 1);
-        prop_assert!(committed <= stream.len() as u64);
-        prop_assert!(misp <= committed);
+        let (committed, misp) = drive(hybrid, &s, 12);
+        assert!(committed >= 1);
+        assert!(committed <= s.len() as u64);
+        assert!(misp <= committed);
     }
+}
 
-    #[test]
-    fn stats_taxonomy_is_conserved(stream in arb_stream(), fb in 1usize..=6) {
+#[test]
+fn stats_taxonomy_is_conserved() {
+    let mut rng = SmallRng::seed_from_u64(0xB003);
+    for _ in 0..40 {
+        let s = stream(&mut rng);
+        let fb = rng.gen_range(1usize..=6);
         let critic = TaggedGshareCritic::new(predictors::TaggedGshare::new(64, 4, 9, 12));
         let mut hybrid = ProphetCritic::new(Bimodal::new(128), critic, fb);
         // Drive inline to keep access to stats.
         let mut outcomes: std::collections::VecDeque<bool> = Default::default();
-        for (pc_raw, outcome) in &stream {
+        for (pc_raw, outcome) in &s {
             hybrid.predict(Pc::new(0x1000 + u64::from(*pc_raw) * 4));
             outcomes.push_back(*outcome);
             while hybrid.critique_next().is_some() {}
@@ -101,21 +114,24 @@ proptest! {
                 }
             }
         }
-        let s = hybrid.stats();
-        let sum: u64 = CritiqueKind::ALL.iter().map(|k| s.count(*k)).sum();
-        prop_assert_eq!(sum, s.total());
-        prop_assert_eq!(
-            s.final_mispredicts(),
-            s.count(CritiqueKind::IncorrectAgree)
-                + s.count(CritiqueKind::IncorrectNone)
-                + s.count(CritiqueKind::CorrectDisagree)
+        let stats = hybrid.stats();
+        let sum: u64 = CritiqueKind::ALL.iter().map(|k| stats.count(*k)).sum();
+        assert_eq!(sum, stats.total());
+        assert_eq!(
+            stats.final_mispredicts(),
+            stats.count(CritiqueKind::IncorrectAgree)
+                + stats.count(CritiqueKind::IncorrectNone)
+                + stats.count(CritiqueKind::CorrectDisagree)
         );
     }
+}
 
-    #[test]
-    fn bhr_always_reflects_committed_outcomes_for_null_critic(
-        outcomes in prop::collection::vec(any::<bool>(), 1..64),
-    ) {
+#[test]
+fn bhr_always_reflects_committed_outcomes_for_null_critic() {
+    let mut rng = SmallRng::seed_from_u64(0xB004);
+    for _ in 0..40 {
+        let len = rng.gen_range(1usize..64);
+        let outcomes: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
         // With a NullCritic and immediate resolution, after each commit the
         // BHR's newest bit must equal the committed outcome (speculative
         // push repaired on mispredict).
@@ -124,7 +140,7 @@ proptest! {
             hybrid.predict(Pc::new(0x2000 + (i as u64 % 16) * 4));
             while hybrid.critique_next().is_some() {}
             let _ = hybrid.resolve_oldest(*outcome).unwrap();
-            prop_assert_eq!(hybrid.bhr().outcome(0), *outcome);
+            assert_eq!(hybrid.bhr().outcome(0), *outcome);
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Equivalence tests: the enum-dispatch engine ([`HybridSpec::build`])
+//! must match the boxed trait-object engine ([`HybridSpec::build_boxed`])
+//! prediction-for-prediction on a shared branch trace.
+
+use predictors::Pc;
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use workloads::rng::SmallRng;
+
+/// Every prophet × critic pairing the experiments build.
+fn all_specs() -> Vec<HybridSpec> {
+    let mut out = Vec::new();
+    for prophet in ProphetKind::ALL {
+        out.push(HybridSpec::alone(prophet, Budget::K4));
+        for critic in [
+            CriticKind::UnfilteredPerceptron,
+            CriticKind::TaggedGshare,
+            CriticKind::FilteredPerceptron,
+        ] {
+            out.push(HybridSpec::paired(
+                prophet,
+                Budget::K4,
+                critic,
+                Budget::K2,
+                4,
+            ));
+        }
+    }
+    out
+}
+
+/// A shared pseudo-random branch trace: (pc, outcome) pairs.
+fn trace(seed: u64, len: usize) -> Vec<(Pc, bool)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let pc = Pc::new(0x40_0000 + rng.gen_range(0u64..96) * 4);
+            (pc, rng.gen::<bool>())
+        })
+        .collect()
+}
+
+#[test]
+fn enum_and_boxed_engines_agree_prediction_for_prediction() {
+    for spec in all_specs() {
+        let mut fast = spec.build();
+        let mut boxed = spec.build_boxed();
+        assert_eq!(
+            fast.storage_bits(),
+            boxed.storage_bits(),
+            "{}",
+            spec.label()
+        );
+
+        let mut outcomes: std::collections::VecDeque<bool> = Default::default();
+        for (step, (pc, outcome)) in trace(0xD15C_0000 + spec.future_bits as u64, 600)
+            .into_iter()
+            .enumerate()
+        {
+            let pf = fast.predict(pc);
+            let pb = boxed.predict(pc);
+            assert_eq!(
+                pf.taken,
+                pb.taken,
+                "{}: prophecy diverged at {step}",
+                spec.label()
+            );
+            assert_eq!(pf.id, pb.id);
+            outcomes.push_back(outcome);
+
+            loop {
+                let cf = fast.critique_next();
+                let cb = boxed.critique_next();
+                match (cf, cb) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a, b, "{}: critique diverged at {step}", spec.label());
+                        if a.overridden {
+                            outcomes.truncate(outcomes.len() - a.flushed.min(outcomes.len()));
+                        }
+                    }
+                    (a, b) => panic!(
+                        "{}: critique readiness diverged at {step}: {a:?} vs {b:?}",
+                        spec.label()
+                    ),
+                }
+            }
+
+            while fast.in_flight() > 12 {
+                if !fast.critique_ready() {
+                    let a = fast.force_critique_next();
+                    let b = boxed.force_critique_next();
+                    assert_eq!(a, b, "{}: forced critique diverged", spec.label());
+                    if let Some(cr) = a {
+                        if cr.overridden {
+                            outcomes.truncate(outcomes.len() - cr.flushed.min(outcomes.len()));
+                        }
+                    }
+                }
+                let o = outcomes.pop_front().expect("outcome per in-flight branch");
+                let ra = fast.resolve_oldest(o).expect("head critiqued");
+                let rb = boxed.resolve_oldest(o).expect("head critiqued");
+                assert_eq!(ra, rb, "{}: resolve diverged at {step}", spec.label());
+                if ra.mispredict {
+                    outcomes.clear();
+                }
+            }
+        }
+
+        assert_eq!(
+            fast.stats(),
+            boxed.stats(),
+            "{}: final stats diverged",
+            spec.label()
+        );
+        assert_eq!(fast.bhr(), boxed.bhr(), "{}", spec.label());
+        assert_eq!(fast.bor(), boxed.bor(), "{}", spec.label());
+    }
+}
+
+#[test]
+fn component_names_and_budgets_survive_the_enum_wrapping() {
+    for spec in all_specs() {
+        let fast = spec.build();
+        let boxed = spec.build_boxed();
+        assert_eq!(fast.name(), boxed.name(), "{}", spec.label());
+        assert_eq!(fast.future_bits(), boxed.future_bits());
+        assert_eq!(fast.storage_bytes(), boxed.storage_bytes());
+    }
+}

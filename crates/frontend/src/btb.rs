@@ -46,11 +46,26 @@ impl Btb {
     /// set count.
     #[must_use]
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries % ways == 0, "entries must divide into ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let sets = entries / ways;
         // 16-bit tags: generous enough that false hits are negligible, as
         // in real BTBs which store partial tags.
-        Self { table: TaggedTable::new(sets, ways, 16, BtbEntry { target: 0, conditional: false }), lookups: 0, misses: 0 }
+        Self {
+            table: TaggedTable::new(
+                sets,
+                ways,
+                16,
+                BtbEntry {
+                    target: 0,
+                    conditional: false,
+                },
+            ),
+            lookups: 0,
+            misses: 0,
+        }
     }
 
     /// The Table 2 configuration: 4096 entries, 4-way.
@@ -91,7 +106,14 @@ impl Btb {
     /// Commit-time allocation (or update) of the entry for `pc`.
     pub fn allocate(&mut self, pc: Pc, target: u64, conditional: bool) {
         let (idx, tag) = self.index_tag(pc);
-        self.table.insert(idx, tag, BtbEntry { target, conditional });
+        self.table.insert(
+            idx,
+            tag,
+            BtbEntry {
+                target,
+                conditional,
+            },
+        );
     }
 
     /// Lookups so far.

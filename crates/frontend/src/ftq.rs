@@ -59,7 +59,12 @@ impl Ftq {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FTQ needs at least one entry");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, empty_on_consume: 0, consumes: 0 }
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            empty_on_consume: 0,
+            consumes: 0,
+        }
     }
 
     /// The Table 2 configuration: 32 entries.
@@ -100,7 +105,12 @@ impl Ftq {
     /// (the producer stalls in that case).
     pub fn push(&mut self, id: BranchId, pc: Pc, taken: bool) {
         assert!(!self.is_full(), "pushed into a full FTQ");
-        self.entries.push_back(FtqEntry { id, pc, taken, criticized: false });
+        self.entries.push_back(FtqEntry {
+            id,
+            pc,
+            taken,
+            criticized: false,
+        });
     }
 
     /// Marks entry `id` criticized, recording the (possibly overridden)
@@ -178,7 +188,9 @@ mod tests {
     fn ids(n: usize) -> Vec<BranchId> {
         // BranchIds can only be minted by an engine; run one.
         let mut h = ProphetCritic::new(Bimodal::new(64), NullCritic::new(), 0);
-        (0..n).map(|i| h.predict(Pc::new(0x1000 + i as u64 * 4)).id).collect()
+        (0..n)
+            .map(|i| h.predict(Pc::new(0x1000 + i as u64 * 4)).id)
+            .collect()
     }
 
     #[test]

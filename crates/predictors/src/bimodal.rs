@@ -33,7 +33,9 @@ impl Bimodal {
     /// Panics if `entries` is not a non-zero power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        Self { table: CounterTable::new(entries, 2) }
+        Self {
+            table: CounterTable::new(entries, 2),
+        }
     }
 
     fn index(&self, pc: Pc) -> u64 {

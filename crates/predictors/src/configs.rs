@@ -168,7 +168,9 @@ pub fn perceptron_filter_params(budget: Budget) -> (usize, usize, usize) {
 /// (Table 3's last row).
 #[must_use]
 pub fn filtered_perceptron_bor_size(budget: Budget) -> usize {
-    PERCEPTRON_FILTER[budget.row()].2.max(FILTERED_PERCEPTRON[budget.row()].1)
+    PERCEPTRON_FILTER[budget.row()]
+        .2
+        .max(FILTERED_PERCEPTRON[budget.row()].1)
 }
 
 #[cfg(test)]

@@ -36,9 +36,18 @@ impl SatCounter {
     /// Panics if `bits` is 0 or greater than 7, or if `value` does not fit.
     #[must_use]
     pub fn new(bits: usize, value: u8) -> Self {
-        assert!((1..=7).contains(&bits), "counter width {bits} out of range 1..=7");
-        let c = Self { value, bits: bits as u8 };
-        assert!(value <= c.max(), "initial value {value} exceeds counter maximum");
+        assert!(
+            (1..=7).contains(&bits),
+            "counter width {bits} out of range 1..=7"
+        );
+        let c = Self {
+            value,
+            bits: bits as u8,
+        };
+        assert!(
+            value <= c.max(),
+            "initial value {value} exceeds counter maximum"
+        );
         c
     }
 
@@ -222,7 +231,10 @@ mod tests {
     fn hysteresis_needs_two_updates_to_flip_from_strong() {
         let mut c = SatCounter::new(2, 3); // strongly taken
         c.update(false);
-        assert!(c.is_taken(), "one bad outcome must not flip a strong counter");
+        assert!(
+            c.is_taken(),
+            "one bad outcome must not flip a strong counter"
+        );
         c.update(false);
         assert!(!c.is_taken());
     }

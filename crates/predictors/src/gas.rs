@@ -76,7 +76,10 @@ mod tests {
         p.update(pc, ha, true);
         p.update(pc, ha, true);
         assert!(p.predict(pc, ha).taken());
-        assert!(!p.predict(pc, hb).taken(), "adjacent history column untouched");
+        assert!(
+            !p.predict(pc, hb).taken(),
+            "adjacent history column untouched"
+        );
     }
 
     #[test]

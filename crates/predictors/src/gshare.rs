@@ -47,7 +47,10 @@ impl Gshare {
     #[must_use]
     pub fn new(entries: usize, history_len: usize) -> Self {
         assert!(history_len <= crate::MAX_HISTORY_BITS);
-        Self { table: CounterTable::new(entries, 2), history_len }
+        Self {
+            table: CounterTable::new(entries, 2),
+            history_len,
+        }
     }
 
     fn index(&self, pc: Pc, hist: HistoryBits) -> u64 {
@@ -176,7 +179,8 @@ impl DirectionPredictor for TaggedGshare {
     /// Predicts not-taken with zero confidence on a tag miss; in the critic
     /// role use [`TaggedGshare::lookup`], which distinguishes misses.
     fn predict(&self, pc: Pc, hist: HistoryBits) -> Prediction {
-        self.lookup(pc, hist).unwrap_or(Prediction::taken_or_not(false))
+        self.lookup(pc, hist)
+            .unwrap_or(Prediction::taken_or_not(false))
     }
 
     fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
@@ -240,7 +244,10 @@ mod tests {
             p.update(pc, bhr, taken);
             bhr.push(taken);
         }
-        assert!(correct >= 38, "loop pattern should be nearly perfect, got {correct}/40");
+        assert!(
+            correct >= 38,
+            "loop pattern should be nearly perfect, got {correct}/40"
+        );
     }
 
     #[test]

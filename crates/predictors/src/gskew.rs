@@ -98,7 +98,13 @@ impl BcGskew {
         let g1 = self.g1.counter(g1i).is_taken();
         let majority = (u8::from(bim) + u8::from(g0) + u8::from(g1)) >= 2;
         let use_majority = self.meta.counter(mi).is_taken();
-        BankVotes { bim, g0, g1, use_majority, majority }
+        BankVotes {
+            bim,
+            g0,
+            g1,
+            use_majority,
+            majority,
+        }
     }
 
     fn final_of(v: BankVotes) -> bool {
@@ -205,7 +211,10 @@ mod tests {
             bhr.push(taken);
             last2 = [last2[1], taken];
         }
-        assert!(correct >= 95, "correlated branch should be learned, got {correct}/100");
+        assert!(
+            correct >= 95,
+            "correlated branch should be learned, got {correct}/100"
+        );
     }
 
     #[test]
@@ -227,7 +236,9 @@ mod tests {
         let mut bhr = HistoryBits::new(10);
         let mut rng: u64 = 0x1234_5678;
         for _ in 0..4000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let n_taken = (rng >> 33) & 1 == 1;
             p.update(noisy, bhr, n_taken);
             bhr.push(n_taken);
@@ -236,7 +247,9 @@ mod tests {
         }
         let mut correct = 0;
         for _ in 0..200 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let n_taken = (rng >> 33) & 1 == 1;
             p.update(noisy, bhr, n_taken);
             bhr.push(n_taken);
@@ -246,7 +259,10 @@ mod tests {
             p.update(biased, bhr, true);
             bhr.push(true);
         }
-        assert!(correct >= 195, "biased branch should stay predicted, got {correct}/200");
+        assert!(
+            correct >= 195,
+            "biased branch should stay predicted, got {correct}/200"
+        );
     }
 
     #[test]
@@ -269,6 +285,9 @@ mod tests {
         // Correct taken prediction via majority (bim+g1 vote taken).
         p.update(pc, h, true);
         let after = p.g0.counter(g0i).value();
-        assert_eq!(before, after, "disagreeing bank untouched by partial update");
+        assert_eq!(
+            before, after,
+            "disagreeing bank untouched by partial update"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl HistoryBits {
             len <= MAX_HISTORY_BITS,
             "history length {len} exceeds {MAX_HISTORY_BITS}"
         );
-        Self { bits: 0, len: len as u8 }
+        Self {
+            bits: 0,
+            len: len as u8,
+        }
     }
 
     /// Creates a history register from a raw bit pattern.
@@ -113,7 +116,10 @@ impl HistoryBits {
     /// Panics if `n > 64`.
     #[must_use]
     pub fn recent(&self, n: usize) -> u64 {
-        assert!(n <= MAX_HISTORY_BITS, "requested {n} bits from a history register");
+        assert!(
+            n <= MAX_HISTORY_BITS,
+            "requested {n} bits from a history register"
+        );
         self.bits & mask(n)
     }
 

@@ -38,7 +38,7 @@ pub fn gshare_index(pc: u64, hist: u64, hist_len: usize, width: usize) -> u64 {
 /// `H(x)_i = x_{i-1}` for `i ≥ 1`, `H(x)_0 = x_{n-1} ^ x_0`.
 #[must_use]
 pub fn skew_h(x: u64, n: usize) -> u64 {
-    debug_assert!(n >= 2 && n <= 63);
+    debug_assert!((2..=63).contains(&n));
     let m = mask(n);
     let x = x & m;
     let msb = (x >> (n - 1)) & 1;
@@ -49,7 +49,7 @@ pub fn skew_h(x: u64, n: usize) -> u64 {
 /// bit as `lsb ^ bit1`.
 #[must_use]
 pub fn skew_g(x: u64, n: usize) -> u64 {
-    debug_assert!(n >= 2 && n <= 63);
+    debug_assert!((2..=63).contains(&n));
     let m = mask(n);
     let x = x & m;
     let lsb = x & 1;
@@ -106,7 +106,10 @@ pub fn mix2(
     // Tag: fold history at tag width, XOR with differently-shifted PC bits so
     // that index and tag disagree on how they view both inputs.
     let th = fold_bits(bits, bits_len, tag_width);
-    let tp = fold((pc >> 2).rotate_left(7) ^ (pc >> (2 + index_width)), tag_width);
+    let tp = fold(
+        (pc >> 2).rotate_left(7) ^ (pc >> (2 + index_width)),
+        tag_width,
+    );
     let tag = (th ^ tp) & mask(tag_width);
     (idx, tag)
 }
@@ -179,8 +182,14 @@ mod tests {
             total += 1;
         }
         // Random chance of agreement is 1/1024; allow generous slack.
-        assert!(same01 < total / 50, "f0/f1 agree too often: {same01}/{total}");
-        assert!(same02 < total / 50, "f0/f2 agree too often: {same02}/{total}");
+        assert!(
+            same01 < total / 50,
+            "f0/f1 agree too often: {same01}/{total}"
+        );
+        assert!(
+            same02 < total / 50,
+            "f0/f2 agree too often: {same02}/{total}"
+        );
     }
 
     #[test]

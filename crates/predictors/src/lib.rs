@@ -143,7 +143,10 @@ impl Prediction {
     /// A bare direction prediction (confidence 0).
     #[must_use]
     pub const fn taken_or_not(taken: bool) -> Self {
-        Self { taken, confidence: 0 }
+        Self {
+            taken,
+            confidence: 0,
+        }
     }
 
     /// The predicted direction, `true` = taken.

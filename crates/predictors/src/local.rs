@@ -35,7 +35,10 @@ impl Local {
     #[must_use]
     pub fn new(history_entries: usize, history_len: usize, counter_entries: usize) -> Self {
         assert!(history_entries.is_power_of_two());
-        assert!(history_len <= 32, "local history length {history_len} too long");
+        assert!(
+            history_len <= 32,
+            "local history length {history_len} too long"
+        );
         Self {
             histories: vec![0; history_entries],
             history_len,
@@ -64,8 +67,8 @@ impl DirectionPredictor for Local {
     fn update(&mut self, pc: Pc, _hist: HistoryBits, taken: bool) {
         self.table.counter_mut(self.l2_index(pc)).update(taken);
         let slot = self.l1_index(pc);
-        self.histories[slot] = ((self.histories[slot] << 1) | u64::from(taken))
-            & mask(self.history_len);
+        self.histories[slot] =
+            ((self.histories[slot] << 1) | u64::from(taken)) & mask(self.history_len);
     }
 
     fn history_len(&self) -> usize {
@@ -106,7 +109,10 @@ mod tests {
             }
             p.update(pc, g(), pattern[i % 3]);
         }
-        assert!(correct >= 28, "local pattern nearly perfect, got {correct}/30");
+        assert!(
+            correct >= 28,
+            "local pattern nearly perfect, got {correct}/30"
+        );
     }
 
     #[test]

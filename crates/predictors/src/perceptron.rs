@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn theta_follows_jimenez_lin_formula() {
-        assert_eq!(Perceptron::new(10, 17).theta(), (1.93f64 * 17.0 + 14.0) as i32);
+        assert_eq!(
+            Perceptron::new(10, 17).theta(),
+            (1.93f64 * 17.0 + 14.0) as i32
+        );
         assert_eq!(Perceptron::new(10, 28).theta(), 68);
     }
 
@@ -182,7 +185,10 @@ mod tests {
             outcomes.pop_front();
             outcomes.push_back(taken);
         }
-        assert!(correct >= 98, "linearly separable pattern, got {correct}/100");
+        assert!(
+            correct >= 98,
+            "linearly separable pattern, got {correct}/100"
+        );
     }
 
     #[test]
@@ -208,7 +214,10 @@ mod tests {
             p.update(pc, bhr, taken);
             bhr.push(taken);
         }
-        assert!(correct >= period - 2, "loop exit learned, got {correct}/{period}");
+        assert!(
+            correct >= period - 2,
+            "loop exit learned, got {correct}/{period}"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl CounterTable {
     /// width is out of range.
     #[must_use]
     pub fn new(entries: usize, counter_bits: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table entries {entries} must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table entries {entries} must be a power of two"
+        );
         Self {
             counters: vec![SatCounter::weakly_not_taken(counter_bits); entries],
             index_mask: (entries - 1) as u64,
@@ -123,8 +126,16 @@ impl<T: Clone> TaggedTable<T> {
     pub fn new(sets: usize, ways: usize, tag_bits: usize, fill: T) -> Self {
         assert!(sets.is_power_of_two(), "sets {sets} must be a power of two");
         assert!(ways > 0, "ways must be non-zero");
-        assert!((1..=32).contains(&tag_bits), "tag width {tag_bits} out of range");
-        let way = Way { valid: false, tag: 0, lru: 0, data: fill };
+        assert!(
+            (1..=32).contains(&tag_bits),
+            "tag width {tag_bits} out of range"
+        );
+        let way = Way {
+            valid: false,
+            tag: 0,
+            lru: 0,
+            data: fill,
+        };
         Self {
             sets: vec![vec![way; ways]; sets],
             ways,
@@ -216,7 +227,13 @@ impl<T: Clone> TaggedTable<T> {
         }
         let victim = ways
             .iter_mut()
-            .min_by_key(|w| if w.valid { (1u64, u64::from(w.lru)) } else { (0, 0) })
+            .min_by_key(|w| {
+                if w.valid {
+                    (1u64, u64::from(w.lru))
+                } else {
+                    (0, 0)
+                }
+            })
             .expect("set has at least one way");
         victim.valid = true;
         victim.tag = tag;
@@ -233,10 +250,11 @@ impl<T: Clone> TaggedTable<T> {
 
     /// Iterates over all valid `(set, tag, data)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &T)> {
-        self.sets
-            .iter()
-            .enumerate()
-            .flat_map(|(s, ways)| ways.iter().filter(|w| w.valid).map(move |w| (s, w.tag, &w.data)))
+        self.sets.iter().enumerate().flat_map(|(s, ways)| {
+            ways.iter()
+                .filter(|w| w.valid)
+                .map(move |w| (s, w.tag, &w.data))
+        })
     }
 }
 

@@ -102,7 +102,11 @@ impl DirectionPredictor for Yags {
         let (idx, tag) = self.cache_hash(pc, hist);
 
         // The prediction the exception cache gave *before* this update.
-        let cache = if bias { &mut self.not_taken_cache } else { &mut self.taken_cache };
+        let cache = if bias {
+            &mut self.not_taken_cache
+        } else {
+            &mut self.taken_cache
+        };
         let prior = cache.peek(idx, tag).map(SatCounter::is_taken);
 
         // Train the hitting entry, or allocate when the bias mispredicted
@@ -171,7 +175,6 @@ mod tests {
         let mut p = small();
         let pc = Pc::new(0x200);
         let mut bhr = HistoryBits::new(10);
-        let mut step = 0u32;
         let mut correct = 0;
         let mut total = 0;
         for i in 0..2000 {
@@ -183,8 +186,6 @@ mod tests {
             }
             p.update(pc, bhr, taken);
             bhr.push(taken);
-            step += 1;
-            let _ = step;
         }
         assert!(
             correct * 100 >= total * 95,

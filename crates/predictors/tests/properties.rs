@@ -1,111 +1,152 @@
-//! Property-based tests over the predictor primitives.
+//! Randomized property tests over the predictor primitives.
+//!
+//! The workspace builds offline, so instead of proptest these use the
+//! in-repo seeded generator (`workloads::rng`) and sweep each invariant
+//! over a few hundred deterministic cases.
 
-use proptest::prelude::*;
+use workloads::rng::SmallRng;
 
 use predictors::index::{gshare_index, mix2, skew, skew_g, skew_h};
 use predictors::{
     Bimodal, DirectionPredictor, Gshare, HistoryBits, Pc, Perceptron, SatCounter, TaggedTable,
 };
 
-proptest! {
-    #[test]
-    fn skew_h_and_g_are_mutual_inverses(x in any::<u64>(), n in 2usize..=32) {
-        let x = x & ((1u64 << n) - 1);
-        prop_assert_eq!(skew_g(skew_h(x, n), n), x);
-        prop_assert_eq!(skew_h(skew_g(x, n), n), x);
-    }
+const CASES: usize = 300;
 
-    #[test]
-    fn skew_indices_stay_in_range(
-        which in 0usize..3,
-        pc in any::<u64>(),
-        hist in any::<u64>(),
-        hist_len in 0usize..=64,
-        width in 2usize..=31,
-    ) {
+#[test]
+fn skew_h_and_g_are_mutual_inverses() {
+    let mut rng = SmallRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..=32);
+        let x = rng.gen::<u64>() & ((1u64 << n) - 1);
+        assert_eq!(skew_g(skew_h(x, n), n), x);
+        assert_eq!(skew_h(skew_g(x, n), n), x);
+    }
+}
+
+#[test]
+fn skew_indices_stay_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let which = rng.gen_range(0usize..3);
+        let pc = rng.gen::<u64>();
+        let hist = rng.gen::<u64>();
+        let hist_len = rng.gen_range(0usize..=64);
+        let width = rng.gen_range(2usize..=31);
         let idx = skew(which, pc, hist, hist_len, width);
-        prop_assert!(idx < (1u64 << width));
+        assert!(idx < (1u64 << width));
     }
+}
 
-    #[test]
-    fn gshare_index_is_pure(pc in any::<u64>(), hist in any::<u64>(), len in 0usize..=64) {
+#[test]
+fn gshare_index_is_pure() {
+    let mut rng = SmallRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let pc = rng.gen::<u64>();
+        let hist = rng.gen::<u64>();
+        let len = rng.gen_range(0usize..=64);
         let a = gshare_index(pc, hist, len, 13);
         let b = gshare_index(pc, hist, len, 13);
-        prop_assert_eq!(a, b);
-        prop_assert!(a < (1 << 13));
+        assert_eq!(a, b);
+        assert!(a < (1 << 13));
     }
+}
 
-    #[test]
-    fn mix2_outputs_respect_widths(
-        pc in any::<u64>(),
-        bits in any::<u64>(),
-        len in 0usize..=64,
-        iw in 1usize..=20,
-        tw in 1usize..=16,
-    ) {
+#[test]
+fn mix2_outputs_respect_widths() {
+    let mut rng = SmallRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let pc = rng.gen::<u64>();
+        let bits = rng.gen::<u64>();
+        let len = rng.gen_range(0usize..=64);
+        let iw = rng.gen_range(1usize..=20);
+        let tw = rng.gen_range(1usize..=16);
         let (idx, tag) = mix2(pc, bits, len, iw, tw);
-        prop_assert!(idx < (1u64 << iw));
-        prop_assert!(tag < (1u64 << tw));
+        assert!(idx < (1u64 << iw));
+        assert!(tag < (1u64 << tw));
     }
+}
 
-    #[test]
-    fn tagged_table_never_exceeds_capacity(
-        ops in prop::collection::vec((0u64..64, 0u64..512, any::<u8>()), 0..300),
-    ) {
+#[test]
+fn tagged_table_never_exceeds_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0xA005);
+    for _ in 0..20 {
         let mut t: TaggedTable<u8> = TaggedTable::new(16, 4, 9, 0);
-        for (idx, tag, data) in ops {
+        let ops = rng.gen_range(0usize..300);
+        for _ in 0..ops {
+            let idx = rng.gen_range(0u64..64);
+            let tag = rng.gen_range(0u64..512);
+            let data = (rng.gen::<u64>() & 0xff) as u8;
             t.insert(idx, tag, data);
-            prop_assert!(t.occupancy() <= t.capacity());
+            assert!(t.occupancy() <= t.capacity());
         }
     }
+}
 
-    #[test]
-    fn tagged_table_insert_then_peek_hits(idx in 0u64..1024, tag in 0u64..512, data: u8) {
+#[test]
+fn tagged_table_insert_then_peek_hits() {
+    let mut rng = SmallRng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let idx = rng.gen_range(0u64..1024);
+        let tag = rng.gen_range(0u64..512);
+        let data = (rng.gen::<u64>() & 0xff) as u8;
         let mut t: TaggedTable<u8> = TaggedTable::new(64, 4, 9, 0);
         t.insert(idx, tag, data);
-        prop_assert_eq!(t.peek(idx, tag), Some(&data));
+        assert_eq!(t.peek(idx, tag), Some(&data));
     }
+}
 
-    #[test]
-    fn counters_round_trip_direction(bits in 1usize..=7, taken: bool) {
-        let c = SatCounter::weak_for(bits, taken);
-        prop_assert_eq!(c.is_taken(), taken);
-        // A 1-bit counter has no hysteresis: its weak state *is* strong.
-        if bits >= 2 {
-            prop_assert!(!c.is_strong());
-        }
-    }
-
-    #[test]
-    fn predictors_are_deterministic_under_identical_streams(
-        stream in prop::collection::vec((0u64..1 << 20, any::<bool>()), 1..200),
-    ) {
-        let run = |mut p: Box<dyn DirectionPredictor>| -> Vec<bool> {
-            let mut hist = HistoryBits::new(p.history_len().max(1));
-            let mut out = Vec::new();
-            for (pc_raw, taken) in &stream {
-                let pc = Pc::new(0x40_0000 + pc_raw * 4);
-                out.push(p.predict(pc, hist).taken());
-                p.update(pc, hist, *taken);
-                hist.push(*taken);
+#[test]
+fn counters_round_trip_direction() {
+    for bits in 1usize..=7 {
+        for taken in [false, true] {
+            let c = SatCounter::weak_for(bits, taken);
+            assert_eq!(c.is_taken(), taken);
+            // A 1-bit counter has no hysteresis: its weak state *is* strong.
+            if bits >= 2 {
+                assert!(!c.is_strong());
             }
-            out
-        };
-        for make in [
-            || Box::new(Bimodal::new(256)) as Box<dyn DirectionPredictor>,
-            || Box::new(Gshare::new(1024, 10)) as Box<dyn DirectionPredictor>,
-            || Box::new(Perceptron::new(37, 12)) as Box<dyn DirectionPredictor>,
-        ] {
-            prop_assert_eq!(run(make()), run(make()));
         }
     }
+}
 
-    #[test]
-    fn history_resize_is_prefix_preserving(bits in any::<u64>(), big in 1usize..=64, small in 1usize..=64) {
-        let (big, small) = (big.max(small), big.min(small));
+#[test]
+fn predictors_are_deterministic_under_identical_streams() {
+    let mut rng = SmallRng::seed_from_u64(0xA007);
+    let stream: Vec<(u64, bool)> = (0..200)
+        .map(|_| (rng.gen_range(0u64..1 << 20), rng.gen::<bool>()))
+        .collect();
+    let run = |mut p: Box<dyn DirectionPredictor>| -> Vec<bool> {
+        let mut hist = HistoryBits::new(p.history_len().max(1));
+        let mut out = Vec::new();
+        for (pc_raw, taken) in &stream {
+            let pc = Pc::new(0x40_0000 + pc_raw * 4);
+            out.push(p.predict(pc, hist).taken());
+            p.update(pc, hist, *taken);
+            hist.push(*taken);
+        }
+        out
+    };
+    for make in [
+        || Box::new(Bimodal::new(256)) as Box<dyn DirectionPredictor>,
+        || Box::new(Gshare::new(1024, 10)) as Box<dyn DirectionPredictor>,
+        || Box::new(Perceptron::new(37, 12)) as Box<dyn DirectionPredictor>,
+    ] {
+        assert_eq!(run(make()), run(make()));
+    }
+}
+
+#[test]
+fn history_resize_is_prefix_preserving() {
+    let mut rng = SmallRng::seed_from_u64(0xA008);
+    for _ in 0..CASES {
+        let bits = rng.gen::<u64>();
+        let a = rng.gen_range(1usize..=64);
+        let b = rng.gen_range(1usize..=64);
+        let (big, small) = (a.max(b), a.min(b));
         let mut h = HistoryBits::from_raw(bits, big);
         let expected = h.recent(small);
         h.resize(small);
-        prop_assert_eq!(h.bits(), expected);
+        assert_eq!(h.bits(), expected);
     }
 }

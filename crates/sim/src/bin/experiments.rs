@@ -1,19 +1,30 @@
 //! The experiment runner.
 //!
 //! ```text
-//! experiments [--csv DIR] <id>... | all | list
+//! experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list
 //!
 //!   SCALE=2        double the per-benchmark uop budget
 //!   EXP_BENCH=all  sweep all 110 benchmarks instead of 2 per suite
+//!   THREADS=8      default worker count (--threads overrides)
 //! ```
+//!
+//! Every run reports per-experiment wall-clock on stderr. Runs that
+//! include `headline` (or pass an explicit `--json FILE`) also write a
+//! machine-readable report — wall-clock per experiment plus the headline
+//! misp/Kuops and uPC — so the perf trajectory is tracked across commits;
+//! the default `BENCH_headline.json` is never clobbered by runs without
+//! headline metrics.
 
 use std::io::Write;
 use std::time::Instant;
 
-use sim::experiments::{all, by_id, Experiment, ExpEnv};
+use sim::experiments::headline::HeadlineMetrics;
+use sim::experiments::{all, by_id, ExpEnv, Experiment};
+
+const DEFAULT_JSON_PATH: &str = "BENCH_headline.json";
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--csv DIR] <id>... | all | list");
+    eprintln!("usage: experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list");
     eprintln!("experiments:");
     for e in all() {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -21,16 +32,92 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Extracts the value of `--flag VALUE` from `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        usage();
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+struct Timing {
+    id: &'static str,
+    seconds: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(
+    path: &str,
+    env: &ExpEnv,
+    timings: &[Timing],
+    headline: Option<&HeadlineMetrics>,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_headline_v1\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", env.threads));
+    out.push_str(&format!("  \"scale\": {},\n", env.scale));
+    out.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_clock_seconds\": {:.3}}}{comma}\n",
+            json_escape(t.id),
+            t.seconds
+        ));
+    }
+    out.push_str("  ],\n");
+    let total: f64 = timings.iter().map(|t| t.seconds).sum();
+    out.push_str(&format!("  \"total_wall_clock_seconds\": {total:.3},\n"));
+    match headline {
+        Some(m) => {
+            out.push_str("  \"headline\": {\n");
+            out.push_str(&format!(
+                "    \"baseline_misp_per_kuops\": {:.4},\n",
+                m.baseline_misp_per_kuops
+            ));
+            out.push_str(&format!(
+                "    \"hybrid_misp_per_kuops\": {:.4},\n",
+                m.hybrid_misp_per_kuops
+            ));
+            out.push_str(&format!(
+                "    \"misp_reduction_percent\": {:.2},\n",
+                m.misp_reduction_percent
+            ));
+            out.push_str(&format!(
+                "    \"baseline_uops_per_flush\": {:.2},\n",
+                m.baseline_uops_per_flush
+            ));
+            out.push_str(&format!(
+                "    \"hybrid_uops_per_flush\": {:.2},\n",
+                m.hybrid_uops_per_flush
+            ));
+            out.push_str(&format!("    \"baseline_upc\": {:.4},\n", m.baseline_upc));
+            out.push_str(&format!("    \"hybrid_upc\": {:.4}\n", m.hybrid_upc));
+            out.push_str("  }\n");
+        }
+        None => out.push_str("  \"headline\": null\n"),
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut csv_dir: Option<String> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        if pos + 1 >= args.len() {
-            usage();
-        }
-        csv_dir = Some(args.remove(pos + 1));
-        args.remove(pos);
-    }
+    let csv_dir = take_flag(&mut args, "--csv");
+    let explicit_json = take_flag(&mut args, "--json");
+    let json_path = explicit_json
+        .clone()
+        .unwrap_or_else(|| DEFAULT_JSON_PATH.to_string());
+    let threads =
+        take_flag(&mut args, "--threads").map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()));
     if args.is_empty() {
         usage();
     }
@@ -49,23 +136,42 @@ fn main() {
             .collect()
     };
 
-    let env = ExpEnv::from_env();
+    let mut env = ExpEnv::from_env();
+    if let Some(t) = threads {
+        env = env.with_threads(t);
+    }
     eprintln!(
-        "# running {} experiment(s), scale {}, bench set {:?}",
+        "# running {} experiment(s), scale {}, bench set {:?}, {} thread(s)",
         selected.len(),
         env.scale,
-        env.bench_set
+        env.bench_set,
+        env.threads
     );
 
+    let mut timings: Vec<Timing> = Vec::with_capacity(selected.len());
+    let mut headline_metrics: Option<HeadlineMetrics> = None;
     for e in selected {
         let start = Instant::now();
-        let tables = (e.run)(&env);
+        // The headline experiment also yields machine-readable metrics;
+        // run it through the metrics entry point so they land in the
+        // JSON report without a second (expensive) run.
+        let tables = if e.id == "headline" {
+            let (tables, metrics) = sim::experiments::headline::run_with_metrics(&env);
+            headline_metrics = Some(metrics);
+            tables
+        } else {
+            (e.run)(&env)
+        };
         let elapsed = start.elapsed();
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
             if let Some(dir) = &csv_dir {
                 std::fs::create_dir_all(dir).expect("create csv dir");
-                let suffix = if tables.len() > 1 { format!("_{}", (b'a' + i as u8) as char) } else { String::new() };
+                let suffix = if tables.len() > 1 {
+                    format!("_{}", (b'a' + i as u8) as char)
+                } else {
+                    String::new()
+                };
                 let path = format!("{dir}/{}{suffix}.csv", e.id);
                 let mut f = std::fs::File::create(&path).expect("create csv file");
                 f.write_all(t.to_csv().as_bytes()).expect("write csv");
@@ -73,5 +179,20 @@ fn main() {
             }
         }
         eprintln!("# {} finished in {:.1}s\n", e.id, elapsed.as_secs_f64());
+        timings.push(Timing {
+            id: e.id,
+            seconds: elapsed.as_secs_f64(),
+        });
+    }
+
+    // The default-path file is the headline perf tracker: only overwrite
+    // it when this run produced headline metrics, so `experiments fig5`
+    // doesn't clobber a previously recorded headline block with null.
+    // An explicit `--json PATH` always writes.
+    if explicit_json.is_some() || headline_metrics.is_some() {
+        match write_report(&json_path, &env, &timings, headline_metrics.as_ref()) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(err) => eprintln!("# could not write {json_path}: {err}"),
+        }
     }
 }

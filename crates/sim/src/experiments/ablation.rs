@@ -16,63 +16,81 @@ use predictors::configs::{self, Budget};
 use predictors::{DirectionPredictor, TaggedGshare};
 use prophet_critic::{AllocationPolicy, ProphetCritic, TaggedGshareCritic};
 
+use workloads::{Benchmark, Program};
+
 use crate::accuracy::run_accuracy;
 use crate::experiments::common::ExpEnv;
 use crate::metrics::AccuracyResult;
+use crate::runner::par_map;
 use crate::table::{f2, Table};
 
 const FUTURE_BITS: usize = 4;
 
 fn run_config(
     env: &ExpEnv,
-    make_critic: impl Fn() -> TaggedGshareCritic,
+    programs: &[(Benchmark, Program)],
+    make_critic: impl Fn() -> TaggedGshareCritic + Sync,
 ) -> AccuracyResult {
-    let programs = env.programs();
-    let runs: Vec<AccuracyResult> = programs
-        .iter()
-        .map(|(b, p)| {
-            let mut hybrid =
-                ProphetCritic::new(configs::perceptron(Budget::K8), make_critic(), FUTURE_BITS);
-            run_accuracy(p, &mut hybrid, &env.sim_config(b.seed))
-        })
-        .collect();
+    let runs = par_map(programs, env.threads, |_, (b, p)| {
+        let mut hybrid =
+            ProphetCritic::new(configs::perceptron(Budget::K8), make_critic(), FUTURE_BITS);
+        run_accuracy(p, &mut hybrid, &env.sim_config(b.seed))
+    });
     AccuracyResult::pooled("ablation", &runs)
 }
 
 /// Runs both ablations.
 #[must_use]
 pub fn run(env: &ExpEnv) -> Vec<Table> {
+    // Synthesize the benchmark set once; every configuration below reuses
+    // the same programs.
+    let programs = env.programs();
+
     // --- Tag width sweep at the Table 3 capacity (1024×6 entries).
     let mut tags = Table::new(
         "Ablation A — critic tag width (8KB perceptron prophet + 1024*6 tagged gshare, 4 fb)",
         &["tag bits", "misp/Kuops", "storage bytes"],
     );
     for tag_bits in [5usize, 7, 9, 11] {
-        let r = run_config(env, || {
+        let r = run_config(env, &programs, || {
             TaggedGshareCritic::new(TaggedGshare::new(1024, 6, tag_bits, 18))
         });
         let bytes = TaggedGshare::new(1024, 6, tag_bits, 18).storage_bytes();
-        tags.row(vec![tag_bits.to_string(), f2(r.misp_per_kuops()), bytes.to_string()]);
+        tags.row(vec![
+            tag_bits.to_string(),
+            f2(r.misp_per_kuops()),
+            bytes.to_string(),
+        ]);
     }
     tags.note("paper §4: 8-10 bit tags suffice; short tags false-hit, long tags waste storage");
 
     // --- Allocation policy.
     let mut policy = Table::new(
         "Ablation B — filter allocation policy (same prophet/critic, 4 fb)",
-        &["policy", "misp/Kuops", "engaged critiques", "correct_disagree"],
+        &[
+            "policy",
+            "misp/Kuops",
+            "engaged critiques",
+            "correct_disagree",
+        ],
     );
     for (label, p) in [
-        ("on prophet mispredict (paper)", AllocationPolicy::OnProphetMispredict),
+        (
+            "on prophet mispredict (paper)",
+            AllocationPolicy::OnProphetMispredict,
+        ),
         ("on every filter miss", AllocationPolicy::OnEveryMiss),
     ] {
-        let r = run_config(env, || {
+        let r = run_config(env, &programs, || {
             TaggedGshareCritic::with_policy(configs::tagged_gshare(Budget::K8), p)
         });
         policy.row(vec![
             label.to_string(),
             f2(r.misp_per_kuops()),
             r.critiques.engaged().to_string(),
-            r.critiques.count(prophet_critic::CritiqueKind::CorrectDisagree).to_string(),
+            r.critiques
+                .count(prophet_critic::CritiqueKind::CorrectDisagree)
+                .to_string(),
         ]);
     }
     policy.note("allocating on every miss floods the critic with easy branches (§4's motivation for filtering)");
@@ -93,6 +111,9 @@ mod tests {
         // The every-miss policy must engage at least as many critiques.
         let paper: u64 = tables[1].rows[0][2].parse().unwrap();
         let naive: u64 = tables[1].rows[1][2].parse().unwrap();
-        assert!(naive >= paper, "naive allocation should engage more: {naive} vs {paper}");
+        assert!(
+            naive >= paper,
+            "naive allocation should engage more: {naive} vs {paper}"
+        );
     }
 }

@@ -1,10 +1,29 @@
-//! Shared experiment plumbing: scaling, benchmark selection, pooled runs.
+//! Shared experiment plumbing: scaling, benchmark selection, and the
+//! parallel grid entry points.
+//!
+//! Every experiment reduces to a grid of independent cells — one
+//! `(HybridSpec, Benchmark)` pair per cell — so the module exposes the
+//! grid as data:
+//!
+//! * [`run_matrix`] — simulate every spec × program cell, in parallel,
+//!   returning the per-cell results in input order;
+//! * [`run_grid`] — the same, pooled per spec (the paper's usual
+//!   aggregate);
+//! * [`pooled_accuracy`] / [`single_accuracy`] — the one-spec
+//!   conveniences the figure modules use.
+//!
+//! Parallel execution is deterministic: cells are distributed dynamically
+//! but results are collected by input index, and each cell's simulation is
+//! seeded, so any thread count produces bit-identical `AccuracyResult`s
+//! to the sequential path ([`pooled_accuracy_seq`] is kept as the
+//! reference and the determinism tests compare against it).
 
 use prophet_critic::HybridSpec;
 use workloads::{all_benchmarks, Benchmark, Program, Suite};
 
 use crate::accuracy::{run_accuracy, SimConfig};
 use crate::metrics::AccuracyResult;
+use crate::runner::{default_threads, par_map};
 
 /// Default committed-uop budget per benchmark at `SCALE=1`.
 pub const BASE_UOPS: u64 = 1_200_000;
@@ -22,16 +41,21 @@ pub enum BenchSet {
 ///
 /// * `SCALE` — multiplies the per-benchmark uop budget (default 1.0).
 /// * `EXP_BENCH` — `fast` (default) or `all`.
+/// * `THREADS` — worker threads for the grid runner (default: all cores;
+///   the `experiments` binary's `--threads` flag overrides it).
 #[derive(Copy, Clone, Debug)]
 pub struct ExpEnv {
     /// Budget multiplier.
     pub scale: f64,
     /// Benchmark selection.
     pub bench_set: BenchSet,
+    /// Worker threads for grid fan-out (1 = sequential).
+    pub threads: usize,
 }
 
 impl ExpEnv {
-    /// Reads `SCALE` and `EXP_BENCH` from the process environment.
+    /// Reads `SCALE`, `EXP_BENCH` and `THREADS` from the process
+    /// environment.
     #[must_use]
     pub fn from_env() -> Self {
         let scale = std::env::var("SCALE")
@@ -43,13 +67,30 @@ impl ExpEnv {
             Ok("all") => BenchSet::All,
             _ => BenchSet::Fast,
         };
-        Self { scale, bench_set }
+        Self {
+            scale,
+            bench_set,
+            threads: default_threads(),
+        }
     }
 
-    /// A fixed tiny environment for tests and Criterion benches.
+    /// A fixed tiny environment for tests and timing benches. Uses two
+    /// workers so the parallel path is exercised (determinism makes the
+    /// thread count invisible in the results).
     #[must_use]
     pub fn tiny() -> Self {
-        Self { scale: 0.08, bench_set: BenchSet::Fast }
+        Self {
+            scale: 0.08,
+            bench_set: BenchSet::Fast,
+            threads: 2,
+        }
+    }
+
+    /// This environment pinned to `threads` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The per-benchmark committed-uop budget.
@@ -71,19 +112,21 @@ impl ExpEnv {
             BenchSet::Fast => 2,
             BenchSet::All => usize::MAX,
         };
-        let mut out = Vec::new();
+        let mut selected = Vec::new();
         for suite in Suite::ALL {
-            let mut n = 0;
-            for b in all_benchmarks().into_iter().filter(|b| b.suite == suite) {
-                if n >= per_suite {
-                    break;
-                }
-                let p = b.program();
-                out.push((b, p));
-                n += 1;
-            }
+            selected.extend(
+                all_benchmarks()
+                    .into_iter()
+                    .filter(|b| b.suite == suite)
+                    .take(per_suite),
+            );
         }
-        out
+        // Program synthesis is itself per-benchmark independent work.
+        par_map(&selected, self.threads, |_, b| b.program())
+            .into_iter()
+            .zip(selected)
+            .map(|(p, b)| (b, p))
+            .collect()
     }
 
     /// Generates programs for an explicit benchmark-name list.
@@ -104,9 +147,79 @@ impl ExpEnv {
     }
 }
 
-/// Runs `spec` over a set of programs and pools the results.
+/// Simulates every `spec × program` cell of the grid in parallel and
+/// returns the results as `[spec index][program index]`, in input order.
+///
+/// This is the engine behind every figure module: a whole experiment's
+/// spec list goes in at once so the fan-out covers the full grid rather
+/// than one row at a time.
+#[must_use]
+pub fn run_matrix(
+    specs: &[HybridSpec],
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+) -> Vec<Vec<AccuracyResult>> {
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..programs.len()).map(move |p| (s, p)))
+        .collect();
+    let flat = par_map(&cells, env.threads, |_, &(s, p)| {
+        let (bench, program) = &programs[p];
+        let mut hybrid = specs[s].build();
+        run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed))
+    });
+    let mut rows: Vec<Vec<AccuracyResult>> = Vec::with_capacity(specs.len());
+    let mut it = flat.into_iter();
+    for _ in 0..specs.len() {
+        rows.push(it.by_ref().take(programs.len()).collect());
+    }
+    rows
+}
+
+/// Runs every spec over the program set in parallel and pools each spec's
+/// results (the paper's per-configuration aggregate), in input order.
+#[must_use]
+pub fn run_grid(
+    specs: &[HybridSpec],
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+) -> Vec<AccuracyResult> {
+    run_matrix(specs, programs, env)
+        .iter()
+        .zip(specs)
+        .map(|(runs, spec)| AccuracyResult::pooled(&spec.label(), runs))
+        .collect()
+}
+
+/// Runs `spec` over a set of programs on the parallel engine and pools the
+/// results.
 #[must_use]
 pub fn pooled_accuracy(
+    spec: &HybridSpec,
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+) -> AccuracyResult {
+    run_grid(std::slice::from_ref(spec), programs, env)
+        .pop()
+        .expect("one spec in, one pooled result out")
+}
+
+/// [`pooled_accuracy`] with an explicit worker count.
+#[must_use]
+pub fn pooled_accuracy_par(
+    spec: &HybridSpec,
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+    threads: usize,
+) -> AccuracyResult {
+    pooled_accuracy(spec, programs, &env.with_threads(threads))
+}
+
+/// The strictly sequential reference implementation of
+/// [`pooled_accuracy`]: a plain loop, no worker threads, no shared state.
+/// The determinism tests assert the parallel engine matches it
+/// bit-for-bit.
+#[must_use]
+pub fn pooled_accuracy_seq(
     spec: &HybridSpec,
     programs: &[(Benchmark, Program)],
     env: &ExpEnv,
@@ -131,14 +244,20 @@ pub fn single_accuracy(
 ) -> AccuracyResult {
     let mut hybrid = spec.build();
     let mut r = run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed));
-    r.benchmark = bench.name.clone();
+    // The walker reports the program's name; experiments label results by
+    // benchmark. Overwrite in place rather than cloning a fresh String
+    // when the names already agree.
+    if r.benchmark != bench.name {
+        r.benchmark.clear();
+        r.benchmark.push_str(&bench.name);
+    }
     r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prophet_critic::{Budget, ProphetKind};
+    use prophet_critic::{Budget, CriticKind, ProphetKind};
 
     #[test]
     fn tiny_env_budget_is_bounded() {
@@ -153,7 +272,10 @@ mod tests {
         let programs = env.programs();
         assert_eq!(programs.len(), 14);
         for suite in Suite::ALL {
-            assert!(programs.iter().any(|(b, _)| b.suite == suite), "{suite} missing");
+            assert!(
+                programs.iter().any(|(b, _)| b.suite == suite),
+                "{suite} missing"
+            );
         }
     }
 
@@ -173,5 +295,34 @@ mod tests {
         let r = pooled_accuracy(&spec, &programs, &env);
         assert!(r.committed_uops > 0);
         assert!(r.misp_per_kuops() > 0.0);
+    }
+
+    #[test]
+    fn grid_rows_line_up_with_specs() {
+        let env = ExpEnv {
+            scale: 0.02,
+            ..ExpEnv::tiny()
+        };
+        let programs = env.named_programs(&["gzip", "art"]);
+        let specs = [
+            HybridSpec::alone(ProphetKind::Gshare, Budget::K4),
+            HybridSpec::paired(
+                ProphetKind::Gshare,
+                Budget::K4,
+                CriticKind::TaggedGshare,
+                Budget::K4,
+                4,
+            ),
+        ];
+        let pooled = run_grid(&specs, &programs, &env);
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].benchmark, specs[0].label());
+        assert_eq!(pooled[1].benchmark, specs[1].label());
+        let matrix = run_matrix(&specs, &programs, &env);
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[0].len(), 2);
+        // Pooling the matrix row reproduces the grid row.
+        let repooled = AccuracyResult::pooled(&specs[0].label(), &matrix[0]);
+        assert_eq!(repooled, pooled[0]);
     }
 }

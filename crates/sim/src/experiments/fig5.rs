@@ -7,7 +7,7 @@
 
 use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 
-use crate::experiments::common::{single_accuracy, ExpEnv};
+use crate::experiments::common::{run_matrix, ExpEnv};
 use crate::metrics::AccuracyResult;
 use crate::table::{f2, Table};
 
@@ -18,7 +18,13 @@ pub const FIG5_BENCHMARKS: [&str; 6] = ["unzip", "premiere", "msvc7", "flash", "
 pub const FUTURE_BITS: [usize; 5] = [0, 1, 4, 8, 12];
 
 fn spec(fb: usize) -> HybridSpec {
-    HybridSpec::paired(ProphetKind::Perceptron, Budget::K8, CriticKind::TaggedGshare, Budget::K8, fb)
+    HybridSpec::paired(
+        ProphetKind::Perceptron,
+        Budget::K8,
+        CriticKind::TaggedGshare,
+        Budget::K8,
+        fb,
+    )
 }
 
 /// Runs Figure 5.
@@ -33,18 +39,19 @@ pub fn run(env: &ExpEnv) -> Vec<Table> {
         &headers,
     );
 
-    let mut per_fb_pool: Vec<Vec<AccuracyResult>> = vec![Vec::new(); FUTURE_BITS.len()];
-    for (bench, program) in &programs {
+    // One grid call covers the whole benchmark × future-bit matrix; the
+    // engine fans the 30 cells out across workers.
+    let specs: Vec<HybridSpec> = FUTURE_BITS.iter().map(|fb| spec(*fb)).collect();
+    let matrix = run_matrix(&specs, &programs, env);
+    for (bi, (bench, _)) in programs.iter().enumerate() {
         let mut cells = vec![bench.name.clone()];
-        for (i, fb) in FUTURE_BITS.iter().enumerate() {
-            let r = single_accuracy(&spec(*fb), bench, program, env);
-            cells.push(f2(r.misp_per_kuops()));
-            per_fb_pool[i].push(r);
+        for per_bench in &matrix {
+            cells.push(f2(per_bench[bi].misp_per_kuops()));
         }
         t.row(cells);
     }
     let mut avg = vec!["AVG".to_string()];
-    for pool in &per_fb_pool {
+    for pool in &matrix {
         avg.push(f2(AccuracyResult::pooled("avg", pool).misp_per_kuops()));
     }
     t.row(avg);

@@ -12,7 +12,7 @@
 
 use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 
-use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::experiments::common::{run_grid, ExpEnv};
 use crate::table::{f2, Table};
 
 const PROPHET_SIZES: [Budget; 2] = [Budget::K4, Budget::K16];
@@ -20,9 +20,21 @@ const CRITIC_SIZES: [Budget; 3] = [Budget::K2, Budget::K8, Budget::K32];
 const FUTURE_BITS: [usize; 4] = [1, 4, 8, 12];
 
 const COMBOS: [(&str, ProphetKind, CriticKind); 3] = [
-    ("(a) prophet: 2Bc-gskew; critic: perceptron (unfiltered)", ProphetKind::BcGskew, CriticKind::UnfilteredPerceptron),
-    ("(b) prophet: gshare; critic: filtered perceptron", ProphetKind::Gshare, CriticKind::FilteredPerceptron),
-    ("(c) prophet: perceptron; critic: tagged gshare", ProphetKind::Perceptron, CriticKind::TaggedGshare),
+    (
+        "(a) prophet: 2Bc-gskew; critic: perceptron (unfiltered)",
+        ProphetKind::BcGskew,
+        CriticKind::UnfilteredPerceptron,
+    ),
+    (
+        "(b) prophet: gshare; critic: filtered perceptron",
+        ProphetKind::Gshare,
+        CriticKind::FilteredPerceptron,
+    ),
+    (
+        "(c) prophet: perceptron; critic: tagged gshare",
+        ProphetKind::Perceptron,
+        CriticKind::TaggedGshare,
+    ),
 ];
 
 /// Runs Figure 6 (all three sub-figures).
@@ -31,21 +43,44 @@ pub fn run(env: &ExpEnv) -> Vec<Table> {
     let programs = env.programs();
     let mut out = Vec::new();
     for (title, prophet, critic) in COMBOS {
+        // Assemble the sub-figure's whole grid — 2 baselines plus
+        // 2 × 3 × 4 pairings — and hand it to the engine in one call so
+        // the fan-out covers all 26 configurations at once.
+        let mut specs: Vec<HybridSpec> = Vec::new();
+        for pb in PROPHET_SIZES {
+            specs.push(HybridSpec::alone(prophet, pb));
+            for cb in CRITIC_SIZES {
+                for fb in FUTURE_BITS {
+                    specs.push(HybridSpec::paired(prophet, pb, critic, cb, fb));
+                }
+            }
+        }
+        let pooled = run_grid(&specs, &programs, env);
+
         let mut t = Table::new(
             format!("Figure 6{title} — misp/Kuops"),
-            &["prophet", "critic", "no critic", "1 fb", "4 fb", "8 fb", "12 fb"],
+            &[
+                "prophet",
+                "critic",
+                "no critic",
+                "1 fb",
+                "4 fb",
+                "8 fb",
+                "12 fb",
+            ],
         );
-        for pb in PROPHET_SIZES {
-            let baseline = pooled_accuracy(&HybridSpec::alone(prophet, pb), &programs, env);
-            for cb in CRITIC_SIZES {
+        let per_prophet = 1 + CRITIC_SIZES.len() * FUTURE_BITS.len();
+        for (pi, pb) in PROPHET_SIZES.iter().enumerate() {
+            let base = pi * per_prophet;
+            let baseline = &pooled[base];
+            for (ci, cb) in CRITIC_SIZES.iter().enumerate() {
                 let mut cells = vec![
                     format!("{pb} {prophet}"),
                     format!("{cb} {critic}"),
                     f2(baseline.misp_per_kuops()),
                 ];
-                for fb in FUTURE_BITS {
-                    let spec = HybridSpec::paired(prophet, pb, critic, cb, fb);
-                    let r = pooled_accuracy(&spec, &programs, env);
+                for fi in 0..FUTURE_BITS.len() {
+                    let r = &pooled[base + 1 + ci * FUTURE_BITS.len() + fi];
                     cells.push(f2(r.misp_per_kuops()));
                 }
                 t.row(cells);

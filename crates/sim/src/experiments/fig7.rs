@@ -9,32 +9,51 @@
 
 use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 
-use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::experiments::common::{run_grid, ExpEnv};
 use crate::metrics::percent_reduction;
 use crate::table::{f2, pct, Table};
 
 const FUTURE_BITS: usize = 8;
+const CRITICS: [CriticKind; 2] = [CriticKind::FilteredPerceptron, CriticKind::TaggedGshare];
 
-fn one_size(env: &ExpEnv, total: Budget, half: Budget) -> Table {
-    let programs = env.programs();
+fn one_size(
+    env: &ExpEnv,
+    programs: &[(workloads::Benchmark, workloads::Program)],
+    total: Budget,
+    half: Budget,
+) -> Table {
+    // The table's 9 configurations (3 prophets × {conventional, 2 hybrids})
+    // go to the engine as one grid.
+    let mut specs: Vec<HybridSpec> = Vec::new();
+    for prophet in ProphetKind::ALL {
+        specs.push(HybridSpec::alone(prophet, total));
+        for critic in CRITICS {
+            specs.push(HybridSpec::paired(prophet, half, critic, half, FUTURE_BITS));
+        }
+    }
+    let pooled = run_grid(&specs, programs, env);
+
     let mut t = Table::new(
         format!("Figure 7 — {total} predictors: conventional vs. prophet/critic (8 future bits)"),
         &["configuration", "misp/Kuops", "reduction vs conventional"],
     );
-    for prophet in ProphetKind::ALL {
-        let conventional = pooled_accuracy(&HybridSpec::alone(prophet, total), &programs, env);
+    let per_prophet = 1 + CRITICS.len();
+    for (pi, prophet) in ProphetKind::ALL.iter().enumerate() {
+        let conventional = &pooled[pi * per_prophet];
         t.row(vec![
             format!("{total} {prophet}"),
             f2(conventional.misp_per_kuops()),
             "-".to_string(),
         ]);
-        for critic in [CriticKind::FilteredPerceptron, CriticKind::TaggedGshare] {
-            let spec = HybridSpec::paired(prophet, half, critic, half, FUTURE_BITS);
-            let r = pooled_accuracy(&spec, &programs, env);
+        for (ci, critic) in CRITICS.iter().enumerate() {
+            let r = &pooled[pi * per_prophet + 1 + ci];
             t.row(vec![
                 format!("{half} {prophet} + {half} {critic}"),
                 f2(r.misp_per_kuops()),
-                pct(percent_reduction(conventional.misp_per_kuops(), r.misp_per_kuops())),
+                pct(percent_reduction(
+                    conventional.misp_per_kuops(),
+                    r.misp_per_kuops(),
+                )),
             ]);
         }
     }
@@ -45,7 +64,12 @@ fn one_size(env: &ExpEnv, total: Budget, half: Budget) -> Table {
 /// Runs Figure 7 (both total budgets).
 #[must_use]
 pub fn run(env: &ExpEnv) -> Vec<Table> {
-    vec![one_size(env, Budget::K16, Budget::K8), one_size(env, Budget::K32, Budget::K16)]
+    // Synthesize the benchmark set once; both budget tables reuse it.
+    let programs = env.programs();
+    vec![
+        one_size(env, &programs, Budget::K16, Budget::K8),
+        one_size(env, &programs, Budget::K32, Budget::K16),
+    ]
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use prophet_critic::{Budget, CriticKind, CritiqueKind, HybridSpec, ProphetKind};
 
-use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::experiments::common::{run_grid, ExpEnv};
 use crate::table::{pct, Table};
 
 const FUTURE_BITS: [usize; 4] = [1, 4, 8, 12];
@@ -35,15 +35,20 @@ pub fn run(env: &ExpEnv) -> Vec<Table> {
             "i_disagree : c_disagree",
         ],
     );
-    for fb in FUTURE_BITS {
-        let spec = HybridSpec::paired(
-            ProphetKind::Perceptron,
-            Budget::K4,
-            CriticKind::TaggedGshare,
-            Budget::K8,
-            fb,
-        );
-        let r = pooled_accuracy(&spec, &programs, env);
+    let specs: Vec<HybridSpec> = FUTURE_BITS
+        .iter()
+        .map(|fb| {
+            HybridSpec::paired(
+                ProphetKind::Perceptron,
+                Budget::K4,
+                CriticKind::TaggedGshare,
+                Budget::K8,
+                *fb,
+            )
+        })
+        .collect();
+    let pooled = run_grid(&specs, &programs, env);
+    for (fb, r) in FUTURE_BITS.iter().zip(&pooled) {
         let counts: Vec<u64> = KINDS.iter().map(|k| r.critiques.count(*k)).collect();
         let engaged = r.critiques.engaged().max(1);
         let ratio = counts[1] as f64 / counts[3].max(1) as f64;

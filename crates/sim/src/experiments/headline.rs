@@ -7,9 +7,7 @@
 
 use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 
-use crate::cycle::run_cycles;
-use crate::experiments::common::{pooled_accuracy, single_accuracy, ExpEnv};
-use crate::experiments::upc::suite_data_profile;
+use crate::experiments::common::{run_grid, run_matrix, ExpEnv};
 use crate::metrics::percent_reduction;
 use crate::table::{f2, pct, Table};
 
@@ -18,74 +16,112 @@ fn baseline() -> HybridSpec {
 }
 
 fn hybrid() -> HybridSpec {
-    HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 8)
+    HybridSpec::paired(
+        ProphetKind::BcGskew,
+        Budget::K8,
+        CriticKind::TaggedGshare,
+        Budget::K8,
+        8,
+    )
 }
 
-/// Runs the headline comparison.
+/// The headline comparison in machine-readable form (what
+/// `BENCH_headline.json` records alongside wall-clock).
+#[derive(Copy, Clone, Debug)]
+pub struct HeadlineMetrics {
+    /// misp/Kuops of the 16 KB 2Bc-gskew baseline.
+    pub baseline_misp_per_kuops: f64,
+    /// misp/Kuops of the 8+8 KB prophet/critic hybrid.
+    pub hybrid_misp_per_kuops: f64,
+    /// Mispredict reduction, percent (paper: 39 %).
+    pub misp_reduction_percent: f64,
+    /// Committed uops between flushes, baseline.
+    pub baseline_uops_per_flush: f64,
+    /// Committed uops between flushes, hybrid (paper: 418 → 680).
+    pub hybrid_uops_per_flush: f64,
+    /// Average uPC over the suite representatives, baseline.
+    pub baseline_upc: f64,
+    /// Average uPC over the suite representatives, hybrid (paper: +7.8 %).
+    pub hybrid_upc: f64,
+}
+
+/// Runs the headline comparison, returning both the rendered tables and
+/// the raw metrics.
 #[must_use]
-pub fn run(env: &ExpEnv) -> Vec<Table> {
+pub fn run_with_metrics(env: &ExpEnv) -> (Vec<Table>, HeadlineMetrics) {
     let programs = env.programs();
-    let base = pooled_accuracy(&baseline(), &programs, env);
-    let hyb = pooled_accuracy(&hybrid(), &programs, env);
+    let specs = [baseline(), hybrid()];
+    let pooled = run_grid(&specs, &programs, env);
+    let (base, hyb) = (&pooled[0], &pooled[1]);
 
     let mut t = Table::new(
         "Headline — 8KB+8KB 2Bc-gskew + t.gshare vs 16KB 2Bc-gskew",
-        &["metric", "16KB 2Bc-gskew", "8+8 prophet/critic", "change", "paper"],
+        &[
+            "metric",
+            "16KB 2Bc-gskew",
+            "8+8 prophet/critic",
+            "change",
+            "paper",
+        ],
     );
     t.row(vec![
         "misp/Kuops".into(),
         f2(base.misp_per_kuops()),
         f2(hyb.misp_per_kuops()),
-        pct(percent_reduction(base.misp_per_kuops(), hyb.misp_per_kuops())),
+        pct(percent_reduction(
+            base.misp_per_kuops(),
+            hyb.misp_per_kuops(),
+        )),
         "39% fewer".into(),
     ]);
     t.row(vec![
         "uops per flush".into(),
         f2(base.uops_per_flush()),
         f2(hyb.uops_per_flush()),
-        format!("x{:.2}", hyb.uops_per_flush() / base.uops_per_flush().max(1e-9)),
+        format!(
+            "x{:.2}",
+            hyb.uops_per_flush() / base.uops_per_flush().max(1e-9)
+        ),
         "418 -> 680".into(),
     ]);
 
-    // gcc's per-benchmark mispredict percentage.
+    // gcc's per-benchmark mispredict percentage (one grid call, two cells).
     let gcc = env.named_programs(&["gcc"]);
-    let (gb, gp) = &gcc[0];
-    let gcc_base = single_accuracy(&baseline(), gb, gp, env);
-    let gcc_hyb = single_accuracy(&hybrid(), gb, gp, env);
+    let gcc_matrix = run_matrix(&specs, &gcc, env);
+    let (gcc_base, gcc_hyb) = (&gcc_matrix[0][0], &gcc_matrix[1][0]);
     t.row(vec![
         "gcc mispredicted branches".into(),
         pct(gcc_base.mispredict_percent()),
         pct(gcc_hyb.mispredict_percent()),
-        pct(percent_reduction(gcc_base.mispredict_percent(), gcc_hyb.mispredict_percent())),
+        pct(percent_reduction(
+            gcc_base.mispredict_percent(),
+            gcc_hyb.mispredict_percent(),
+        )),
         "3.11% -> 1.23%".into(),
     ]);
 
     // Cycle-model uPC and fetched-uop comparison over the suite
-    // representatives.
-    let mut base_upc = 0.0;
-    let mut hyb_upc = 0.0;
-    let mut base_fetched = 0u64;
-    let mut hyb_fetched = 0u64;
-    let mut n = 0.0;
-    for name in ["gcc", "swim", "specjbb", "premiere", "msvc7", "tpcc", "cad"] {
-        let bench = workloads::benchmark(name).expect("representative");
-        let program = bench.program();
-        let mut cfg = crate::cycle::CycleConfig::with_budget(env.uop_budget(), bench.seed);
-        cfg.data = suite_data_profile(bench.suite);
-        let mut hb = baseline().build();
-        let rb = run_cycles(&program, &mut hb, &cfg);
-        let mut hh = hybrid().build();
-        let rh = run_cycles(&program, &mut hh, &cfg);
-        base_upc += rb.upc();
-        hyb_upc += rh.upc();
-        base_fetched += rb.fetched_uops;
-        hyb_fetched += rh.fetched_uops;
-        n += 1.0;
-    }
+    // representatives, on the shared spec × bench cycle grid.
+    let benches = crate::experiments::upc::representatives();
+    let grid = crate::experiments::upc::cycle_grid(env, &specs, &benches);
+    let (base_runs, hyb_runs) = (&grid[0], &grid[1]);
+    let n = benches.len() as f64;
+    let base_upc: f64 = base_runs
+        .iter()
+        .map(crate::cycle::CycleResult::upc)
+        .sum::<f64>()
+        / n;
+    let hyb_upc: f64 = hyb_runs
+        .iter()
+        .map(crate::cycle::CycleResult::upc)
+        .sum::<f64>()
+        / n;
+    let base_fetched: u64 = base_runs.iter().map(|r| r.fetched_uops).sum();
+    let hyb_fetched: u64 = hyb_runs.iter().map(|r| r.fetched_uops).sum();
     t.row(vec![
         "uPC (cycle model)".into(),
-        f2(base_upc / n),
-        f2(hyb_upc / n),
+        f2(base_upc),
+        f2(hyb_upc),
         pct((hyb_upc - base_upc) / base_upc * 100.0),
         "+7.8%".into(),
     ]);
@@ -97,7 +133,23 @@ pub fn run(env: &ExpEnv) -> Vec<Table> {
         "-8.6%".into(),
     ]);
     t.note("absolute values differ (synthetic workloads); the comparison shape is the reproduction target");
-    vec![t]
+
+    let metrics = HeadlineMetrics {
+        baseline_misp_per_kuops: base.misp_per_kuops(),
+        hybrid_misp_per_kuops: hyb.misp_per_kuops(),
+        misp_reduction_percent: percent_reduction(base.misp_per_kuops(), hyb.misp_per_kuops()),
+        baseline_uops_per_flush: base.uops_per_flush(),
+        hybrid_uops_per_flush: hyb.uops_per_flush(),
+        baseline_upc: base_upc,
+        hybrid_upc: hyb_upc,
+    };
+    (vec![t], metrics)
+}
+
+/// Runs the headline comparison.
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    run_with_metrics(env).0
 }
 
 #[cfg(test)]
@@ -106,8 +158,12 @@ mod tests {
 
     #[test]
     fn headline_produces_five_metrics() {
-        let t = &run(&ExpEnv::tiny())[0];
+        let (tables, metrics) = run_with_metrics(&ExpEnv::tiny());
+        let t = &tables[0];
         assert_eq!(t.rows.len(), 5);
         assert!(t.rows[0][0].contains("misp"));
+        assert!(metrics.baseline_misp_per_kuops > 0.0);
+        assert!(metrics.hybrid_misp_per_kuops > 0.0);
+        assert!(metrics.baseline_upc > 0.0);
     }
 }

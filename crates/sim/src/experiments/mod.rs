@@ -39,7 +39,10 @@ pub struct Experiment {
 
 impl std::fmt::Debug for Experiment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Experiment").field("id", &self.id).field("title", &self.title).finish()
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish()
     }
 }
 
@@ -47,18 +50,66 @@ impl std::fmt::Debug for Experiment {
 #[must_use]
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", title: "Table 1: benchmark suites", run: statics::table1 },
-        Experiment { id: "table2", title: "Table 2: simulation parameters", run: statics::table2 },
-        Experiment { id: "table3", title: "Table 3: predictor configurations", run: statics::table3 },
-        Experiment { id: "fig5", title: "Figure 5: future bits vs accuracy", run: fig5::run },
-        Experiment { id: "fig6", title: "Figure 6: prophet/critic combinations", run: fig6::run },
-        Experiment { id: "fig7", title: "Figure 7: conventional vs hybrid", run: fig7::run },
-        Experiment { id: "fig8", title: "Figure 8: critique distribution", run: fig8::run },
-        Experiment { id: "table4", title: "Table 4: filter rates", run: table4::run },
-        Experiment { id: "fig9", title: "Figure 9: uPC, three prophets", run: upc::fig9 },
-        Experiment { id: "fig10", title: "Figure 10: uPC per suite", run: upc::fig10 },
-        Experiment { id: "headline", title: "Abstract: headline comparison", run: headline::run },
-        Experiment { id: "ablation", title: "Ablations: tag width + allocation policy (§4)", run: ablation::run },
+        Experiment {
+            id: "table1",
+            title: "Table 1: benchmark suites",
+            run: statics::table1,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2: simulation parameters",
+            run: statics::table2,
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3: predictor configurations",
+            run: statics::table3,
+        },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5: future bits vs accuracy",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Figure 6: prophet/critic combinations",
+            run: fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7: conventional vs hybrid",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Figure 8: critique distribution",
+            run: fig8::run,
+        },
+        Experiment {
+            id: "table4",
+            title: "Table 4: filter rates",
+            run: table4::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Figure 9: uPC, three prophets",
+            run: upc::fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: uPC per suite",
+            run: upc::fig10,
+        },
+        Experiment {
+            id: "headline",
+            title: "Abstract: headline comparison",
+            run: headline::run,
+        },
+        Experiment {
+            id: "ablation",
+            title: "Ablations: tag width + allocation policy (§4)",
+            run: ablation::run,
+        },
     ]
 }
 
@@ -75,9 +126,10 @@ mod tests {
     #[test]
     fn registry_covers_every_artifact() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
-        for want in
-            ["table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline"]
-        {
+        for want in [
+            "table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "headline",
+        ] {
             assert!(ids.contains(&want), "{want} missing from registry");
         }
     }

@@ -15,7 +15,12 @@ use crate::table::Table;
 pub fn table1(_env: &ExpEnv) -> Vec<Table> {
     let mut t = Table::new(
         "Table 1 — Simulated benchmark suites",
-        &["suite", "#bench", "sample benchmarks", "static cond. branches (first member)"],
+        &[
+            "suite",
+            "#bench",
+            "sample benchmarks",
+            "static cond. branches (first member)",
+        ],
     );
     for suite in Suite::ALL {
         let names = suite.benchmark_names();
@@ -41,13 +46,24 @@ pub fn table2(_env: &ExpEnv) -> Vec<Table> {
     let mut kv = |k: &str, v: String| t.row(vec![k.to_string(), v]);
     kv("Processor Frequency", format!("{} GHz", m.frequency_ghz));
     kv("Fetch/Issue/Retire Width", format!("{} uops", m.width));
-    kv("Branch Mispredict Penalty", format!("{} cycles", m.mispredict_penalty));
-    kv("BTB", format!("{} entries, {}-way", m.btb_entries, m.btb_ways));
+    kv(
+        "Branch Mispredict Penalty",
+        format!("{} cycles", m.mispredict_penalty),
+    );
+    kv(
+        "BTB",
+        format!("{} entries, {}-way", m.btb_entries, m.btb_ways),
+    );
     kv("FTQ Size", format!("{} entries", m.ftq_entries));
     kv("Instruction Window Size", format!("{} uops", m.window_uops));
     kv(
         "Instruction Cache",
-        format!("{} KB, {}-way, {}-byte line", m.icache.size_bytes / 1024, m.icache.ways, m.icache.line_bytes),
+        format!(
+            "{} KB, {}-way, {}-byte line",
+            m.icache.size_bytes / 1024,
+            m.icache.ways,
+            m.icache.line_bytes
+        ),
     );
     kv(
         "L1 Data Cache",
@@ -69,10 +85,22 @@ pub fn table2(_env: &ExpEnv) -> Vec<Table> {
             m.l2.hit_cycles
         ),
     );
-    kv("Memory Latency", format!("{} ns ({} cycles)", m.memory_ns, m.memory_cycles()));
-    kv("Hardware Data Prefetcher", format!("Stream-based ({} streams)", m.prefetch_streams));
-    kv("Prophet Throughput", format!("{} predictions/cycle", m.prophet_per_cycle));
-    kv("Critic Throughput", format!("{} critique/cycle", m.critic_per_cycle));
+    kv(
+        "Memory Latency",
+        format!("{} ns ({} cycles)", m.memory_ns, m.memory_cycles()),
+    );
+    kv(
+        "Hardware Data Prefetcher",
+        format!("Stream-based ({} streams)", m.prefetch_streams),
+    );
+    kv(
+        "Prophet Throughput",
+        format!("{} predictions/cycle", m.prophet_per_cycle),
+    );
+    kv(
+        "Critic Throughput",
+        format!("{} critique/cycle", m.critic_per_cycle),
+    );
     vec![t]
 }
 
@@ -88,7 +116,11 @@ pub fn table3(_env: &ExpEnv) -> Vec<Table> {
         t.row(vec![
             "gshare".into(),
             b.to_string(),
-            format!("{} entries, hist {}", configs::GSHARE[budget_row(b)].0, g.history_len()),
+            format!(
+                "{} entries, hist {}",
+                configs::GSHARE[budget_row(b)].0,
+                g.history_len()
+            ),
             g.storage_bytes().to_string(),
         ]);
     }
@@ -143,7 +175,10 @@ pub fn table3(_env: &ExpEnv) -> Vec<Table> {
 }
 
 fn budget_row(b: Budget) -> usize {
-    Budget::ALL.iter().position(|x| *x == b).expect("budget in ALL")
+    Budget::ALL
+        .iter()
+        .position(|x| *x == b)
+        .expect("budget in ALL")
 }
 
 #[cfg(test)]

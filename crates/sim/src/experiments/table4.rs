@@ -7,7 +7,7 @@
 
 use prophet_critic::{Budget, CriticKind, CritiqueKind, HybridSpec, ProphetKind};
 
-use crate::experiments::common::{pooled_accuracy, ExpEnv};
+use crate::experiments::common::{run_grid, ExpEnv};
 use crate::table::Table;
 
 const CRITIC_SIZES: [Budget; 3] = [Budget::K2, Budget::K8, Budget::K32];
@@ -21,27 +21,34 @@ pub fn run(env: &ExpEnv) -> Vec<Table> {
         "Table 4 — % of prophet predictions filtered (prophet: 4KB perceptron; critic: tagged gshare)",
         &["critic", "future bits", "% correct none", "% incorrect none", "% none (total)"],
     );
-    for cb in CRITIC_SIZES {
-        for fb in FUTURE_BITS {
-            let spec = HybridSpec::paired(
+    let grid: Vec<(Budget, usize)> = CRITIC_SIZES
+        .iter()
+        .flat_map(|cb| FUTURE_BITS.iter().map(move |fb| (*cb, *fb)))
+        .collect();
+    let specs: Vec<HybridSpec> = grid
+        .iter()
+        .map(|(cb, fb)| {
+            HybridSpec::paired(
                 ProphetKind::Perceptron,
                 Budget::K4,
                 CriticKind::TaggedGshare,
-                cb,
-                fb,
-            );
-            let r = pooled_accuracy(&spec, &programs, env);
-            let total = r.critiques.total().max(1) as f64;
-            let c_none = r.critiques.count(CritiqueKind::CorrectNone) as f64 * 100.0 / total;
-            let i_none = r.critiques.count(CritiqueKind::IncorrectNone) as f64 * 100.0 / total;
-            t.row(vec![
-                format!("{cb} t.gshare"),
-                fb.to_string(),
-                format!("{c_none:.1}"),
-                format!("{i_none:.1}"),
-                format!("{:.1}", c_none + i_none),
-            ]);
-        }
+                *cb,
+                *fb,
+            )
+        })
+        .collect();
+    let pooled = run_grid(&specs, &programs, env);
+    for ((cb, fb), r) in grid.iter().zip(&pooled) {
+        let total = r.critiques.total().max(1) as f64;
+        let c_none = r.critiques.count(CritiqueKind::CorrectNone) as f64 * 100.0 / total;
+        let i_none = r.critiques.count(CritiqueKind::IncorrectNone) as f64 * 100.0 / total;
+        t.row(vec![
+            format!("{cb} t.gshare"),
+            fb.to_string(),
+            format!("{c_none:.1}"),
+            format!("{i_none:.1}"),
+            format!("{:.1}", c_none + i_none),
+        ]);
     }
     t.note("paper: ~66-78% filtered, rising with future bits; incorrect_none stays ~1%");
     vec![t]

@@ -15,8 +15,9 @@ use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 use uarch::DataProfile;
 use workloads::{Benchmark, Suite};
 
-use crate::cycle::{run_cycles, CycleConfig};
+use crate::cycle::{run_cycles, CycleConfig, CycleResult};
 use crate::experiments::common::ExpEnv;
+use crate::runner::par_map;
 use crate::table::{f2, Table};
 
 const FUTURE_BITS: [usize; 3] = [4, 8, 12];
@@ -32,7 +33,7 @@ pub fn suite_data_profile(suite: Suite) -> DataProfile {
 }
 
 /// One representative benchmark per suite (cycle runs are slower).
-fn representatives() -> Vec<Benchmark> {
+pub(crate) fn representatives() -> Vec<Benchmark> {
     ["gcc", "swim", "specjbb", "premiere", "msvc7", "tpcc", "cad"]
         .iter()
         .map(|n| workloads::benchmark(n).expect("representative exists"))
@@ -45,10 +46,38 @@ fn cycle_cfg(env: &ExpEnv, bench: &Benchmark) -> CycleConfig {
     c
 }
 
-fn upc_of(env: &ExpEnv, bench: &Benchmark, spec: &HybridSpec) -> f64 {
-    let program = bench.program();
-    let mut hybrid = spec.build();
-    run_cycles(&program, &mut hybrid, &cycle_cfg(env, bench)).upc()
+/// Runs every `spec × bench` cycle-model cell on the parallel engine and
+/// returns the results as `[spec index][bench index]`, in input order.
+/// Programs are synthesized once per benchmark and shared across spec
+/// cells. (The headline experiment reuses this grid for its uPC and
+/// fetched-uop comparison.)
+pub(crate) fn cycle_grid(
+    env: &ExpEnv,
+    specs: &[HybridSpec],
+    benches: &[Benchmark],
+) -> Vec<Vec<CycleResult>> {
+    let programs: Vec<_> = par_map(benches, env.threads, |_, b| b.program());
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..benches.len()).map(move |b| (s, b)))
+        .collect();
+    let flat = par_map(&cells, env.threads, |_, &(s, b)| {
+        let mut hybrid = specs[s].build();
+        run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, &benches[b]))
+    });
+    let mut rows: Vec<Vec<CycleResult>> = Vec::with_capacity(specs.len());
+    let mut it = flat.into_iter();
+    for _ in 0..specs.len() {
+        rows.push(it.by_ref().take(benches.len()).collect());
+    }
+    rows
+}
+
+/// [`cycle_grid`] reduced to uPC per cell.
+fn upc_grid(env: &ExpEnv, specs: &[HybridSpec], benches: &[Benchmark]) -> Vec<Vec<f64>> {
+    cycle_grid(env, specs, benches)
+        .iter()
+        .map(|row| row.iter().map(CycleResult::upc).collect())
+        .collect()
 }
 
 /// Runs Figure 9.
@@ -59,22 +88,27 @@ pub fn fig9(env: &ExpEnv) -> Vec<Table> {
         "Figure 9 — average uPC: 16KB prophet alone vs 8KB+8KB prophet/critic (tagged gshare)",
         &["prophet", "16KB alone", "4 fb", "8 fb", "12 fb"],
     );
+    // All 12 configurations × 7 representatives in one fan-out.
+    let mut specs: Vec<HybridSpec> = Vec::new();
     for prophet in ProphetKind::ALL {
-        let avg = |spec: &HybridSpec| -> f64 {
-            let sum: f64 = benches.iter().map(|b| upc_of(env, b, spec)).sum();
-            sum / benches.len() as f64
-        };
-        let mut cells = vec![format!("{prophet} + tagged gshare")];
-        cells.push(f2(avg(&HybridSpec::alone(prophet, Budget::K16))));
+        specs.push(HybridSpec::alone(prophet, Budget::K16));
         for fb in FUTURE_BITS {
-            let spec = HybridSpec::paired(
+            specs.push(HybridSpec::paired(
                 prophet,
                 Budget::K8,
                 CriticKind::TaggedGshare,
                 Budget::K8,
                 fb,
-            );
-            cells.push(f2(avg(&spec)));
+            ));
+        }
+    }
+    let grid = upc_grid(env, &specs, &benches);
+    let avg = |row: &[f64]| -> f64 { row.iter().sum::<f64>() / row.len() as f64 };
+    let per_prophet = 1 + FUTURE_BITS.len();
+    for (pi, prophet) in ProphetKind::ALL.iter().enumerate() {
+        let mut cells = vec![format!("{prophet} + tagged gshare")];
+        for si in 0..per_prophet {
+            cells.push(f2(avg(&grid[pi * per_prophet + si])));
         }
         t.row(cells);
     }
@@ -89,20 +123,22 @@ pub fn fig10(env: &ExpEnv) -> Vec<Table> {
         "Figure 10 — uPC per suite (prophet: 8KB 2Bc-gskew; critic: 8KB tagged gshare)",
         &["suite", "16KB alone", "4 fb", "8 fb", "12 fb"],
     );
-    let by_suite: Vec<(Suite, Benchmark)> =
-        representatives().into_iter().map(|b| (b.suite, b)).collect();
-    for (suite, bench) in &by_suite {
-        let mut cells = vec![suite.label().to_string()];
-        cells.push(f2(upc_of(env, bench, &HybridSpec::alone(ProphetKind::BcGskew, Budget::K16))));
-        for fb in FUTURE_BITS {
-            let spec = HybridSpec::paired(
-                ProphetKind::BcGskew,
-                Budget::K8,
-                CriticKind::TaggedGshare,
-                Budget::K8,
-                fb,
-            );
-            cells.push(f2(upc_of(env, bench, &spec)));
+    let benches = representatives();
+    let mut specs: Vec<HybridSpec> = vec![HybridSpec::alone(ProphetKind::BcGskew, Budget::K16)];
+    for fb in FUTURE_BITS {
+        specs.push(HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            fb,
+        ));
+    }
+    let grid = upc_grid(env, &specs, &benches);
+    for (bi, bench) in benches.iter().enumerate() {
+        let mut cells = vec![bench.suite.label().to_string()];
+        for row in &grid {
+            cells.push(f2(row[bi]));
         }
         t.row(cells);
     }
@@ -134,6 +170,9 @@ mod tests {
 
     #[test]
     fn suite_profiles_differ() {
-        assert_ne!(suite_data_profile(Suite::Fp00), suite_data_profile(Suite::Serv));
+        assert_ne!(
+            suite_data_profile(Suite::Fp00),
+            suite_data_profile(Suite::Serv)
+        );
     }
 }

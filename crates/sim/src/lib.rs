@@ -1,7 +1,8 @@
-//! Execution-driven simulation and the experiment harness reproducing every
-//! table and figure of the prophet/critic paper (ISCA 2004).
+//! Execution-driven simulation and the parallel experiment engine
+//! reproducing every table and figure of the prophet/critic paper
+//! (ISCA 2004).
 //!
-//! Two simulators:
+//! # Simulators
 //!
 //! * [`run_accuracy`] — the fast accuracy model with full wrong-path fetch
 //!   (the paper's §6 requirement), producing misp/Kuops, critique
@@ -9,12 +10,41 @@
 //! * [`run_cycles`] — the cycle-level model on the Table 2 machine,
 //!   producing uPC, flush distances and fetched-uop counts.
 //!
+//! # The experiment engine
+//!
+//! The paper's evaluation is a grid: benchmark suites × dozens of
+//! prophet/critic configurations (Figure 6 alone sweeps 78 combinations).
+//! Two layers make that grid fast here:
+//!
+//! * **Static dispatch on the hot path.** Experiment specs build
+//!   [`prophet_critic::Hybrid`] — the engine monomorphized over the
+//!   [`prophet_critic::AnyProphet`]/[`prophet_critic::AnyCritic`] enums —
+//!   so the per-branch `predict`/`update`/`critique` calls compile to
+//!   direct, inlinable code instead of `Box<dyn ...>` virtual calls.
+//! * **Deterministic parallel fan-out.** Every grid cell (one spec on one
+//!   benchmark) is an independent seeded simulation, so
+//!   [`runner::par_map`] spreads cells over OS threads with an atomic
+//!   work-stealing cursor and collects results **by input index**. The
+//!   outcome is bit-identical for any thread count, which the determinism
+//!   tests pin against the sequential reference
+//!   ([`experiments::common::pooled_accuracy_seq`]).
+//!
+//! The grid entry points are [`experiments::common::run_matrix`] (per-cell
+//! results), [`experiments::common::run_grid`] (pooled per spec) and
+//! [`experiments::common::pooled_accuracy`]; every figure/table module
+//! routes through them, so `THREADS=1` vs `THREADS=32` changes wall-clock
+//! only, never numbers.
+//!
+//! # Running experiments
+//!
 //! The [`experiments`] module defines one entry point per paper artifact
 //! (`fig5` … `fig10`, `table1` … `table4`, `headline`); the `experiments`
-//! binary runs them from the command line:
+//! binary runs them from the command line and reports per-experiment
+//! wall-clock plus a machine-readable `BENCH_headline.json`:
 //!
 //! ```text
-//! cargo run -p sim --release --bin experiments -- fig5
+//! cargo run -p sim --release --bin experiments -- headline
+//! cargo run -p sim --release --bin experiments -- --threads 8 fig6
 //! SCALE=4 cargo run -p sim --release --bin experiments -- all
 //! ```
 
@@ -25,8 +55,10 @@ mod accuracy;
 pub mod cycle;
 pub mod experiments;
 mod metrics;
+pub mod runner;
 pub mod table;
 
 pub use accuracy::{run_accuracy, SimConfig};
 pub use cycle::{run_cycles, CycleConfig, CycleResult};
 pub use metrics::{percent_reduction, AccuracyResult};
+pub use runner::{default_threads, par_map};

@@ -8,7 +8,11 @@
 use prophet_critic::CritiqueStats;
 
 /// The outcome of one accuracy-simulation run (measured region only).
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter bit-for-bit; the engine's
+/// determinism tests rely on it to pin the parallel grid runner to the
+/// sequential reference.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct AccuracyResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -38,7 +42,10 @@ impl AccuracyResult {
     /// A blank result for `benchmark`.
     #[must_use]
     pub fn new(benchmark: &str) -> Self {
-        Self { benchmark: benchmark.to_string(), ..Self::default() }
+        Self {
+            benchmark: benchmark.to_string(),
+            ..Self::default()
+        }
     }
 
     /// Mispredicts per thousand committed uops — the paper's headline
@@ -146,7 +153,10 @@ mod tests {
     #[test]
     fn uops_per_flush_definition() {
         assert!((sample().uops_per_flush() - 400.0).abs() < 1e-12);
-        let clean = AccuracyResult { committed_uops: 500, ..AccuracyResult::default() };
+        let clean = AccuracyResult {
+            committed_uops: 500,
+            ..AccuracyResult::default()
+        };
         assert_eq!(clean.uops_per_flush(), 500.0);
     }
 

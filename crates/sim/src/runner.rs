@@ -1,0 +1,143 @@
+//! The parallel experiment engine: deterministic fan-out of simulation
+//! cells across OS threads.
+//!
+//! The paper's evaluation is a large grid — benchmark suites × dozens of
+//! prophet/critic configurations (Figure 6 alone sweeps 78 combinations) —
+//! and every cell is an independent simulation: own program walker, own
+//! hybrid, own BTB. That makes the grid embarrassingly parallel, and this
+//! module exploits it with plain scoped threads (the container builds
+//! offline, so no rayon):
+//!
+//! * [`par_map`] — applies a closure to every item of a slice, fanning the
+//!   items out over a bounded worker pool via an atomic work-stealing
+//!   cursor, and returns the results **in input order** regardless of
+//!   which thread finished when. Simulations are deterministic, so the
+//!   parallel results are bit-identical to a sequential run.
+//! * [`default_threads`] — the worker count used when the caller does not
+//!   pin one (`--threads` on the `experiments` binary, `THREADS` in the
+//!   environment).
+//!
+//! The higher-level grid entry points ([`run_matrix`], [`run_grid`],
+//! [`pooled_accuracy_par`]) live in
+//! [`experiments::common`](crate::experiments::common), next to the
+//! sequential reference implementations they must match bit-for-bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads to use when none are requested explicitly: the `THREADS`
+/// environment variable if set, otherwise every available core.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item of `items` on up to `threads` worker threads
+/// and returns the results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so long cells —
+/// e.g. a 32 KB perceptron on a server benchmark — don't serialize behind
+/// a static partition. Result order is by input index, never by completion
+/// time: with a deterministic `f`, the output is identical for any thread
+/// count, which the determinism tests pin down.
+///
+/// `threads <= 1` (or a single item) runs inline with no thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(i) else { break };
+            local.push((i, f(i, item)));
+        }
+        local
+    };
+
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let doubled = par_map(&items, 8, |_, x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_thread_count_agrees() {
+        let items: Vec<u64> = (0..57).collect();
+        // A mildly uneven workload: later items spin longer.
+        let work = |i: usize, x: &u64| -> u64 {
+            let mut acc = *x;
+            for k in 0..(i as u64 % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        let reference = par_map(&items, 1, work);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                par_map(&items, threads, work),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[41u32], 4, |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let idx = par_map(&items, 2, |i, _| i);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

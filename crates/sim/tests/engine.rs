@@ -1,0 +1,107 @@
+//! Integration tests of the parallel experiment engine: the rayon-style
+//! grid fan-out must be bit-identical to the sequential path, and the
+//! monomorphized (enum-dispatch) hybrids must match the boxed trait-object
+//! hybrids result-for-result.
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use sim::experiments::common::{
+    pooled_accuracy_par, pooled_accuracy_seq, run_grid, run_matrix, ExpEnv,
+};
+use sim::{run_accuracy, AccuracyResult};
+
+fn tiny() -> ExpEnv {
+    ExpEnv {
+        scale: 0.03,
+        ..ExpEnv::tiny()
+    }
+}
+
+fn specs() -> Vec<HybridSpec> {
+    vec![
+        HybridSpec::alone(ProphetKind::Gshare, Budget::K8),
+        HybridSpec::paired(
+            ProphetKind::Gshare,
+            Budget::K4,
+            CriticKind::TaggedGshare,
+            Budget::K4,
+            4,
+        ),
+        HybridSpec::paired(
+            ProphetKind::Perceptron,
+            Budget::K4,
+            CriticKind::FilteredPerceptron,
+            Budget::K4,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K4,
+            CriticKind::UnfilteredPerceptron,
+            Budget::K2,
+            1,
+        ),
+    ]
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_sequential() {
+    let env = tiny();
+    let programs = env.named_programs(&["gzip", "gcc", "tpcc", "swim"]);
+    for spec in specs() {
+        let sequential = pooled_accuracy_seq(&spec, &programs, &env);
+        for threads in [1, 2, 3, 8] {
+            let parallel = pooled_accuracy_par(&spec, &programs, &env, threads);
+            assert_eq!(
+                parallel,
+                sequential,
+                "{}: {threads}-thread grid diverged from sequential",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_runner_matches_per_spec_sequential_runs() {
+    let env = tiny();
+    let programs = env.named_programs(&["vpr", "art"]);
+    let specs = specs();
+    let pooled = run_grid(&specs, &programs, &env.with_threads(4));
+    assert_eq!(pooled.len(), specs.len());
+    for (spec, got) in specs.iter().zip(&pooled) {
+        let want = pooled_accuracy_seq(spec, &programs, &env);
+        assert_eq!(got, &want, "{} diverged", spec.label());
+    }
+}
+
+#[test]
+fn matrix_cells_are_thread_count_invariant() {
+    let env = tiny();
+    let programs = env.named_programs(&["mcf", "crafty"]);
+    let specs = specs();
+    let reference = run_matrix(&specs, &programs, &env.with_threads(1));
+    let wide = run_matrix(&specs, &programs, &env.with_threads(8));
+    assert_eq!(reference, wide);
+}
+
+#[test]
+fn monomorphized_hybrid_matches_boxed_hybrid_run_for_run() {
+    let env = tiny();
+    let programs = env.named_programs(&["gcc", "tpcc"]);
+    for spec in specs() {
+        for (bench, program) in &programs {
+            let cfg = env.sim_config(bench.seed);
+            let mut fast = spec.build();
+            let enum_result: AccuracyResult = run_accuracy(program, &mut fast, &cfg);
+            let mut boxed = spec.build_boxed();
+            let boxed_result = run_accuracy(program, &mut boxed, &cfg);
+            assert_eq!(
+                enum_result,
+                boxed_result,
+                "{} on {}: enum vs boxed dispatch diverged",
+                spec.label(),
+                bench.name
+            );
+        }
+    }
+}

@@ -70,7 +70,11 @@ impl<W: Write> BtWriter<W> {
         let mut wire = WireWriter::new(out);
         write_header(&mut wire, BT_MAGIC, BT_VERSION)?;
         wire.write_str(name)?;
-        Ok(Self { wire, prev_pc: 0, records: 0 })
+        Ok(Self {
+            wire,
+            prev_pc: 0,
+            records: 0,
+        })
     }
 
     /// Appends one record.
@@ -86,9 +90,11 @@ impl<W: Write> BtWriter<W> {
             | (u8::from(has_target) << 3)
             | ((uops_inline as u8) << 4);
         self.wire.write_u8(flags)?;
-        self.wire.write_signed(rec.pc.wrapping_sub(self.prev_pc) as i64)?;
+        self.wire
+            .write_signed(rec.pc.wrapping_sub(self.prev_pc) as i64)?;
         if has_target {
-            self.wire.write_signed(rec.target.wrapping_sub(rec.pc) as i64)?;
+            self.wire
+                .write_signed(rec.target.wrapping_sub(rec.pc) as i64)?;
         }
         if uops_inline > UOPS_INLINE_MAX {
             self.wire.write_varint(u64::from(rec.uops_since_prev))?;
@@ -137,7 +143,12 @@ impl<R: Read> BtReader<R> {
         let mut wire = WireReader::new(input);
         read_header(&mut wire, BT_MAGIC, BT_VERSION)?;
         let name = wire.read_str("trace name")?;
-        Ok(Self { wire, name, prev_pc: 0, records: 0 })
+        Ok(Self {
+            wire,
+            name,
+            prev_pc: 0,
+            records: 0,
+        })
     }
 
     /// The benchmark name stored in the header.
@@ -164,8 +175,10 @@ impl<R: Read> BtReader<R> {
             return Ok(None);
         };
         let taken = flags & 1 != 0;
-        let kind = BranchKind::from_code((flags >> 1) & 0b11)
-            .ok_or(TraceError::Corrupt { offset, what: "record kind" })?;
+        let kind = BranchKind::from_code((flags >> 1) & 0b11).ok_or(TraceError::Corrupt {
+            offset,
+            what: "record kind",
+        })?;
         let has_target = flags & (1 << 3) != 0;
         let uops_field = u32::from(flags >> 4);
 
@@ -179,14 +192,23 @@ impl<R: Read> BtReader<R> {
         };
         let uops_since_prev = if uops_field > UOPS_INLINE_MAX {
             let v = self.wire.read_varint("uop count")?;
-            u32::try_from(v).map_err(|_| TraceError::Corrupt { offset, what: "uop count" })?
+            u32::try_from(v).map_err(|_| TraceError::Corrupt {
+                offset,
+                what: "uop count",
+            })?
         } else {
             uops_field
         };
 
         self.prev_pc = pc;
         self.records += 1;
-        Ok(Some(BranchRecord { pc, target, kind, taken, uops_since_prev }))
+        Ok(Some(BranchRecord {
+            pc,
+            target,
+            kind,
+            taken,
+            uops_since_prev,
+        }))
     }
 
     /// Drains the remaining records into a vector.
@@ -220,9 +242,27 @@ mod tests {
         vec![
             BranchRecord::conditional(0x40_1000, 0x40_1080, true, 12),
             BranchRecord::conditional(0x40_1080, 0x40_1000, false, 3),
-            BranchRecord { pc: 0x40_1084, target: 0x40_2000, kind: BranchKind::Call, taken: true, uops_since_prev: 1 },
-            BranchRecord { pc: 0x40_2040, target: 0x40_1088, kind: BranchKind::Return, taken: true, uops_since_prev: 200 },
-            BranchRecord { pc: 0x40_1100, target: 0x40_0800, kind: BranchKind::Jump, taken: true, uops_since_prev: 15 },
+            BranchRecord {
+                pc: 0x40_1084,
+                target: 0x40_2000,
+                kind: BranchKind::Call,
+                taken: true,
+                uops_since_prev: 1,
+            },
+            BranchRecord {
+                pc: 0x40_2040,
+                target: 0x40_1088,
+                kind: BranchKind::Return,
+                taken: true,
+                uops_since_prev: 200,
+            },
+            BranchRecord {
+                pc: 0x40_1100,
+                target: 0x40_0800,
+                kind: BranchKind::Jump,
+                taken: true,
+                uops_since_prev: 15,
+            },
         ]
     }
 
@@ -263,7 +303,8 @@ mod tests {
         let mut buf = Vec::new();
         let mut w = BtWriter::new(&mut buf, "x").unwrap();
         for i in 0..100 {
-            w.write(&BranchRecord::conditional(0x1000, 0x0f00, i % 9 != 0, 6)).unwrap();
+            w.write(&BranchRecord::conditional(0x1000, 0x0f00, i % 9 != 0, 6))
+                .unwrap();
         }
         let total = w.finish().unwrap().len();
         assert!(total < 9 + 4 + 100 * 4, "encoding too fat: {total} bytes");
@@ -273,7 +314,8 @@ mod tests {
     fn truncated_stream_reports_eof() {
         let mut buf = Vec::new();
         let mut w = BtWriter::new(&mut buf, "t").unwrap();
-        w.write(&BranchRecord::conditional(0x1000, 0x2000, true, 5)).unwrap();
+        w.write(&BranchRecord::conditional(0x1000, 0x2000, true, 5))
+            .unwrap();
         w.finish().unwrap();
         // Chop the last byte: the record becomes unreadable.
         buf.pop();
@@ -308,12 +350,14 @@ mod tests {
         // bytes.
         let mut with = Vec::new();
         let mut w = BtWriter::new(&mut with, "a").unwrap();
-        w.write(&BranchRecord::conditional(0x1000, 0x1004, false, 1)).unwrap();
+        w.write(&BranchRecord::conditional(0x1000, 0x1004, false, 1))
+            .unwrap();
         let with = w.finish().unwrap().len();
 
         let mut without = Vec::new();
         let mut w = BtWriter::new(&mut without, "a").unwrap();
-        w.write(&BranchRecord::conditional(0x1000, 0x9000, false, 1)).unwrap();
+        w.write(&BranchRecord::conditional(0x1000, 0x9000, false, 1))
+            .unwrap();
         let without = w.finish().unwrap().len();
         assert!(with < without);
     }

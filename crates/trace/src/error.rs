@@ -59,7 +59,10 @@ impl fmt::Display for TraceError {
                 String::from_utf8_lossy(found)
             ),
             Self::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported format version {found} (this build reads <= {supported})")
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads <= {supported})"
+                )
             }
             Self::Corrupt { offset, what } => {
                 write!(f, "corrupt stream at byte {offset} while decoding {what}")
@@ -97,17 +100,26 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TraceError::BadMagic { expected: *b"BPTR", found: *b"ELF\x7f" };
+        let e = TraceError::BadMagic {
+            expected: *b"BPTR",
+            found: *b"ELF\x7f",
+        };
         assert!(e.to_string().contains("BPTR"));
-        let e = TraceError::UnsupportedVersion { found: 9, supported: 1 };
+        let e = TraceError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
         assert!(e.to_string().contains('9'));
-        let e = TraceError::Corrupt { offset: 42, what: "record flags" };
+        let e = TraceError::Corrupt {
+            offset: 42,
+            what: "record flags",
+        };
         assert!(e.to_string().contains("42"));
     }
 
     #[test]
     fn io_errors_convert() {
-        let ioe = io::Error::new(io::ErrorKind::Other, "boom");
+        let ioe = io::Error::other("boom");
         let e: TraceError = ioe.into();
         assert!(matches!(e, TraceError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());

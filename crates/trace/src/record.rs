@@ -15,8 +15,12 @@ pub enum BranchKind {
 
 impl BranchKind {
     /// All kinds, in wire-format order.
-    pub const ALL: [BranchKind; 4] =
-        [BranchKind::Conditional, BranchKind::Jump, BranchKind::Call, BranchKind::Return];
+    pub const ALL: [BranchKind; 4] = [
+        BranchKind::Conditional,
+        BranchKind::Jump,
+        BranchKind::Call,
+        BranchKind::Return,
+    ];
 
     /// The 2-bit wire encoding.
     #[must_use]
@@ -90,7 +94,13 @@ impl BranchRecord {
     /// A conditional branch record.
     #[must_use]
     pub fn conditional(pc: u64, target: u64, taken: bool, uops_since_prev: u32) -> Self {
-        Self { pc, target, kind: BranchKind::Conditional, taken, uops_since_prev }
+        Self {
+            pc,
+            target,
+            kind: BranchKind::Conditional,
+            taken,
+            uops_since_prev,
+        }
     }
 
     /// The fall-through address (the next sequential uop line).

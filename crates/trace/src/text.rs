@@ -42,7 +42,10 @@ fn parse_addr(tok: &str, line: usize) -> Result<u64> {
     } else {
         tok.parse()
     };
-    parsed.map_err(|_| TraceError::BadLine { line, reason: format!("bad address `{tok}`") })
+    parsed.map_err(|_| TraceError::BadLine {
+        line,
+        reason: format!("bad address `{tok}`"),
+    })
 }
 
 /// Parses a full text trace.
@@ -95,7 +98,13 @@ pub fn read_text<R: BufRead>(input: R) -> Result<Vec<BranchRecord>> {
                 reason: "trailing fields".to_string(),
             });
         }
-        out.push(BranchRecord { pc, target, kind, taken, uops_since_prev });
+        out.push(BranchRecord {
+            pc,
+            target,
+            kind,
+            taken,
+            uops_since_prev,
+        });
     }
     Ok(out)
 }

@@ -234,11 +234,17 @@ impl<R: Read> WireReader<R> {
         let start = self.consumed;
         let len = self.read_varint(what)?;
         if len > 1 << 20 {
-            return Err(TraceError::Corrupt { offset: start, what });
+            return Err(TraceError::Corrupt {
+                offset: start,
+                what,
+            });
         }
         let mut buf = vec![0u8; len as usize];
         self.read_exact(&mut buf, what)?;
-        String::from_utf8(buf).map_err(|_| TraceError::Corrupt { offset: start, what })
+        String::from_utf8(buf).map_err(|_| TraceError::Corrupt {
+            offset: start,
+            what,
+        })
     }
 }
 
@@ -255,21 +261,23 @@ pub fn read_header<R: Read>(
     let mut found = [0u8; 4];
     r.read_exact(&mut found, "magic")?;
     if found != magic {
-        return Err(TraceError::BadMagic { expected: magic, found });
+        return Err(TraceError::BadMagic {
+            expected: magic,
+            found,
+        });
     }
     let version = r.read_u16("version")?;
     if version == 0 || version > supported_version {
-        return Err(TraceError::UnsupportedVersion { found: version, supported: supported_version });
+        return Err(TraceError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
     }
     Ok(version)
 }
 
 /// Writes a 4-byte magic and a version header.
-pub fn write_header<W: Write>(
-    w: &mut WireWriter<W>,
-    magic: [u8; 4],
-    version: u16,
-) -> Result<()> {
+pub fn write_header<W: Write>(w: &mut WireWriter<W>, magic: [u8; 4], version: u16) -> Result<()> {
     w.write_bytes(&magic)?;
     w.write_u16(version)
 }
@@ -291,7 +299,17 @@ mod tests {
 
     #[test]
     fn varint_round_trips() {
-        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = Vec::new();
         {
             let mut w = WireWriter::new(&mut buf);
@@ -320,14 +338,20 @@ mod tests {
     fn varint_overflow_detected() {
         let bad = [0xffu8; 11];
         let mut r = WireReader::new(bad.as_slice());
-        assert!(matches!(r.read_varint("test"), Err(TraceError::VarintOverflow { .. })));
+        assert!(matches!(
+            r.read_varint("test"),
+            Err(TraceError::VarintOverflow { .. })
+        ));
     }
 
     #[test]
     fn eof_mid_varint_is_an_error() {
         let bad = [0x80u8];
         let mut r = WireReader::new(bad.as_slice());
-        assert!(matches!(r.read_varint("test"), Err(TraceError::UnexpectedEof { .. })));
+        assert!(matches!(
+            r.read_varint("test"),
+            Err(TraceError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Cache {
 
     fn locate(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.sets.len().trailing_zeros())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Accesses `addr`; returns whether it hit. Misses allocate the line.
@@ -116,15 +119,21 @@ struct StreamPrefetcher {
 
 impl StreamPrefetcher {
     fn new(n: usize) -> Self {
-        Self { streams: vec![(u64::MAX, 0, 0); n], clock: 0, issued: 0 }
+        Self {
+            streams: vec![(u64::MAX, 0, 0); n],
+            clock: 0,
+            issued: 0,
+        }
     }
 
     /// Observes a demand line address; returns lines to prefetch.
     fn observe(&mut self, line: u64) -> Vec<u64> {
         self.clock += 1;
         // Existing stream one line behind?
-        if let Some(s) =
-            self.streams.iter_mut().find(|(last, _, _)| last.wrapping_add(1) == line)
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .find(|(last, _, _)| last.wrapping_add(1) == line)
         {
             s.0 = line;
             s.1 = (s.1 + 1).min(8);
@@ -226,7 +235,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> CacheParams {
-        CacheParams { size_bytes: 1024, ways: 2, line_bytes: 64, hit_cycles: 1 }
+        CacheParams {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_cycles: 1,
+        }
     }
 
     #[test]
@@ -308,6 +322,9 @@ mod tests {
                 mem += 1;
             }
         }
-        assert!(mem > 150, "random far accesses should mostly miss, got {mem}");
+        assert!(
+            mem > 150,
+            "random far accesses should mostly miss, got {mem}"
+        );
     }
 }

@@ -22,19 +22,31 @@ impl DataProfile {
     /// A cache-friendly profile (FP-like: streaming over big arrays).
     #[must_use]
     pub fn streaming() -> Self {
-        Self { working_set: 32 << 20, streaming_permille: 850, uops_per_access: 3 }
+        Self {
+            working_set: 32 << 20,
+            streaming_permille: 850,
+            uops_per_access: 3,
+        }
     }
 
     /// A pointer-chasing profile (server-like: scattered over a big set).
     #[must_use]
     pub fn scattered() -> Self {
-        Self { working_set: 48 << 20, streaming_permille: 200, uops_per_access: 3 }
+        Self {
+            working_set: 48 << 20,
+            streaming_permille: 200,
+            uops_per_access: 3,
+        }
     }
 
     /// A mostly-resident profile (integer codes: modest working set).
     #[must_use]
     pub fn resident() -> Self {
-        Self { working_set: 1 << 20, streaming_permille: 500, uops_per_access: 3 }
+        Self {
+            working_set: 1 << 20,
+            streaming_permille: 500,
+            uops_per_access: 3,
+        }
     }
 }
 
@@ -59,7 +71,11 @@ impl DataStream {
     /// Creates a stream generator for one program run.
     #[must_use]
     pub fn new(profile: DataProfile, seed: u64) -> Self {
-        Self { profile, counters: std::collections::HashMap::new(), base: 0x1000_0000 ^ (seed << 12) }
+        Self {
+            profile,
+            counters: std::collections::HashMap::new(),
+            base: 0x1000_0000 ^ (seed << 12),
+        }
     }
 
     /// Yields the data addresses a block of `uops` uops issues on this
@@ -104,8 +120,11 @@ mod tests {
 
     #[test]
     fn streaming_blocks_emit_sequential_addresses() {
-        let profile =
-            DataProfile { working_set: 1 << 20, streaming_permille: 1000, uops_per_access: 3 };
+        let profile = DataProfile {
+            working_set: 1 << 20,
+            streaming_permille: 1000,
+            uops_per_access: 3,
+        };
         let mut d = DataStream::new(profile, 1);
         let a = d.accesses(0x40, 30);
         let b = d.accesses(0x40, 30);
@@ -117,8 +136,11 @@ mod tests {
 
     #[test]
     fn scattered_blocks_jump_around() {
-        let profile =
-            DataProfile { working_set: 32 << 20, streaming_permille: 0, uops_per_access: 3 };
+        let profile = DataProfile {
+            working_set: 32 << 20,
+            streaming_permille: 0,
+            uops_per_access: 3,
+        };
         let mut d = DataStream::new(profile, 1);
         let a = d.accesses(0x40, 30);
         let far = a.windows(2).filter(|w| w[0].abs_diff(w[1]) > 4096).count();

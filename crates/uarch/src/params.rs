@@ -22,7 +22,10 @@ impl CacheParams {
     #[must_use]
     pub fn sets(&self) -> usize {
         let sets = self.size_bytes / (self.ways * self.line_bytes);
-        assert!(sets.is_power_of_two(), "cache sets {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache sets {sets} not a power of two"
+        );
         sets
     }
 }
@@ -76,9 +79,24 @@ impl MachineParams {
             window_uops: 2048,
             prophet_per_cycle: 2,
             critic_per_cycle: 1,
-            icache: CacheParams { size_bytes: 64 << 10, ways: 8, line_bytes: 64, hit_cycles: 1 },
-            l1d: CacheParams { size_bytes: 32 << 10, ways: 16, line_bytes: 64, hit_cycles: 3 },
-            l2: CacheParams { size_bytes: 2 << 20, ways: 16, line_bytes: 64, hit_cycles: 16 },
+            icache: CacheParams {
+                size_bytes: 64 << 10,
+                ways: 8,
+                line_bytes: 64,
+                hit_cycles: 1,
+            },
+            l1d: CacheParams {
+                size_bytes: 32 << 10,
+                ways: 16,
+                line_bytes: 64,
+                hit_cycles: 3,
+            },
+            l2: CacheParams {
+                size_bytes: 2 << 20,
+                ways: 16,
+                line_bytes: 64,
+                hit_cycles: 16,
+            },
             memory_ns: 100.0,
             prefetch_streams: 16,
         }

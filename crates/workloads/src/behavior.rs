@@ -80,7 +80,9 @@ impl Behavior {
     /// A ~50/50 unpredictable branch.
     #[must_use]
     pub fn chaotic() -> Self {
-        Behavior::Bias { taken_permille: 500 }
+        Behavior::Bias {
+            taken_permille: 500,
+        }
     }
 
     /// Expected taken rate of this behaviour (for workload characterization;
@@ -114,7 +116,10 @@ impl BranchState {
     /// Fresh state seeded per branch (seed must be non-zero for the RNG).
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        Self { counter: 0, rng: seed | 1 }
+        Self {
+            counter: 0,
+            rng: seed | 1,
+        }
     }
 }
 
@@ -177,7 +182,10 @@ mod tests {
         for _ in 0..8 {
             outcomes.push(eval(Behavior::Loop { trip: 4 }, &mut st, 0));
         }
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]
@@ -191,7 +199,10 @@ mod tests {
     #[test]
     fn pattern_cycles() {
         let mut st = BranchState::seeded(1);
-        let b = Behavior::Pattern { bits: 0b011, period: 3 };
+        let b = Behavior::Pattern {
+            bits: 0b011,
+            period: 3,
+        };
         let outcomes: Vec<bool> = (0..6).map(|_| eval(b, &mut st, 0)).collect();
         assert_eq!(outcomes, vec![true, true, false, true, true, false]);
     }
@@ -199,9 +210,14 @@ mod tests {
     #[test]
     fn bias_matches_probability_roughly() {
         let mut st = BranchState::seeded(0xfeed);
-        let b = Behavior::Bias { taken_permille: 800 };
+        let b = Behavior::Bias {
+            taken_permille: 800,
+        };
         let taken = (0..10_000).filter(|_| eval(b, &mut st, 0)).count();
-        assert!((7_500..=8_500).contains(&taken), "taken {taken}/10000 for p=0.8");
+        assert!(
+            (7_500..=8_500).contains(&taken),
+            "taken {taken}/10000 for p=0.8"
+        );
     }
 
     #[test]
@@ -217,7 +233,9 @@ mod tests {
     #[test]
     fn cloned_state_replays_identically() {
         // The property ghost execution relies on.
-        let b = Behavior::Bias { taken_permille: 300 };
+        let b = Behavior::Bias {
+            taken_permille: 300,
+        };
         let mut st = BranchState::seeded(7);
         for _ in 0..10 {
             let _ = eval(b, &mut st, 0);
@@ -230,19 +248,27 @@ mod tests {
 
     #[test]
     fn history_parity_follows_ghist() {
-        let b = Behavior::HistoryParity { mask: 0b101, invert: false };
+        let b = Behavior::HistoryParity {
+            mask: 0b101,
+            invert: false,
+        };
         let mut st = BranchState::seeded(1);
         assert!(!eval(b, &mut st, 0b000));
         assert!(eval(b, &mut st, 0b001));
         assert!(eval(b, &mut st, 0b100));
         assert!(!eval(b, &mut st, 0b101));
-        let inv = Behavior::HistoryParity { mask: 0b101, invert: true };
+        let inv = Behavior::HistoryParity {
+            mask: 0b101,
+            invert: true,
+        };
         assert!(eval(inv, &mut st, 0b000));
     }
 
     #[test]
     fn sticky_produces_runs() {
-        let b = Behavior::Sticky { sticky_permille: 900 };
+        let b = Behavior::Sticky {
+            sticky_permille: 900,
+        };
         let mut st = BranchState::seeded(5);
         let outcomes: Vec<bool> = (0..2000).map(|_| eval(b, &mut st, 0)).collect();
         // Count transitions: with s=0.9 expect ~10% flips.
@@ -253,12 +279,17 @@ mod tests {
         );
         // Roughly balanced marginally.
         let taken = outcomes.iter().filter(|t| **t).count();
-        assert!((600..=1400).contains(&taken), "marginal balance, got {taken}");
+        assert!(
+            (600..=1400).contains(&taken),
+            "marginal balance, got {taken}"
+        );
     }
 
     #[test]
     fn sticky_outcome_repeats_deterministically_per_seed() {
-        let b = Behavior::Sticky { sticky_permille: 800 };
+        let b = Behavior::Sticky {
+            sticky_permille: 800,
+        };
         let mut a = BranchState::seeded(9);
         let mut c = BranchState::seeded(9);
         for _ in 0..200 {
@@ -270,11 +301,24 @@ mod tests {
     fn expected_rates() {
         assert!((Behavior::Loop { trip: 4 }.expected_taken_rate() - 0.75).abs() < 1e-12);
         assert!(
-            (Behavior::Pattern { bits: 0b011, period: 3 }.expected_taken_rate() - 2.0 / 3.0)
+            (Behavior::Pattern {
+                bits: 0b011,
+                period: 3
+            }
+            .expected_taken_rate()
+                - 2.0 / 3.0)
                 .abs()
                 < 1e-12
         );
-        assert!((Behavior::Bias { taken_permille: 900 }.expected_taken_rate() - 0.9).abs() < 1e-12);
+        assert!(
+            (Behavior::Bias {
+                taken_permille: 900
+            }
+            .expected_taken_rate()
+                - 0.9)
+                .abs()
+                < 1e-12
+        );
         assert_eq!(Behavior::chaotic().expected_taken_rate(), 0.5);
     }
 }

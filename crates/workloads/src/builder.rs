@@ -11,8 +11,14 @@ pub const CODE_BASE: u64 = 0x0040_0000;
 #[derive(Copy, Clone, Debug)]
 enum PendingTerm {
     Unset,
-    Cond { behavior: BehaviorId, taken: Option<BlockId>, not_taken: Option<BlockId> },
-    Jump { to: Option<BlockId> },
+    Cond {
+        behavior: BehaviorId,
+        taken: Option<BlockId>,
+        not_taken: Option<BlockId>,
+    },
+    Jump {
+        to: Option<BlockId>,
+    },
 }
 
 /// A builder for [`Program`]s.
@@ -48,7 +54,12 @@ impl ProgramBuilder {
     /// Starts an empty program.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), uops: Vec::new(), terms: Vec::new(), behaviors: Vec::new() }
+        Self {
+            name: name.into(),
+            uops: Vec::new(),
+            terms: Vec::new(),
+            behaviors: Vec::new(),
+        }
     }
 
     /// Registers a behaviour, returning its id.
@@ -65,9 +76,18 @@ impl ProgramBuilder {
     }
 
     /// Terminates `block` with a conditional branch.
-    pub fn set_cond(&mut self, block: BlockId, behavior: BehaviorId, taken: BlockId, not_taken: BlockId) {
-        self.terms[block.index()] =
-            PendingTerm::Cond { behavior, taken: Some(taken), not_taken: Some(not_taken) };
+    pub fn set_cond(
+        &mut self,
+        block: BlockId,
+        behavior: BehaviorId,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) {
+        self.terms[block.index()] = PendingTerm::Cond {
+            behavior,
+            taken: Some(taken),
+            not_taken: Some(not_taken),
+        };
     }
 
     /// Terminates `block` with an unconditional jump.
@@ -105,13 +125,20 @@ impl ProgramBuilder {
             let pc = addr + u64::from(uops - 1) * 4;
             let term = match *term {
                 PendingTerm::Unset => panic!("block bb{i} was never terminated"),
-                PendingTerm::Cond { behavior, taken, not_taken } => Terminator::Cond {
+                PendingTerm::Cond {
+                    behavior,
+                    taken,
+                    not_taken,
+                } => Terminator::Cond {
                     pc,
                     behavior,
                     taken: taken.expect("taken successor set"),
                     not_taken: not_taken.expect("not-taken successor set"),
                 },
-                PendingTerm::Jump { to } => Terminator::Jump { pc, to: to.expect("jump target set") },
+                PendingTerm::Jump { to } => Terminator::Jump {
+                    pc,
+                    to: to.expect("jump target set"),
+                },
             };
             blocks.push(BasicBlock { uops, term });
             addr += u64::from(uops) * 4;

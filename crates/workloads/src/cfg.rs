@@ -144,7 +144,12 @@ impl Program {
         behaviors: Vec<Behavior>,
         entry: BlockId,
     ) -> Result<Self, ProgramError> {
-        let p = Self { name: name.into(), blocks, behaviors, entry };
+        let p = Self {
+            name: name.into(),
+            blocks,
+            behaviors,
+            entry,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -173,7 +178,12 @@ impl Program {
                 }
             };
             match b.term {
-                Terminator::Cond { behavior, taken, not_taken, .. } => {
+                Terminator::Cond {
+                    behavior,
+                    taken,
+                    not_taken,
+                    ..
+                } => {
                     check(taken)?;
                     check(not_taken)?;
                     if behavior.index() >= self.behaviors.len() {
@@ -219,7 +229,10 @@ impl Program {
     /// Number of static conditional branches.
     #[must_use]
     pub fn static_conditionals(&self) -> usize {
-        self.blocks.iter().filter(|b| b.term.is_conditional()).count()
+        self.blocks
+            .iter()
+            .filter(|b| b.term.is_conditional())
+            .count()
     }
 
     /// Average uops per block — a rough code-density characterization.
@@ -248,8 +261,17 @@ mod tests {
         Program::new(
             "loop",
             vec![
-                BasicBlock { uops: 5, term: cond(0x100, 0, 0, 1) },
-                BasicBlock { uops: 3, term: Terminator::Jump { pc: 0x200, to: BlockId(0) } },
+                BasicBlock {
+                    uops: 5,
+                    term: cond(0x100, 0, 0, 1),
+                },
+                BasicBlock {
+                    uops: 3,
+                    term: Terminator::Jump {
+                        pc: 0x200,
+                        to: BlockId(0),
+                    },
+                },
             ],
             vec![Behavior::Loop { trip: 4 }],
             BlockId(0),
@@ -270,20 +292,33 @@ mod tests {
     fn dangling_block_rejected() {
         let err = Program::new(
             "bad",
-            vec![BasicBlock { uops: 1, term: cond(0x100, 0, 7, 0) }],
-            vec![Behavior::Bias { taken_permille: 500 }],
+            vec![BasicBlock {
+                uops: 1,
+                term: cond(0x100, 0, 7, 0),
+            }],
+            vec![Behavior::Bias {
+                taken_permille: 500,
+            }],
             BlockId(0),
         )
         .unwrap_err();
-        assert!(matches!(err, ProgramError::DanglingBlock { to: BlockId(7), .. }));
+        assert!(matches!(
+            err,
+            ProgramError::DanglingBlock { to: BlockId(7), .. }
+        ));
     }
 
     #[test]
     fn dangling_behavior_rejected() {
         let err = Program::new(
             "bad",
-            vec![BasicBlock { uops: 1, term: cond(0x100, 3, 0, 0) }],
-            vec![Behavior::Bias { taken_permille: 500 }],
+            vec![BasicBlock {
+                uops: 1,
+                term: cond(0x100, 3, 0, 0),
+            }],
+            vec![Behavior::Bias {
+                taken_permille: 500,
+            }],
             BlockId(0),
         )
         .unwrap_err();
@@ -298,7 +333,13 @@ mod tests {
         ));
         let err = Program::new(
             "bad",
-            vec![BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } }],
+            vec![BasicBlock {
+                uops: 1,
+                term: Terminator::Jump {
+                    pc: 0x1,
+                    to: BlockId(0),
+                },
+            }],
             vec![],
             BlockId(9),
         )
@@ -310,7 +351,13 @@ mod tests {
     fn zero_uop_block_rejected() {
         let err = Program::new(
             "bad",
-            vec![BasicBlock { uops: 0, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } }],
+            vec![BasicBlock {
+                uops: 0,
+                term: Terminator::Jump {
+                    pc: 0x1,
+                    to: BlockId(0),
+                },
+            }],
             vec![],
             BlockId(0),
         )
@@ -323,8 +370,20 @@ mod tests {
         let err = Program::new(
             "bad",
             vec![
-                BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(1) } },
-                BasicBlock { uops: 1, term: Terminator::Jump { pc: 0x1, to: BlockId(0) } },
+                BasicBlock {
+                    uops: 1,
+                    term: Terminator::Jump {
+                        pc: 0x1,
+                        to: BlockId(1),
+                    },
+                },
+                BasicBlock {
+                    uops: 1,
+                    term: Terminator::Jump {
+                        pc: 0x1,
+                        to: BlockId(0),
+                    },
+                },
             ],
             vec![],
             BlockId(0),

@@ -156,7 +156,12 @@ impl<'p> Walker<'p> {
                 Terminator::Jump { to, .. } => {
                     self.at = to;
                 }
-                Terminator::Cond { pc, behavior, taken, not_taken } => {
+                Terminator::Cond {
+                    pc,
+                    behavior,
+                    taken,
+                    not_taken,
+                } => {
                     let slot = self.slot_of_block[self.at.index()];
                     debug_assert_ne!(slot, u32::MAX);
                     let state = &mut self.states[slot as usize];
@@ -166,8 +171,11 @@ impl<'p> Walker<'p> {
                         prior: *state,
                         prior_ghist: self.ghist,
                     });
-                    let outcome =
-                        eval(self.program.behaviors()[behavior.index()], state, self.ghist);
+                    let outcome = eval(
+                        self.program.behaviors()[behavior.index()],
+                        state,
+                        self.ghist,
+                    );
                     self.ghist = (self.ghist << 1) | u64::from(outcome);
                     self.uops_retired += uops;
                     return BranchEvent {
@@ -194,7 +202,11 @@ impl<'p> Walker<'p> {
     /// called without a preceding [`next_branch`](Self::next_branch)).
     pub fn follow(&mut self, taken: bool) {
         match self.program.block(self.at).term {
-            Terminator::Cond { taken: t, not_taken: nt, .. } => {
+            Terminator::Cond {
+                taken: t,
+                not_taken: nt,
+                ..
+            } => {
                 self.at = if taken { t } else { nt };
             }
             Terminator::Jump { .. } => panic!("follow() requires the walk to sit at a branch"),
@@ -278,8 +290,20 @@ mod tests {
                         not_taken: BlockId(2),
                     },
                 },
-                BasicBlock { uops: 7, term: Terminator::Jump { pc: 0x200, to: BlockId(0) } },
-                BasicBlock { uops: 2, term: Terminator::Jump { pc: 0x300, to: BlockId(0) } },
+                BasicBlock {
+                    uops: 7,
+                    term: Terminator::Jump {
+                        pc: 0x200,
+                        to: BlockId(0),
+                    },
+                },
+                BasicBlock {
+                    uops: 2,
+                    term: Terminator::Jump {
+                        pc: 0x300,
+                        to: BlockId(0),
+                    },
+                },
             ],
             vec![behavior],
             BlockId(0),
@@ -321,7 +345,9 @@ mod tests {
         // Walk the correct path for a while; then at each branch, wander a
         // few branches down the wrong arm, rewind, and check the subsequent
         // correct-path outcomes are unchanged versus an undisturbed walk.
-        let p = diamond(Behavior::Bias { taken_permille: 700 });
+        let p = diamond(Behavior::Bias {
+            taken_permille: 700,
+        });
         let mut reference = Walker::new(&p);
         let mut speculative = Walker::new(&p);
         for _ in 0..50 {
@@ -392,7 +418,10 @@ mod tests {
     fn history_parity_sees_path_local_history() {
         // On the wrong path the ghist reflects the ghost outcomes; after
         // rewind it reflects the architectural ones again.
-        let p = diamond(Behavior::HistoryParity { mask: 0b1, invert: false });
+        let p = diamond(Behavior::HistoryParity {
+            mask: 0b1,
+            invert: false,
+        });
         let mut w = Walker::new(&p);
         // First outcome: ghist=0 -> parity 0 -> not taken.
         let e1 = w.next_branch();

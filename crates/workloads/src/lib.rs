@@ -41,6 +41,7 @@ mod behavior;
 mod builder;
 mod cfg;
 mod exec;
+pub mod rng;
 mod snapshot;
 mod suites;
 mod synth;

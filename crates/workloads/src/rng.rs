@@ -1,0 +1,185 @@
+//! A small, dependency-free seeded PRNG for program synthesis.
+//!
+//! The workspace builds offline, so the `rand` crate is not available; this
+//! module provides the subset of its `SmallRng` surface that synthesis uses
+//! (`seed_from_u64`, `gen`, `gen_range`, `gen_bool`) on top of xoshiro256++
+//! seeded through SplitMix64. Output is deterministic in the seed and
+//! stable across platforms — benchmark identity depends on it.
+
+/// A seeded non-cryptographic generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion: recommended way to seed xoshiro state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniformly random value of `T`.
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from `range` (empty ranges return the lower bound).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // Compare against the top 53 bits mapped to [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Types producible directly from raw generator output.
+pub trait FromRng {
+    /// Draws one value.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                if self.start >= self.end {
+                    return self.start;
+                }
+                // Widen before subtracting: `i32::MIN..i32::MAX` and the
+                // full u64 range must not overflow the span arithmetic.
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo >= hi {
+                    return lo;
+                }
+                let lo_wide = lo as i128;
+                let span = (hi as i128 - lo_wide) as u128 + 1;
+                (lo_wide + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(5u32..10);
+            assert!((5..10).contains(&v));
+            let w: usize = rng.gen_range(3usize..=3);
+            assert_eq!(w, 3);
+            let x: u16 = rng.gen_range(100u16..=200);
+            assert!((100..=200).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn empty_range_returns_lower_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(9u32..9), 9);
+    }
+
+    #[test]
+    fn extreme_ranges_do_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(v < i32::MAX);
+            let w = rng.gen_range(0u64..=u64::MAX);
+            let _ = w; // any u64 is in range; the point is no panic
+            let x = rng.gen_range(i32::MIN..=i32::MAX);
+            let _ = x;
+        }
+    }
+}

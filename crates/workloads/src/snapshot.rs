@@ -85,7 +85,11 @@ impl Snapshot {
     /// Wraps a program with a seed and no events.
     #[must_use]
     pub fn new(program: Program, seed: u64) -> Self {
-        Self { program, seed, events: Vec::new() }
+        Self {
+            program,
+            seed,
+            events: Vec::new(),
+        }
     }
 
     /// Serializes the snapshot.
@@ -132,7 +136,12 @@ impl Snapshot {
         for b in self.program.blocks() {
             w.write_varint(u64::from(b.uops))?;
             match b.term {
-                Terminator::Cond { pc, behavior, taken, not_taken } => {
+                Terminator::Cond {
+                    pc,
+                    behavior,
+                    taken,
+                    not_taken,
+                } => {
                     w.write_u8(0)?;
                     w.write_varint(pc)?;
                     w.write_varint(u64::from(behavior.0))?;
@@ -174,7 +183,10 @@ impl Snapshot {
 
         let n_behaviors = r.read_varint("behavior count")?;
         if n_behaviors > 1 << 24 {
-            return Err(TraceError::Corrupt { offset: r.position(), what: "behavior count" });
+            return Err(TraceError::Corrupt {
+                offset: r.position(),
+                what: "behavior count",
+            });
         }
         let mut behaviors = Vec::with_capacity(n_behaviors as usize);
         for _ in 0..n_behaviors {
@@ -184,7 +196,9 @@ impl Snapshot {
                 0 => Behavior::Bias {
                     taken_permille: r.read_varint("bias permille")?.min(1000) as u16,
                 },
-                1 => Behavior::Loop { trip: r.read_varint("loop trip")? as u32 },
+                1 => Behavior::Loop {
+                    trip: r.read_varint("loop trip")? as u32,
+                },
                 2 => {
                     let bits = r.read_u64("pattern bits")?;
                     let period = r.read_u8("pattern period")?;
@@ -198,13 +212,21 @@ impl Snapshot {
                 4 => Behavior::Sticky {
                     sticky_permille: r.read_varint("sticky permille")?.min(1000) as u16,
                 },
-                _ => return Err(TraceError::Corrupt { offset, what: "behavior tag" }),
+                _ => {
+                    return Err(TraceError::Corrupt {
+                        offset,
+                        what: "behavior tag",
+                    })
+                }
             });
         }
 
         let n_blocks = r.read_varint("block count")?;
         if n_blocks > 1 << 24 {
-            return Err(TraceError::Corrupt { offset: r.position(), what: "block count" });
+            return Err(TraceError::Corrupt {
+                offset: r.position(),
+                what: "block count",
+            });
         }
         let mut blocks = Vec::with_capacity(n_blocks as usize);
         for _ in 0..n_blocks {
@@ -222,14 +244,22 @@ impl Snapshot {
                     pc: r.read_varint("jump pc")?,
                     to: BlockId(r.read_varint("jump target")? as u32),
                 },
-                _ => return Err(TraceError::Corrupt { offset, what: "terminator tag" }),
+                _ => {
+                    return Err(TraceError::Corrupt {
+                        offset,
+                        what: "terminator tag",
+                    })
+                }
             };
             blocks.push(BasicBlock { uops, term });
         }
 
         let n_events = r.read_varint("event count")?;
         if n_events > 1 << 24 {
-            return Err(TraceError::Corrupt { offset: r.position(), what: "event count" });
+            return Err(TraceError::Corrupt {
+                offset: r.position(),
+                what: "event count",
+            });
         }
         let mut events = Vec::with_capacity(n_events as usize);
         for _ in 0..n_events {
@@ -238,14 +268,26 @@ impl Snapshot {
             let kind = r.read_u8("event kind")?;
             match kind {
                 0 => events.push(SnapshotEvent::HistoryClobber { at_uops }),
-                _ => return Err(TraceError::Corrupt { offset, what: "event kind" }),
+                _ => {
+                    return Err(TraceError::Corrupt {
+                        offset,
+                        what: "event kind",
+                    })
+                }
             }
         }
 
         let program = Program::new(name, blocks, behaviors, BlockId(entry)).map_err(|_| {
-            TraceError::Corrupt { offset: r.position(), what: "program structure" }
+            TraceError::Corrupt {
+                offset: r.position(),
+                what: "program structure",
+            }
         })?;
-        Ok(Self { program, seed, events })
+        Ok(Self {
+            program,
+            seed,
+            events,
+        })
     }
 }
 
@@ -258,7 +300,11 @@ mod tests {
     fn snapshot_round_trips_a_generated_program() {
         let b = benchmark("gcc").unwrap();
         let program = b.program();
-        let snap = Snapshot { program, seed: b.seed, events: vec![] };
+        let snap = Snapshot {
+            program,
+            seed: b.seed,
+            events: vec![],
+        };
 
         let mut buf = Vec::new();
         snap.write_to(&mut buf).unwrap();

@@ -15,10 +15,8 @@
 //! | SERV  | chaotic data-dependent branches, huge footprint (tpcc) |
 //! | WS    | loops + diamonds, CAD/simulator-ish mix |
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::cfg::Program;
+use crate::rng::SmallRng;
 use crate::synth::{generate_program, Profile, TemplateMix};
 
 /// One of the paper's seven benchmark suites (Table 1).
@@ -87,15 +85,17 @@ impl Suite {
     pub fn benchmark_names(self) -> Vec<String> {
         let named: &[&str] = match self {
             Suite::Int00 => &[
-                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap",
-                "vortex", "bzip2", "twolf",
+                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
+                "bzip2", "twolf",
             ],
             Suite::Fp00 => &[
-                "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake",
-                "facerec", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+                "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake", "facerec",
+                "ammp", "lucas", "fma3d", "sixtrack", "apsi",
             ],
             Suite::Web => &["specjbb", "webmark"],
-            Suite::Mm => &["mpeg-enc", "mpeg-dec", "speech", "quake", "premiere", "flash"],
+            Suite::Mm => &[
+                "mpeg-enc", "mpeg-dec", "speech", "quake", "premiere", "flash",
+            ],
             Suite::Prod => &["sysmark", "winstone", "msvc7", "unzip"],
             Suite::Serv => &["tpcc", "timesten"],
             Suite::Ws => &["cad", "verilog"],
@@ -371,7 +371,12 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         for name in suite.benchmark_names() {
             let profile = benchmark_profile(&name, suite);
             let seed = name_hash(&name) ^ 0xb01d_face_cafe_f00d;
-            out.push(Benchmark { name, suite, profile, seed });
+            out.push(Benchmark {
+                name,
+                suite,
+                profile,
+                seed,
+            });
         }
     }
     out
@@ -429,7 +434,9 @@ mod tests {
 
     #[test]
     fn figure5_benchmarks_exist() {
-        for name in ["gcc", "unzip", "premiere", "msvc7", "flash", "facerec", "tpcc"] {
+        for name in [
+            "gcc", "unzip", "premiere", "msvc7", "flash", "facerec", "tpcc",
+        ] {
             let b = benchmark(name).unwrap_or_else(|| panic!("{name} missing"));
             // Each generates a valid program.
             let p = b.program();

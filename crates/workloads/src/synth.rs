@@ -9,12 +9,10 @@
 //! server code is chaotic with a huge footprint; integer code correlates on
 //! recent history).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::behavior::Behavior;
 use crate::builder::ProgramBuilder;
 use crate::cfg::{BlockId, Program};
+use crate::rng::SmallRng;
 
 /// Relative frequencies of the routine templates.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -131,7 +129,12 @@ fn t_nested_loop(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) -> Rou
     Routine { entry: head, exit }
 }
 
-fn t_diamond_with(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile, behavior: Behavior) -> Routine {
+fn t_diamond_with(
+    b: &mut ProgramBuilder,
+    rng: &mut SmallRng,
+    p: &Profile,
+    behavior: Behavior,
+) -> Routine {
     let behavior = b.add_behavior(behavior);
     let head = b.add_block(uops(rng, p));
     let then_arm = b.add_block(uops(rng, p));
@@ -140,7 +143,10 @@ fn t_diamond_with(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile, behav
     b.set_cond(head, behavior, then_arm, else_arm);
     b.set_jump(then_arm, join);
     b.set_jump(else_arm, join);
-    Routine { entry: head, exit: join }
+    Routine {
+        entry: head,
+        exit: join,
+    }
 }
 
 fn t_biased_diamond(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) -> Routine {
@@ -149,7 +155,14 @@ fn t_biased_diamond(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) -> 
     if rng.gen_bool(0.5) {
         permille = 1000 - permille;
     }
-    t_diamond_with(b, rng, p, Behavior::Bias { taken_permille: permille })
+    t_diamond_with(
+        b,
+        rng,
+        p,
+        Behavior::Bias {
+            taken_permille: permille,
+        },
+    )
 }
 
 fn t_pattern(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) -> Routine {
@@ -164,14 +177,28 @@ fn t_chaotic(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) -> Routine
     // bursty Markov branches (mispredicts cluster at run transitions); the
     // rest are moderately-biased true noise.
     if rng.gen_bool(0.75) {
-        let sticky = 780 + rng.gen_range(0..180);
-        t_diamond_with(b, rng, p, Behavior::Sticky { sticky_permille: sticky })
+        let sticky = 780 + rng.gen_range(0..180u16);
+        t_diamond_with(
+            b,
+            rng,
+            p,
+            Behavior::Sticky {
+                sticky_permille: sticky,
+            },
+        )
     } else {
         let mut permille = 550 + rng.gen_range(0..250);
         if rng.gen_bool(0.5) {
             permille = 1000 - permille;
         }
-        t_diamond_with(b, rng, p, Behavior::Bias { taken_permille: permille as u16 })
+        t_diamond_with(
+            b,
+            rng,
+            p,
+            Behavior::Bias {
+                taken_permille: permille as u16,
+            },
+        )
     }
 }
 
@@ -185,13 +212,17 @@ fn t_correlated_pair(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) ->
     // the consumer correlates with. Half the producers are bursty rather
     // than biased, mirroring how data-dependent conditions change slowly.
     let producer_behavior = if rng.gen_bool(0.5) {
-        Behavior::Sticky { sticky_permille: 820 + rng.gen_range(0..160) }
+        Behavior::Sticky {
+            sticky_permille: 820 + rng.gen_range(0..160u16),
+        }
     } else {
         let mut bias = pick16(rng, (780, 950));
         if rng.gen_bool(0.5) {
             bias = 1000 - bias;
         }
-        Behavior::Bias { taken_permille: bias }
+        Behavior::Bias {
+            taken_permille: bias,
+        }
     };
     let producer = t_diamond_with(b, rng, p, producer_behavior);
 
@@ -211,13 +242,16 @@ fn t_correlated_pair(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) ->
     // after the fillers pushed their bits), optionally XORed with a second,
     // nearer bit to make it linearly inseparable.
     let mut mask = 1u64 << (distance - 1);
-    if distance >= 3 && rng.gen_range(0..1000) < u32::from(p.xor2_permille) {
+    if distance >= 3 && rng.gen_range(0..1000u32) < u32::from(p.xor2_permille) {
         mask |= 1u64 << rng.gen_range(0..distance - 2);
     }
     let invert = rng.gen_bool(0.5);
     let consumer = t_diamond_with(b, rng, p, Behavior::HistoryParity { mask, invert });
     b.set_jump(tail, consumer.entry);
-    Routine { entry: producer.entry, exit: consumer.exit }
+    Routine {
+        entry: producer.entry,
+        exit: consumer.exit,
+    }
 }
 
 /// Generates a validated program from `profile`, deterministically in
@@ -231,7 +265,10 @@ fn t_correlated_pair(b: &mut ProgramBuilder, rng: &mut SmallRng, p: &Profile) ->
 /// Panics if `profile.routines == 0` or the template mix is all-zero.
 #[must_use]
 pub fn generate_program(name: &str, profile: &Profile, seed: u64) -> Program {
-    assert!(profile.routines > 0, "profile must request at least one routine");
+    assert!(
+        profile.routines > 0,
+        "profile must request at least one routine"
+    );
     let total = profile.mix.total();
     assert!(total > 0, "template mix must have nonzero weight");
 
@@ -242,31 +279,28 @@ pub fn generate_program(name: &str, profile: &Profile, seed: u64) -> Program {
     for _ in 0..profile.routines {
         let mut roll = rng.gen_range(0..total);
         let mix = &profile.mix;
-        let routine = if roll < mix.counted_loop {
-            t_counted_loop(&mut b, &mut rng, profile)
-        } else if {
-            roll -= mix.counted_loop;
-            roll < mix.biased_diamond
-        } {
-            t_biased_diamond(&mut b, &mut rng, profile)
-        } else if {
-            roll -= mix.biased_diamond;
-            roll < mix.correlated_pair
-        } {
-            t_correlated_pair(&mut b, &mut rng, profile)
-        } else if {
-            roll -= mix.correlated_pair;
-            roll < mix.pattern
-        } {
-            t_pattern(&mut b, &mut rng, profile)
-        } else if {
-            roll -= mix.pattern;
-            roll < mix.chaotic
-        } {
-            t_chaotic(&mut b, &mut rng, profile)
-        } else {
-            t_nested_loop(&mut b, &mut rng, profile)
-        };
+        // Walk the template weights until the roll lands in a bucket.
+        type Template = fn(&mut ProgramBuilder, &mut SmallRng, &Profile) -> Routine;
+        let buckets: [(u32, Template); 6] = [
+            (mix.counted_loop, t_counted_loop),
+            (mix.biased_diamond, t_biased_diamond),
+            (mix.correlated_pair, t_correlated_pair),
+            (mix.pattern, t_pattern),
+            (mix.chaotic, t_chaotic),
+            (mix.nested_loop, t_nested_loop),
+        ];
+        let template = buckets
+            .iter()
+            .find_map(|(weight, template)| {
+                if roll < *weight {
+                    Some(*template)
+                } else {
+                    roll -= weight;
+                    None
+                }
+            })
+            .unwrap_or(t_nested_loop);
+        let routine = template(&mut b, &mut rng, profile);
         // Wrap the routine in a counted repeat loop: real programs spend
         // their time in loop nests that re-execute the same branches with
         // recurring history contexts.
@@ -276,7 +310,10 @@ pub fn generate_program(name: &str, profile: &Profile, seed: u64) -> Program {
         let exit = b.add_block(1);
         b.set_jump(routine.exit, latch);
         b.set_cond(latch, latch_behavior, routine.entry, exit);
-        routines.push(Routine { entry: routine.entry, exit });
+        routines.push(Routine {
+            entry: routine.entry,
+            exit,
+        });
     }
 
     // Group routines into phases; each phase loops before moving on.
@@ -293,7 +330,10 @@ pub fn generate_program(name: &str, profile: &Profile, seed: u64) -> Program {
         let exit = b.add_block(1);
         b.set_jump(chunk.last().expect("chunk non-empty").exit, latch);
         b.set_cond(latch, latch_behavior, chunk[0].entry, exit);
-        phases.push(Routine { entry: chunk[0].entry, exit });
+        phases.push(Routine {
+            entry: chunk[0].entry,
+            exit,
+        });
     }
 
     // Chain the phases into one grand cycle.
@@ -302,7 +342,8 @@ pub fn generate_program(name: &str, profile: &Profile, seed: u64) -> Program {
         b.set_jump(phases[i].exit, next);
     }
 
-    b.build(phases[0].entry).expect("generated programs are structurally valid")
+    b.build(phases[0].entry)
+        .expect("generated programs are structurally valid")
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ mod tests {
     #[test]
     fn trace_is_deterministic_in_seed() {
         let p = benchmark("gzip").unwrap().program();
-        assert_eq!(correct_path_trace(&p, 7, 200), correct_path_trace(&p, 7, 200));
+        assert_eq!(
+            correct_path_trace(&p, 7, 200),
+            correct_path_trace(&p, 7, 200)
+        );
     }
 
     #[test]
@@ -73,7 +76,10 @@ mod tests {
             w.write(r).unwrap();
         }
         w.finish().unwrap();
-        let decoded = bptrace::BtReader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        let decoded = bptrace::BtReader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert_eq!(decoded, t);
     }
 }

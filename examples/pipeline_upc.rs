@@ -19,12 +19,33 @@ fn main() {
 
     let specs = [
         HybridSpec::alone(ProphetKind::BcGskew, Budget::K16),
-        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 4),
-        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 8),
-        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 12),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            4,
+        ),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            12,
+        ),
     ];
 
-    println!("cycle model on {} (Table 2 machine: 6-wide, 30-cycle penalty)\n", bench.name);
+    println!(
+        "cycle model on {} (Table 2 machine: 6-wide, 30-cycle penalty)\n",
+        bench.name
+    );
     for spec in specs {
         let mut engine = spec.build();
         let r = run_cycles(&program, &mut engine, &config);

@@ -39,7 +39,11 @@ fn main() {
     for spec in [baseline, hybrid] {
         let mut engine = spec.build();
         let r = run_accuracy(&program, &mut engine, &config);
-        println!("\n== {} ({} bytes total)", spec.label(), engine.storage_bytes());
+        println!(
+            "\n== {} ({} bytes total)",
+            spec.label(),
+            engine.storage_bytes()
+        );
         println!("   misp/Kuops          : {:.2}", r.misp_per_kuops());
         println!("   mispredicted branches: {:.2}%", r.mispredict_percent());
         println!("   uops per flush      : {:.0}", r.uops_per_flush());

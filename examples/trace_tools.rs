@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_text(&mut text, &records[..20])?;
     let parsed = read_text(text.as_slice())?;
     assert_eq!(parsed, records[..20]);
-    println!("text format sample:\n{}", String::from_utf8_lossy(&text[..200.min(text.len())]));
+    println!(
+        "text format sample:\n{}",
+        String::from_utf8_lossy(&text[..200.min(text.len())])
+    );
 
     // 4. Snapshot the program itself — the LIT analog the simulator runs.
     let snap = Snapshot::new(program, bench.seed);

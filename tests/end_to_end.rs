@@ -8,7 +8,11 @@ use prophet_critic_repro::sim::{run_accuracy, run_cycles, CycleConfig, SimConfig
 use prophet_critic_repro::workloads;
 
 fn small(seed: u64) -> SimConfig {
-    SimConfig { max_uops: 120_000, warmup_uops: 30_000, seed }
+    SimConfig {
+        max_uops: 120_000,
+        warmup_uops: 30_000,
+        seed,
+    }
 }
 
 #[test]
@@ -21,7 +25,11 @@ fn every_prophet_critic_combination_simulates() {
             let spec = HybridSpec::paired(prophet, Budget::K2, critic, Budget::K2, fb);
             let mut engine = spec.build();
             let r = run_accuracy(&program, &mut engine, &small(1));
-            assert!(r.committed_uops >= 90_000, "{spec}: committed {}", r.committed_uops);
+            assert!(
+                r.committed_uops >= 90_000,
+                "{spec}: committed {}",
+                r.committed_uops
+            );
             assert!(r.committed_branches > 1_000, "{spec}");
             assert_eq!(
                 r.critiques.final_mispredicts(),
@@ -42,8 +50,20 @@ fn commit_stream_is_architecturally_identical_across_predictors() {
     for spec in [
         HybridSpec::alone(ProphetKind::Gshare, Budget::K2),
         HybridSpec::alone(ProphetKind::Perceptron, Budget::K16),
-        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 8),
-        HybridSpec::paired(ProphetKind::Gshare, Budget::K4, CriticKind::FilteredPerceptron, Budget::K4, 12),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::Gshare,
+            Budget::K4,
+            CriticKind::FilteredPerceptron,
+            Budget::K4,
+            12,
+        ),
     ] {
         let mut engine = spec.build();
         let r = run_accuracy(&program, &mut engine, &small(7));
@@ -115,8 +135,13 @@ fn cycle_model_orders_configurations_like_accuracy_model() {
     config.warmup_uops = 30_000;
 
     let weak = HybridSpec::alone(ProphetKind::Gshare, Budget::K2);
-    let strong =
-        HybridSpec::paired(ProphetKind::BcGskew, Budget::K8, CriticKind::TaggedGshare, Budget::K8, 8);
+    let strong = HybridSpec::paired(
+        ProphetKind::BcGskew,
+        Budget::K8,
+        CriticKind::TaggedGshare,
+        Budget::K8,
+        8,
+    );
 
     let mut weak_engine = weak.build();
     let weak_r = run_cycles(&program, &mut weak_engine, &config);
@@ -130,7 +155,10 @@ fn cycle_model_orders_configurations_like_accuracy_model() {
         strong_r.upc(),
         weak_r.upc()
     );
-    assert!(weak_r.upc() > 0.2 && strong_r.upc() < 6.0, "uPC within physical bounds");
+    assert!(
+        weak_r.upc() > 0.2 && strong_r.upc() < 6.0,
+        "uPC within physical bounds"
+    );
 }
 
 #[test]
@@ -147,7 +175,12 @@ fn determinism_across_full_pipeline() {
     let run = || {
         let mut engine = spec.build();
         let r = run_accuracy(&program, &mut engine, &small(5));
-        (r.final_mispredicts, r.fetched_uops, r.critic_overrides, r.critiques.total())
+        (
+            r.final_mispredicts,
+            r.fetched_uops,
+            r.critic_overrides,
+            r.critiques.total(),
+        )
     };
     assert_eq!(run(), run(), "simulation must be bit-deterministic");
 }

@@ -1,34 +1,29 @@
-//! Property-based tests (proptest) over core data structures and
-//! cross-crate invariants.
-
-use proptest::prelude::*;
+//! Randomized tests over core data structures and cross-crate invariants,
+//! driven by the in-repo seeded generator (offline stand-in for proptest).
 
 use prophet_critic_repro::bptrace::{BranchKind, BranchRecord, BtReader, BtWriter};
 use prophet_critic_repro::predictors::{fold_bits, HistoryBits, SatCounter};
+use prophet_critic_repro::workloads::rng::SmallRng;
 use prophet_critic_repro::workloads::{
     generate_program, Behavior, BranchState, Profile, TemplateMix, Walker,
 };
 
-fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (
-        0u64..1 << 48,
-        0u64..1 << 48,
-        0..4u8,
-        any::<bool>(),
-        0u32..100_000,
-    )
-        .prop_map(|(pc, target, kind, taken, uops)| BranchRecord {
-            pc,
-            target,
-            kind: BranchKind::from_code(kind).unwrap(),
-            taken,
-            uops_since_prev: uops,
-        })
+fn record(rng: &mut SmallRng) -> BranchRecord {
+    BranchRecord {
+        pc: rng.gen_range(0u64..1 << 48),
+        target: rng.gen_range(0u64..1 << 48),
+        kind: BranchKind::from_code(rng.gen_range(0u8..4)).unwrap(),
+        taken: rng.gen::<bool>(),
+        uops_since_prev: rng.gen_range(0u32..100_000),
+    }
 }
 
-proptest! {
-    #[test]
-    fn bt_format_round_trips_arbitrary_records(records in prop::collection::vec(arb_record(), 0..200)) {
+#[test]
+fn bt_format_round_trips_arbitrary_records() {
+    let mut rng = SmallRng::seed_from_u64(0xC001);
+    for _ in 0..25 {
+        let n = rng.gen_range(0usize..200);
+        let records: Vec<BranchRecord> = (0..n).map(|_| record(&mut rng)).collect();
         let mut buf = Vec::new();
         let mut w = BtWriter::new(&mut buf, "prop").unwrap();
         for r in &records {
@@ -36,75 +31,99 @@ proptest! {
         }
         w.finish().unwrap();
         let decoded = BtReader::new(buf.as_slice()).unwrap().read_all().unwrap();
-        prop_assert_eq!(decoded, records);
+        assert_eq!(decoded, records);
     }
+}
 
-    #[test]
-    fn history_push_keeps_len_and_recent_bit(bits in any::<u64>(), len in 1usize..=64, taken: bool) {
+#[test]
+fn history_push_keeps_len_and_recent_bit() {
+    let mut rng = SmallRng::seed_from_u64(0xC002);
+    for _ in 0..300 {
+        let bits = rng.gen::<u64>();
+        let len = rng.gen_range(1usize..=64);
+        let taken = rng.gen::<bool>();
         let mut h = HistoryBits::from_raw(bits, len);
         let before = h.bits();
         h.push(taken);
-        prop_assert_eq!(h.len(), len);
-        prop_assert_eq!(h.outcome(0), taken);
+        assert_eq!(h.len(), len);
+        assert_eq!(h.outcome(0), taken);
         // All older bits shifted by exactly one.
         for i in 1..len.min(63) {
-            prop_assert_eq!(h.outcome(i), (before >> (i - 1)) & 1 == 1);
+            assert_eq!(h.outcome(i), (before >> (i - 1)) & 1 == 1);
         }
     }
+}
 
-    #[test]
-    fn fold_is_stable_and_bounded(bits in any::<u64>(), len in 0usize..=64, width in 1usize..=64) {
+#[test]
+fn fold_is_stable_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xC003);
+    for _ in 0..300 {
+        let bits = rng.gen::<u64>();
+        let len = rng.gen_range(0usize..=64);
+        let width = rng.gen_range(1usize..=64);
         let a = fold_bits(bits, len, width);
         let b = fold_bits(bits, len, width);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         if width < 64 {
-            prop_assert!(a < (1u64 << width));
+            assert!(a < (1u64 << width));
         }
     }
+}
 
-    #[test]
-    fn counters_stay_in_range_under_any_update_sequence(
-        bits in 1usize..=7,
-        updates in prop::collection::vec(any::<bool>(), 0..100),
-    ) {
+#[test]
+fn counters_stay_in_range_under_any_update_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0xC004);
+    for _ in 0..60 {
+        let bits = rng.gen_range(1usize..=7);
+        let n = rng.gen_range(0usize..100);
         let mut c = SatCounter::weakly_not_taken(bits);
-        for t in updates {
-            c.update(t);
-            prop_assert!(c.value() <= c.max());
+        for _ in 0..n {
+            c.update(rng.gen::<bool>());
+            assert!(c.value() <= c.max());
         }
     }
+}
 
-    #[test]
-    fn counter_converges_to_constant_stream(bits in 1usize..=7, taken: bool) {
-        let mut c = SatCounter::weakly_taken(bits);
-        for _ in 0..200 {
-            c.update(taken);
+#[test]
+fn counter_converges_to_constant_stream() {
+    for bits in 1usize..=7 {
+        for taken in [false, true] {
+            let mut c = SatCounter::weakly_taken(bits);
+            for _ in 0..200 {
+                c.update(taken);
+            }
+            assert_eq!(c.is_taken(), taken);
+            assert!(c.is_strong());
         }
-        prop_assert_eq!(c.is_taken(), taken);
-        prop_assert!(c.is_strong());
     }
+}
 
-    #[test]
-    fn behavior_eval_is_deterministic_in_state(
-        seed in 1u64..u64::MAX,
-        sticky in 0u16..=1000,
-    ) {
-        let b = Behavior::Sticky { sticky_permille: sticky };
+#[test]
+fn behavior_eval_is_deterministic_in_state() {
+    let mut rng = SmallRng::seed_from_u64(0xC005);
+    for _ in 0..100 {
+        let seed = rng.gen::<u64>().max(1);
+        let sticky = rng.gen_range(0u16..=1000);
+        let b = Behavior::Sticky {
+            sticky_permille: sticky,
+        };
         let mut s1 = BranchState::seeded(seed);
         let mut s2 = BranchState::seeded(seed);
         for _ in 0..50 {
-            prop_assert_eq!(
+            assert_eq!(
                 prophet_critic_repro::workloads::eval(b, &mut s1, 0),
                 prophet_critic_repro::workloads::eval(b, &mut s2, 0)
             );
         }
     }
+}
 
-    #[test]
-    fn generated_programs_are_walkable_from_any_seed(
-        gen_seed in 0u64..1 << 32,
-        walk_seed in 0u64..1 << 32,
-    ) {
+#[test]
+fn generated_programs_are_walkable_from_any_seed() {
+    let mut rng = SmallRng::seed_from_u64(0xC006);
+    for _ in 0..8 {
+        let gen_seed = rng.gen_range(0u64..1 << 32);
+        let walk_seed = rng.gen_range(0u64..1 << 32);
         let profile = Profile {
             routines: 12,
             mix: TemplateMix {
@@ -131,23 +150,25 @@ proptest! {
             let ev = w.next_branch();
             w.follow(ev.outcome);
         }
-        prop_assert!(w.uops_walked() >= 500);
+        assert!(w.uops_walked() >= 500);
     }
+}
 
-    #[test]
-    fn walker_rewind_is_exact_under_random_speculation(
-        depth in 1usize..6,
-        walk_seed in 0u64..1 << 32,
-    ) {
-        let bench = prophet_critic_repro::workloads::benchmark("eon").unwrap();
-        let program = bench.program();
+#[test]
+fn walker_rewind_is_exact_under_random_speculation() {
+    let mut rng = SmallRng::seed_from_u64(0xC007);
+    let bench = prophet_critic_repro::workloads::benchmark("eon").unwrap();
+    let program = bench.program();
+    for _ in 0..8 {
+        let depth = rng.gen_range(1usize..6);
+        let walk_seed = rng.gen_range(0u64..1 << 32);
         let mut honest = Walker::with_seed(&program, walk_seed);
         let mut spec = Walker::with_seed(&program, walk_seed);
         for _ in 0..100 {
             let want = honest.next_branch();
             honest.follow(want.outcome);
             let got = spec.next_branch();
-            prop_assert_eq!(got.outcome, want.outcome);
+            assert_eq!(got.outcome, want.outcome);
             let cp = spec.checkpoint();
             spec.follow(!got.outcome);
             for _ in 0..depth {

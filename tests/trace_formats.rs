@@ -69,7 +69,10 @@ fn text_and_binary_agree() {
         w.write(r).unwrap();
     }
     w.finish().unwrap();
-    let from_binary = BtReader::new(binary.as_slice()).unwrap().read_all().unwrap();
+    let from_binary = BtReader::new(binary.as_slice())
+        .unwrap()
+        .read_all()
+        .unwrap();
 
     assert_eq!(from_text, from_binary);
 }
@@ -88,9 +91,15 @@ fn workload_characteristics_are_plausible() {
         ratios.push((name, stats.uops_per_conditional(), stats.taken_rate()));
     }
     for (name, upc, taken) in &ratios {
-        assert!((3.0..45.0).contains(upc), "{name}: {upc} uops/cond out of band");
+        assert!(
+            (3.0..45.0).contains(upc),
+            "{name}: {upc} uops/cond out of band"
+        );
         // Loop-dominated FP code legitimately reaches ~95% taken.
-        assert!((0.3..0.98).contains(taken), "{name}: taken rate {taken} out of band");
+        assert!(
+            (0.3..0.98).contains(taken),
+            "{name}: taken rate {taken} out of band"
+        );
     }
     // FP code is sparser in branches than integer code.
     let gzip = ratios.iter().find(|r| r.0 == "gzip").unwrap().1;
@@ -113,6 +122,9 @@ fn corrupt_files_error_cleanly() {
     snap.write_to(&mut buf).unwrap();
     for cut in [7, buf.len() / 2, buf.len() - 1] {
         let truncated = &buf[..cut];
-        assert!(Snapshot::read_from(truncated).is_err(), "truncation at {cut} undetected");
+        assert!(
+            Snapshot::read_from(truncated).is_err(),
+            "truncation at {cut} undetected"
+        );
     }
 }
