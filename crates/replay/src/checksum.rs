@@ -1,0 +1,140 @@
+//! FNV-1a-64 checksums for corpus artifacts.
+//!
+//! FNV-1a is not cryptographic; its job here is to catch torn writes,
+//! truncation and bit rot in a corpus directory, with a dependency-free
+//! streaming implementation that is stable across platforms (manifest
+//! checksums are portable corpus metadata).
+
+use std::io::Write;
+
+/// The FNV-1a-64 offset basis (the hash of the empty byte string).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a-64 state.
+#[must_use]
+pub fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The FNV-1a-64 hash of `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// A [`Write`] adapter that checksums and counts everything written
+/// through it, so corpus files are hashed while they stream to disk
+/// rather than by a second read pass.
+#[derive(Debug)]
+pub struct HashingWriter<W> {
+    inner: W,
+    hash: u64,
+    written: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    /// Wraps a writer with a fresh checksum state.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: FNV_OFFSET,
+            written: 0,
+        }
+    }
+
+    /// The checksum of everything written so far.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a_update(self.hash, &buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Hashes a file by streaming it in chunks; returns `(byte_len, fnv1a)`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the read loop.
+pub fn hash_file(path: &std::path::Path) -> std::io::Result<(u64, u64)> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut hash = FNV_OFFSET;
+    let mut len = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok((len, hash));
+        }
+        hash = fnv1a_update(hash, &buf[..n]);
+        len += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn writer_matches_one_shot_hash() {
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        let mut w = HashingWriter::new(Vec::new());
+        // Write in uneven pieces; the running hash must match the one-shot.
+        Write::write_all(&mut w, &payload[..7]).unwrap();
+        Write::write_all(&mut w, &payload[7..19]).unwrap();
+        Write::write_all(&mut w, &payload[19..]).unwrap();
+        assert_eq!(w.hash(), fnv1a(payload));
+        assert_eq!(w.written(), payload.len() as u64);
+        assert_eq!(w.into_inner(), payload.to_vec());
+    }
+
+    #[test]
+    fn hash_file_round_trips() {
+        let dir = std::env::temp_dir().join("replay-checksum-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let (len, hash) = hash_file(&path).unwrap();
+        assert_eq!(len, payload.len() as u64);
+        assert_eq!(hash, fnv1a(&payload));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

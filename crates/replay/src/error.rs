@@ -1,0 +1,93 @@
+//! Error type for corpus building, verification and replay.
+
+use std::fmt;
+use std::io;
+
+use bptrace::TraceError;
+
+/// An error produced by the corpus or replay tooling.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// A trace-format error (bad magic, corruption, truncation, …).
+    Trace(TraceError),
+    /// An underlying I/O failure outside the trace parsers.
+    Io(io::Error),
+    /// A manifest line failed to parse.
+    Manifest {
+        /// 1-based line number within the manifest file.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A corpus artifact disagrees with its manifest entry or its sibling
+    /// artifact (checksum mismatch, snapshot/trace divergence, …).
+    Corpus {
+        /// The trace (benchmark) name.
+        trace: String,
+        /// Description of the disagreement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Trace(e) => write!(f, "trace format error: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Manifest { line, reason } => write!(f, "manifest line {line}: {reason}"),
+            Self::Corpus { trace, reason } => write!(f, "corpus entry {trace}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Trace(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+impl From<io::Error> for ReplayError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Convenience alias for replay results.
+pub type Result<T> = std::result::Result<T, ReplayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ReplayError::Manifest {
+            line: 3,
+            reason: "missing seed".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = ReplayError::Corpus {
+            trace: "gcc".into(),
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("gcc"));
+    }
+
+    #[test]
+    fn sources_convert() {
+        let e: ReplayError = TraceError::UnexpectedEof { what: "flags" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReplayError = io::Error::other("boom").into();
+        assert!(matches!(e, ReplayError::Io(_)));
+    }
+}

@@ -1,0 +1,340 @@
+//! The hand-parsed `corpus.manifest` index of a trace corpus directory.
+//!
+//! Layout — a line-oriented text format in the workspace's no-framework
+//! tradition:
+//!
+//! ```text
+//! btcorpus-manifest v1
+//! # optional comment lines
+//! trace name=gzip seed=0x... uop_budget=1200000 records=91234 \
+//!       bt=gzip.bt bt_bytes=... bt_fnv1a=0x... \
+//!       pcl=gzip.pcl pcl_bytes=... pcl_fnv1a=0x... \
+//!       branches=... conditionals=... taken=... uops=... static=...
+//! ```
+//!
+//! (shown wrapped; each `trace` entry is a single line of
+//! whitespace-separated `key=value` pairs). Unknown keys are ignored so
+//! newer writers stay readable by older parsers; missing required keys are
+//! a typed [`ReplayError::Manifest`] error carrying the line number.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use bptrace::TraceStats;
+
+use crate::error::{ReplayError, Result};
+
+/// File name of the manifest inside a corpus directory.
+pub const MANIFEST_FILE: &str = "corpus.manifest";
+
+/// Header line of the newest manifest version this build reads and writes.
+pub const MANIFEST_HEADER: &str = "btcorpus-manifest v1";
+
+/// One recorded benchmark: its trace and snapshot files plus everything
+/// needed to re-derive or verify them.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEntry {
+    /// Benchmark name (unique within the corpus).
+    pub name: String,
+    /// Execution seed of the walk that produced the trace.
+    pub seed: u64,
+    /// The committed-uop budget the recording stopped at.
+    pub uop_budget: u64,
+    /// Branch records in the `.bt` file.
+    pub records: u64,
+    /// `.bt` file name, relative to the corpus directory.
+    pub bt_file: String,
+    /// Byte length of the `.bt` file.
+    pub bt_bytes: u64,
+    /// FNV-1a-64 checksum of the `.bt` file.
+    pub bt_fnv1a: u64,
+    /// `.pcl` snapshot file name, relative to the corpus directory.
+    pub pcl_file: String,
+    /// Byte length of the `.pcl` file.
+    pub pcl_bytes: u64,
+    /// FNV-1a-64 checksum of the `.pcl` file.
+    pub pcl_fnv1a: u64,
+    /// Whole-trace statistics summary.
+    pub stats: TraceStats,
+}
+
+/// The parsed manifest: recorded entries in recording order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Manifest {
+    /// One entry per recorded benchmark.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Manifest {
+    /// Looks an entry up by benchmark name.
+    #[must_use]
+    pub fn entry(&self, name: &str) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut out: W) -> Result<()> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_HEADER);
+        text.push('\n');
+        for e in &self.entries {
+            let s = &e.stats;
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "trace name={} seed={:#x} uop_budget={} records={} \
+                 bt={} bt_bytes={} bt_fnv1a={:#x} \
+                 pcl={} pcl_bytes={} pcl_fnv1a={:#x} \
+                 branches={} conditionals={} taken={} uops={} static={}",
+                e.name,
+                e.seed,
+                e.uop_budget,
+                e.records,
+                e.bt_file,
+                e.bt_bytes,
+                e.bt_fnv1a,
+                e.pcl_file,
+                e.pcl_bytes,
+                e.pcl_fnv1a,
+                s.branches,
+                s.conditionals,
+                s.taken_conditionals,
+                s.uops,
+                s.static_branches,
+            );
+            text.push_str(&line);
+            text.push('\n');
+        }
+        out.write_all(text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Parses a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Manifest`] with the offending line number on a bad
+    /// header, malformed pair, unparsable number or missing required key.
+    pub fn read_from<R: Read>(input: R) -> Result<Self> {
+        let reader = BufReader::new(input);
+        let mut entries = Vec::new();
+        let mut saw_header = false;
+        for (i, line) in reader.lines().enumerate() {
+            let lineno = i + 1;
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if line != MANIFEST_HEADER {
+                    return Err(ReplayError::Manifest {
+                        line: lineno,
+                        reason: format!("expected header {MANIFEST_HEADER:?}, found {line:?}"),
+                    });
+                }
+                saw_header = true;
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("trace ") else {
+                return Err(ReplayError::Manifest {
+                    line: lineno,
+                    reason: format!("expected a `trace` entry, found {line:?}"),
+                });
+            };
+            entries.push(parse_entry(rest, lineno)?);
+        }
+        if !saw_header {
+            return Err(ReplayError::Manifest {
+                line: 1,
+                reason: "empty manifest (missing header)".into(),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads `dir/corpus.manifest`.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_from`](Self::read_from), plus I/O errors opening the file.
+    pub fn load(dir: &Path) -> Result<Self> {
+        let file = std::fs::File::open(dir.join(MANIFEST_FILE))?;
+        Self::read_from(file)
+    }
+
+    /// Writes `dir/corpus.manifest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let file = std::fs::File::create(dir.join(MANIFEST_FILE))?;
+        self.write_to(file)
+    }
+}
+
+fn parse_entry(pairs: &str, line: usize) -> Result<TraceEntry> {
+    let bad = |reason: String| ReplayError::Manifest { line, reason };
+    let mut name = None;
+    let mut str_fields: [Option<String>; 2] = [None, None]; // bt, pcl
+    let mut num_fields: [Option<u64>; 12] = [None; 12];
+    const NUM_KEYS: [&str; 12] = [
+        "seed",
+        "uop_budget",
+        "records",
+        "bt_bytes",
+        "bt_fnv1a",
+        "pcl_bytes",
+        "pcl_fnv1a",
+        "branches",
+        "conditionals",
+        "taken",
+        "uops",
+        "static",
+    ];
+    for pair in pairs.split_ascii_whitespace() {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| bad(format!("malformed pair {pair:?}")))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "bt" => str_fields[0] = Some(value.to_string()),
+            "pcl" => str_fields[1] = Some(value.to_string()),
+            _ => {
+                if let Some(slot) = NUM_KEYS.iter().position(|k| *k == key) {
+                    let parsed = value
+                        .strip_prefix("0x")
+                        .map_or_else(|| value.parse::<u64>(), |hex| u64::from_str_radix(hex, 16))
+                        .map_err(|_| bad(format!("bad number for {key}: {value:?}")))?;
+                    num_fields[slot] = Some(parsed);
+                }
+                // Unknown keys: ignored for forward compatibility.
+            }
+        }
+    }
+    let take_num = |slot: usize| {
+        num_fields[slot].ok_or_else(|| bad(format!("missing key {}", NUM_KEYS[slot])))
+    };
+    Ok(TraceEntry {
+        name: name.ok_or_else(|| bad("missing key name".into()))?,
+        seed: take_num(0)?,
+        uop_budget: take_num(1)?,
+        records: take_num(2)?,
+        bt_file: str_fields[0]
+            .clone()
+            .ok_or_else(|| bad("missing key bt".into()))?,
+        bt_bytes: take_num(3)?,
+        bt_fnv1a: take_num(4)?,
+        pcl_file: str_fields[1]
+            .clone()
+            .ok_or_else(|| bad("missing key pcl".into()))?,
+        pcl_bytes: take_num(5)?,
+        pcl_fnv1a: take_num(6)?,
+        stats: TraceStats {
+            branches: take_num(7)?,
+            conditionals: take_num(8)?,
+            taken_conditionals: take_num(9)?,
+            uops: take_num(10)?,
+            static_branches: take_num(11)? as usize,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(name: &str) -> TraceEntry {
+        TraceEntry {
+            name: name.to_string(),
+            seed: 0xdead_beef_0bad_cafe,
+            uop_budget: 1_200_000,
+            records: 91_234,
+            bt_file: format!("{name}.bt"),
+            bt_bytes: 250_101,
+            bt_fnv1a: 0x1234_5678_9abc_def0,
+            pcl_file: format!("{name}.pcl"),
+            pcl_bytes: 40_000,
+            pcl_fnv1a: 42,
+            stats: TraceStats {
+                branches: 91_234,
+                conditionals: 91_234,
+                taken_conditionals: 60_000,
+                uops: 1_200_003,
+                static_branches: 1_871,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let manifest = Manifest {
+            entries: vec![sample_entry("gzip"), sample_entry("tpcc")],
+        };
+        let mut buf = Vec::new();
+        manifest.write_to(&mut buf).unwrap();
+        let parsed = Manifest::read_from(buf.as_slice()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.entry("tpcc").unwrap().records, 91_234);
+        assert!(parsed.entry("nope").is_none());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("# corpus for the smoke test\n\n{MANIFEST_HEADER}\n# another comment\n");
+        let parsed = Manifest::read_from(text.as_bytes()).unwrap();
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let manifest = Manifest {
+            entries: vec![sample_entry("art")],
+        };
+        let mut buf = Vec::new();
+        manifest.write_to(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("records=", "future_key=7 records=");
+        let parsed = Manifest::read_from(text.as_bytes()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn typed_errors_carry_line_numbers() {
+        // Wrong header.
+        let err = Manifest::read_from(b"btcorpus-manifest v9\n".as_slice()).unwrap_err();
+        assert!(matches!(err, ReplayError::Manifest { line: 1, .. }));
+        // Missing key.
+        let text = format!("{MANIFEST_HEADER}\ntrace name=x seed=1\n");
+        let err = Manifest::read_from(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReplayError::Manifest { line: 2, .. }));
+        assert!(err.to_string().contains("line 2"));
+        // Bad number.
+        let text = format!("{MANIFEST_HEADER}\ntrace name=x seed=zebra\n");
+        let err = Manifest::read_from(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("seed"));
+        // Not a trace line.
+        let text = format!("{MANIFEST_HEADER}\nsnapshot name=x\n");
+        assert!(Manifest::read_from(text.as_bytes()).is_err());
+        // Empty file.
+        assert!(Manifest::read_from(b"".as_slice()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("replay-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest {
+            entries: vec![sample_entry("swim")],
+        };
+        manifest.save(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+    }
+}

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list
+//! experiments --list
 //!
 //!   SCALE=2        double the per-benchmark uop budget
 //!   EXP_BENCH=all  sweep all 110 benchmarks instead of 2 per suite
 //!   THREADS=8      default worker count (--threads overrides)
 //! ```
+//!
+//! `--list` (or the `list` subcommand) enumerates every runnable
+//! experiment *and* every available benchmark per suite, so neither needs
+//! discovering by reading source.
 //!
 //! Every run reports per-experiment wall-clock on stderr. Runs that
 //! include `headline` (or pass an explicit `--json FILE`) also write a
@@ -25,11 +30,35 @@ const DEFAULT_JSON_PATH: &str = "BENCH_headline.json";
 
 fn usage() -> ! {
     eprintln!("usage: experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list");
+    eprintln!("       experiments --list   (enumerate experiments and benchmarks)");
     eprintln!("experiments:");
     for e in all() {
         eprintln!("  {:<8} {}", e.id, e.title);
     }
     std::process::exit(2);
+}
+
+/// Enumerates every runnable experiment and every available benchmark.
+fn print_inventory() {
+    println!("experiments:");
+    for e in all() {
+        println!("  {:<9} {}", e.id, e.title);
+    }
+    println!("\nbenchmarks (EXP_BENCH=all sweeps every one; fast set takes 2 per suite):");
+    let benchmarks = workloads::all_benchmarks();
+    for suite in workloads::Suite::ALL {
+        let names: Vec<&str> = benchmarks
+            .iter()
+            .filter(|b| b.suite == suite)
+            .map(|b| b.name.as_str())
+            .collect();
+        println!(
+            "  {:<6} ({:>3}): {}",
+            suite.label(),
+            names.len(),
+            names.join(" ")
+        );
+    }
 }
 
 /// Extracts the value of `--flag VALUE` from `args`, removing both tokens.
@@ -111,6 +140,10 @@ fn write_report(
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_inventory();
+        return;
+    }
     let csv_dir = take_flag(&mut args, "--csv");
     let explicit_json = take_flag(&mut args, "--json");
     let json_path = explicit_json
@@ -122,9 +155,7 @@ fn main() {
         usage();
     }
     if args[0] == "list" {
-        for e in all() {
-            println!("{:<8} {}", e.id, e.title);
-        }
+        print_inventory();
         return;
     }
 

@@ -1,0 +1,352 @@
+//! The trace-corpus CLI: record, list, inspect, verify and replay `.bt`
+//! corpora.
+//!
+//! ```text
+//! traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--threads N]
+//! traces list    --dir DIR
+//! traces inspect --dir DIR --trace NAME [--top N]
+//! traces replay  --dir DIR [--threads N] [--top N]
+//! traces verify  --dir DIR [--threads N]
+//!
+//!   SCALE=2   double the per-benchmark uop budget when recording
+//! ```
+//!
+//! `record` writes one `.bt` trace + one `.pcl` snapshot per benchmark
+//! plus the `corpus.manifest` index; `replay` streams every trace through
+//! the conventional tournament lineup and prints the ranked misp/Kuops
+//! report with per-trace H2P flags; `verify` re-hashes every artifact and
+//! cross-checks each snapshot walk against its trace. Recording, replay
+//! and verification all fan out through the deterministic parallel grid
+//! runner, so results are identical for any `--threads` value.
+
+use std::path::{Path, PathBuf};
+
+use bptrace::{BranchProfile, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
+use predictors::DirectionPredictor;
+use replay::{
+    open_trace, record_benchmark, replay_reader, verify_entry, Manifest, ReplayConfig,
+    ReplayResult, TraceEntry,
+};
+use sim::experiments::common::select_benchmarks;
+use sim::experiments::tracecmp::conventional_lineup;
+use sim::experiments::{BenchSet, ExpEnv};
+use sim::par_map;
+use sim::table::{f2, pct, Table};
+use workloads::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--threads N]\n  \
+         traces list    --dir DIR\n  \
+         traces inspect --dir DIR --trace NAME [--top N]\n  \
+         traces replay  --dir DIR [--threads N] [--top N]\n  \
+         traces verify  --dir DIR [--threads N]\n\n  \
+         SCALE=2 doubles the per-benchmark uop budget when recording"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("traces: {msg}");
+    std::process::exit(1);
+}
+
+/// Extracts the value of `--flag VALUE` from `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        usage();
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn require_dir(args: &mut Vec<String>) -> PathBuf {
+    take_flag(args, "--dir").map_or_else(|| usage(), PathBuf::from)
+}
+
+fn threads_flag(args: &mut Vec<String>) -> usize {
+    take_flag(args, "--threads")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()).max(1))
+        .unwrap_or_else(sim::default_threads)
+}
+
+fn top_flag(args: &mut Vec<String>, default: usize) -> usize {
+    take_flag(args, "--top")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()))
+        .unwrap_or(default)
+}
+
+/// Resolves `--bench`: `fast` (the experiment grid's fast set), `all`
+/// (every Table 1 benchmark), or a comma-separated name list. The named
+/// sets share their definition with `ExpEnv`, so a recorded corpus covers
+/// exactly what the experiments sweep.
+fn resolve_benchmarks(spec: &str) -> Vec<Benchmark> {
+    match spec {
+        "fast" => select_benchmarks(BenchSet::Fast),
+        "all" => select_benchmarks(BenchSet::All),
+        names => names
+            .split(',')
+            .map(|n| {
+                workloads::benchmark(n.trim())
+                    .unwrap_or_else(|| fail(&format!("unknown benchmark {n:?}")))
+            })
+            .collect(),
+    }
+}
+
+fn load_manifest(dir: &Path) -> Manifest {
+    Manifest::load(dir).unwrap_or_else(|e| fail(&format!("cannot load manifest: {e}")))
+}
+
+fn cmd_record(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    let bench_spec = take_flag(&mut args, "--bench").unwrap_or_else(|| "fast".to_string());
+    let threads = threads_flag(&mut args);
+    if !args.is_empty() {
+        usage();
+    }
+    let benches = resolve_benchmarks(&bench_spec);
+    let budget = ExpEnv::from_env().uop_budget();
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("cannot create dir: {e}")));
+    eprintln!(
+        "# recording {} benchmark(s) at {budget} uops each, {threads} thread(s)",
+        benches.len()
+    );
+
+    let entries: Vec<TraceEntry> = par_map(&benches, threads, |_, bench| {
+        record_benchmark(&dir, bench, budget)
+            .unwrap_or_else(|e| fail(&format!("recording {}: {e}", bench.name)))
+    });
+    let mut total_bytes = 0u64;
+    for e in &entries {
+        total_bytes += e.bt_bytes + e.pcl_bytes;
+        println!(
+            "{:<10} {:>9} records  {:>9} B trace  {:>8} B snapshot  {}",
+            e.name, e.records, e.bt_bytes, e.pcl_bytes, e.stats
+        );
+    }
+    let manifest = Manifest { entries };
+    manifest
+        .save(&dir)
+        .unwrap_or_else(|e| fail(&format!("writing manifest: {e}")));
+    eprintln!(
+        "# wrote {} traces ({total_bytes} bytes) + {} to {}",
+        manifest.entries.len(),
+        replay::MANIFEST_FILE,
+        dir.display()
+    );
+}
+
+fn cmd_list(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    if !args.is_empty() {
+        usage();
+    }
+    let manifest = load_manifest(&dir);
+    let mut t = Table::new(
+        format!("Corpus {}", dir.display()),
+        &[
+            "trace",
+            "records",
+            "uop budget",
+            "taken %",
+            "uops/cond",
+            "static",
+            "bt bytes",
+        ],
+    );
+    for e in &manifest.entries {
+        t.row(vec![
+            e.name.clone(),
+            e.records.to_string(),
+            e.uop_budget.to_string(),
+            pct(e.stats.taken_rate() * 100.0),
+            f2(e.stats.uops_per_conditional()),
+            e.stats.static_branches.to_string(),
+            e.bt_bytes.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_inspect(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    let name = take_flag(&mut args, "--trace").unwrap_or_else(|| usage());
+    let top = top_flag(&mut args, 10);
+    if !args.is_empty() {
+        usage();
+    }
+    let manifest = load_manifest(&dir);
+    let entry = manifest
+        .entry(&name)
+        .unwrap_or_else(|| fail(&format!("trace {name:?} not in manifest")));
+    let mut reader =
+        open_trace(&dir, entry).unwrap_or_else(|e| fail(&format!("opening trace: {e}")));
+    let mut profile = BranchProfile::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(rec)) => profile.observe(&rec),
+            Ok(None) => break,
+            Err(e) => fail(&format!("reading trace: {e}")),
+        }
+    }
+    println!("{name}: {}", profile.stats());
+    let candidates = profile.h2p_candidates(H2P_MIN_OCCURRENCES, H2P_MAX_BIAS);
+    println!(
+        "{} low-bias (H2P candidate) static branches; hardest {}:",
+        candidates.len(),
+        top.min(candidates.len())
+    );
+    for b in candidates.iter().take(top) {
+        println!(
+            "  {:#012x}  {:>7} execs  taken {:>5.1}%  bias {:.2}",
+            b.pc,
+            b.occurrences,
+            b.taken_rate() * 100.0,
+            b.bias()
+        );
+    }
+}
+
+fn cmd_replay(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    let threads = threads_flag(&mut args);
+    let top = top_flag(&mut args, 3);
+    if !args.is_empty() {
+        usage();
+    }
+    let manifest = load_manifest(&dir);
+    if manifest.entries.is_empty() {
+        fail("corpus is empty");
+    }
+    let lineup = conventional_lineup();
+    let cells: Vec<(usize, usize)> = (0..lineup.len())
+        .flat_map(|p| (0..manifest.entries.len()).map(move |t| (p, t)))
+        .collect();
+    eprintln!(
+        "# replaying {} trace(s) through {} predictor(s), {threads} thread(s)",
+        manifest.entries.len(),
+        lineup.len()
+    );
+    let results: Vec<ReplayResult> = par_map(&cells, threads, |_, &(p, t)| {
+        let entry = &manifest.entries[t];
+        let mut predictor = lineup[p].clone();
+        let cfg = ReplayConfig::with_budget(entry.uop_budget);
+        let mut reader =
+            open_trace(&dir, entry).unwrap_or_else(|e| fail(&format!("{}: {e}", entry.name)));
+        replay_reader(&mut reader, &mut predictor, &cfg)
+            .unwrap_or_else(|e| fail(&format!("replaying {}: {e}", entry.name)))
+    });
+
+    let traces = manifest.entries.len();
+    let mut pooled: Vec<(usize, f64, f64)> = lineup
+        .iter()
+        .enumerate()
+        .map(|(p, _)| {
+            let row = &results[p * traces..(p + 1) * traces];
+            let uops: u64 = row.iter().map(|r| r.measured_uops).sum();
+            let conds: u64 = row.iter().map(|r| r.measured_conditionals).sum();
+            let misp: u64 = row.iter().map(|r| r.mispredicts).sum();
+            let kuops = if uops == 0 {
+                0.0
+            } else {
+                misp as f64 * 1000.0 / uops as f64
+            };
+            let percent = if conds == 0 {
+                0.0
+            } else {
+                misp as f64 * 100.0 / conds as f64
+            };
+            (p, kuops, percent)
+        })
+        .collect();
+    pooled.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut t = Table::new(
+        "Corpus replay — conventional predictors, ranked",
+        &["rank", "predictor", "misp/Kuops", "mispred %"],
+    );
+    for (rank, (p, kuops, percent)) in pooled.iter().enumerate() {
+        let predictor = &lineup[*p];
+        t.row(vec![
+            (rank + 1).to_string(),
+            format!(
+                "{}KB {}",
+                predictor.storage_bytes().div_ceil(1024),
+                predictor.name()
+            ),
+            f2(*kuops),
+            pct(*percent),
+        ]);
+    }
+    t.note("hybrids need snapshot re-execution (paper §6): run `experiments tracecmp`");
+    println!("{}", t.render());
+
+    // Per-trace H2P flags under the winning predictor.
+    let winner = pooled.first().map_or(0, |(p, _, _)| *p);
+    println!(
+        "hardest branches per trace under {} (top {top}):",
+        lineup[winner].name()
+    );
+    for (ti, entry) in manifest.entries.iter().enumerate() {
+        let r = &results[winner * traces + ti];
+        let hard = r.h2p_branches(top);
+        let summary: Vec<String> = hard
+            .iter()
+            .map(|b| format!("{:#x} ({} misp, bias {:.2})", b.pc, b.mispredicts, b.bias()))
+            .collect();
+        println!(
+            "  {:<10} {}",
+            entry.name,
+            if summary.is_empty() {
+                "-".to_string()
+            } else {
+                summary.join(", ")
+            }
+        );
+    }
+}
+
+fn cmd_verify(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    let threads = threads_flag(&mut args);
+    if !args.is_empty() {
+        usage();
+    }
+    let manifest = load_manifest(&dir);
+    let outcomes: Vec<Option<String>> = par_map(&manifest.entries, threads, |_, entry| {
+        verify_entry(&dir, entry).err().map(|e| e.to_string())
+    });
+    let mut failures = 0;
+    for (entry, outcome) in manifest.entries.iter().zip(&outcomes) {
+        match outcome {
+            None => println!("{:<10} ok", entry.name),
+            Some(e) => {
+                println!("{:<10} FAIL: {e}", entry.name);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        fail(&format!("{failures} corpus entr(ies) failed verification"));
+    }
+    eprintln!("# {} entries verified", manifest.entries.len());
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "record" => cmd_record(args),
+        "list" => cmd_list(args),
+        "inspect" => cmd_inspect(args),
+        "replay" => cmd_replay(args),
+        "verify" => cmd_verify(args),
+        _ => usage(),
+    }
+}

@@ -37,6 +37,31 @@ pub enum BenchSet {
     All,
 }
 
+/// The benchmarks a [`BenchSet`] selects, in suite order.
+///
+/// This is the **single** definition of the fast set; the `traces` CLI
+/// uses it too, so a corpus recorded with `traces record --bench fast`
+/// covers exactly the benchmarks the experiment grid (and `tracecmp`)
+/// sweeps.
+#[must_use]
+pub fn select_benchmarks(set: BenchSet) -> Vec<Benchmark> {
+    let per_suite = match set {
+        BenchSet::Fast => 2,
+        BenchSet::All => usize::MAX,
+    };
+    let mut selected = Vec::new();
+    let pool = all_benchmarks();
+    for suite in Suite::ALL {
+        selected.extend(
+            pool.iter()
+                .filter(|b| b.suite == suite)
+                .take(per_suite)
+                .cloned(),
+        );
+    }
+    selected
+}
+
 /// Environment-derived experiment settings.
 ///
 /// * `SCALE` — multiplies the per-benchmark uop budget (default 1.0).
@@ -108,19 +133,7 @@ impl ExpEnv {
     /// The benchmarks this environment sweeps, with generated programs.
     #[must_use]
     pub fn programs(&self) -> Vec<(Benchmark, Program)> {
-        let per_suite = match self.bench_set {
-            BenchSet::Fast => 2,
-            BenchSet::All => usize::MAX,
-        };
-        let mut selected = Vec::new();
-        for suite in Suite::ALL {
-            selected.extend(
-                all_benchmarks()
-                    .into_iter()
-                    .filter(|b| b.suite == suite)
-                    .take(per_suite),
-            );
-        }
+        let selected = select_benchmarks(self.bench_set);
         // Program synthesis is itself per-benchmark independent work.
         par_map(&selected, self.threads, |_, b| b.program())
             .into_iter()

@@ -10,6 +10,7 @@
 //! | `table4` | filter rates | [`table4`] |
 //! | `fig9`/`fig10` | uPC | [`upc`] |
 //! | `headline` | the abstract's numbers | [`headline`] |
+//! | `tracecmp` | trace tournament (corpus replay vs snapshot exec) | [`tracecmp`] |
 
 pub mod ablation;
 pub mod common;
@@ -20,6 +21,7 @@ pub mod fig8;
 pub mod headline;
 pub mod statics;
 pub mod table4;
+pub mod tracecmp;
 pub mod upc;
 
 pub use common::{BenchSet, ExpEnv};
@@ -110,6 +112,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Ablations: tag width + allocation policy (§4)",
             run: ablation::run,
         },
+        Experiment {
+            id: "tracecmp",
+            title: "Trace tournament: corpus replay vs snapshot re-execution",
+            run: tracecmp::run,
+        },
     ]
 }
 
@@ -128,7 +135,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "headline",
+            "fig10", "headline", "tracecmp",
         ] {
             assert!(ids.contains(&want), "{want} missing from registry");
         }

@@ -1,0 +1,348 @@
+//! The CBP-style trace tournament: every conventional predictor replayed
+//! over a recorded trace corpus, ranked against prophet/critic hybrids
+//! re-executed from program snapshots.
+//!
+//! This is the trace-driven counterpart of the execution-driven figures —
+//! the methodology of championship branch-prediction harnesses and of the
+//! H2P literature. The experiment:
+//!
+//! 1. **records** an in-memory corpus: one `.bt` correct-path trace and
+//!    one `.pcl` snapshot per benchmark (same bytes the `traces` CLI
+//!    writes to disk), in parallel, one cell per benchmark;
+//! 2. **cross-checks** every trace against its snapshot — the §6 split
+//!    demands the two evaluation paths observe the identical correct-path
+//!    branch stream;
+//! 3. **replays** each conventional predictor over each trace
+//!    (spec × trace cells through the parallel runner);
+//! 4. **re-executes** each hybrid spec from each snapshot with the
+//!    execution-driven simulator — a correct-path trace would hand the
+//!    critic oracle future bits, so hybrids never touch the replay path;
+//! 5. emits a ranked misp/Kuops report plus a per-trace H2P summary, and
+//!    (from the `run` entry point) writes `BENCH_tracecmp.json`.
+//!
+//! Every stage fans through [`par_map`] with input-ordered collection, so
+//! the report is bit-identical for any thread count — pinned by
+//! `crates/sim/tests/tracecmp.rs`.
+
+use bptrace::{BtReader, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
+use predictors::configs::{self, Budget};
+use predictors::{Bimodal, DirectionPredictor, GAs, Local, Yags};
+use prophet_critic::{AnyProphet, CriticKind, HybridSpec, ProphetKind};
+use replay::{cross_check_snapshot, record_trace, replay_bytes, ReplayConfig, ReplayResult};
+use workloads::{Benchmark, Snapshot};
+
+use crate::accuracy::run_accuracy;
+use crate::experiments::common::ExpEnv;
+use crate::metrics::AccuracyResult;
+use crate::runner::par_map;
+use crate::table::{f2, pct, Table};
+
+/// Default path of the machine-readable tournament report.
+pub const JSON_PATH: &str = "BENCH_tracecmp.json";
+
+/// The conventional lineup: every component predictor at (approximately)
+/// the paper's 16 KB baseline budget, Table 3 configurations where the
+/// table defines one.
+#[must_use]
+pub fn conventional_lineup() -> Vec<AnyProphet> {
+    vec![
+        AnyProphet::Bimodal(Bimodal::new(64 * 1024)),
+        AnyProphet::Gshare(configs::gshare(Budget::K16)),
+        AnyProphet::GAs(GAs::new(64 * 1024, 10)),
+        AnyProphet::Local(Local::new(4 * 1024, 12, 32 * 1024)),
+        AnyProphet::BcGskew(configs::bc_gskew(Budget::K16)),
+        AnyProphet::Perceptron(configs::perceptron(Budget::K16)),
+        AnyProphet::Yags(Yags::new(32 * 1024, 1024, 2, 9, 13)),
+    ]
+}
+
+/// The hybrid entrants: equal-total-budget 8 KB + 8 KB prophet/critic
+/// pairs (the paper's headline shape).
+#[must_use]
+pub fn hybrid_lineup() -> Vec<HybridSpec> {
+    vec![
+        HybridSpec::paired(
+            ProphetKind::Gshare,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::Perceptron,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+    ]
+}
+
+fn size_label(p: &AnyProphet) -> String {
+    format!("{}KB {}", p.storage_bytes().div_ceil(1024), p.name())
+}
+
+struct RecordedTrace {
+    bench: Benchmark,
+    bt: Vec<u8>,
+    pcl: Vec<u8>,
+}
+
+/// One ranked tournament row.
+struct Entrant {
+    label: String,
+    path: &'static str,
+    misp_per_kuops: f64,
+    mispredict_percent: f64,
+}
+
+/// Runs the tournament and also returns the machine-readable JSON report
+/// (which deliberately omits the thread count: the report is bit-identical
+/// for any `--threads` value).
+#[must_use]
+pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
+    let programs = env.programs();
+    let budget = env.uop_budget();
+    let replay_cfg = ReplayConfig::with_budget(budget);
+
+    // ---- 1. Record the corpus, one cell per benchmark.
+    let recorded: Vec<RecordedTrace> = par_map(&programs, env.threads, |_, (bench, program)| {
+        let mut bt = Vec::new();
+        record_trace(program, bench.seed, budget, &mut bt)
+            .expect("in-memory recording cannot fail");
+        let mut pcl = Vec::new();
+        Snapshot::new(program.clone(), bench.seed)
+            .write_to(&mut pcl)
+            .expect("in-memory snapshot write cannot fail");
+        RecordedTrace {
+            bench: bench.clone(),
+            bt,
+            pcl,
+        }
+    });
+
+    // ---- 2. Cross-check: the snapshot walk must reproduce the trace.
+    par_map(&recorded, env.threads, |_, t| {
+        let snap = Snapshot::read_from(t.pcl.as_slice()).expect("snapshot round-trips");
+        let reader = BtReader::new(t.bt.as_slice()).expect("trace round-trips");
+        cross_check_snapshot(reader, &snap)
+            .expect("trace and snapshot must observe the same correct path");
+    });
+
+    // ---- 3. Conventional predictors replay the traces.
+    let lineup = conventional_lineup();
+    let conv_cells: Vec<(usize, usize)> = (0..lineup.len())
+        .flat_map(|p| (0..recorded.len()).map(move |t| (p, t)))
+        .collect();
+    let conv: Vec<ReplayResult> = par_map(&conv_cells, env.threads, |_, &(p, t)| {
+        let mut predictor = lineup[p].clone();
+        replay_bytes(&recorded[t].bt, &mut predictor, &replay_cfg)
+            .expect("in-memory trace is well-formed")
+    });
+
+    // ---- 4. Hybrids re-execute from the snapshots (§6: no trace replay).
+    let hybrids = hybrid_lineup();
+    let hyb_cells: Vec<(usize, usize)> = (0..hybrids.len())
+        .flat_map(|s| (0..recorded.len()).map(move |t| (s, t)))
+        .collect();
+    let hyb: Vec<AccuracyResult> = par_map(&hyb_cells, env.threads, |_, &(s, t)| {
+        let snap = Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+        let mut hybrid = hybrids[s].build();
+        run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
+    });
+
+    // ---- 5. Pool, rank, report.
+    let traces = recorded.len();
+    let mut entrants: Vec<Entrant> = Vec::new();
+    let mut conv_rates: Vec<f64> = Vec::with_capacity(lineup.len());
+    for (p, predictor) in lineup.iter().enumerate() {
+        let row = &conv[p * traces..(p + 1) * traces];
+        let uops: u64 = row.iter().map(|r| r.measured_uops).sum();
+        let conds: u64 = row.iter().map(|r| r.measured_conditionals).sum();
+        let misp: u64 = row.iter().map(|r| r.mispredicts).sum();
+        let misp_per_kuops = if uops == 0 {
+            0.0
+        } else {
+            misp as f64 * 1000.0 / uops as f64
+        };
+        conv_rates.push(misp_per_kuops);
+        entrants.push(Entrant {
+            label: size_label(predictor),
+            path: "trace replay",
+            misp_per_kuops,
+            mispredict_percent: if conds == 0 {
+                0.0
+            } else {
+                misp as f64 * 100.0 / conds as f64
+            },
+        });
+    }
+    for (s, spec) in hybrids.iter().enumerate() {
+        let pooled = AccuracyResult::pooled(&spec.label(), &hyb[s * traces..(s + 1) * traces]);
+        entrants.push(Entrant {
+            label: spec.label(),
+            path: "snapshot exec",
+            misp_per_kuops: pooled.misp_per_kuops(),
+            mispredict_percent: pooled.mispredict_percent(),
+        });
+    }
+    entrants.sort_by(|a, b| {
+        a.misp_per_kuops
+            .partial_cmp(&b.misp_per_kuops)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+
+    let mut ranked = Table::new(
+        "Trace tournament — ranked misp/Kuops over the recorded corpus",
+        &[
+            "rank",
+            "configuration",
+            "eval path",
+            "misp/Kuops",
+            "mispred %",
+        ],
+    );
+    for (i, e) in entrants.iter().enumerate() {
+        ranked.row(vec![
+            (i + 1).to_string(),
+            e.label.clone(),
+            e.path.to_string(),
+            f2(e.misp_per_kuops),
+            pct(e.mispredict_percent),
+        ]);
+    }
+    ranked.note(format!(
+        "{traces} traces, {budget} uops each (20% warm-up), corpus identical to `traces record`"
+    ));
+    ranked.note(
+        "hybrids are re-executed from snapshots: a correct-path trace would hand \
+         the critic oracle future bits (paper \u{a7}6)",
+    );
+
+    // Per-trace H2P summary, measured under the best conventional entrant.
+    let best_conv = conv_rates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i);
+    let mut h2p = Table::new(
+        format!(
+            "H2P summary per trace (hard-to-predict branches under {})",
+            size_label(&lineup[best_conv])
+        ),
+        &[
+            "trace",
+            "cond",
+            "h2p",
+            "worst pc",
+            "worst misp",
+            "worst bias",
+        ],
+    );
+    for (t, rec) in recorded.iter().enumerate() {
+        let r = &conv[best_conv * traces + t];
+        let flagged = r
+            .per_branch
+            .iter()
+            .filter(|b| {
+                b.occurrences >= H2P_MIN_OCCURRENCES
+                    && b.bias() <= H2P_MAX_BIAS
+                    && b.mispredicts > 0
+            })
+            .count();
+        let worst = r.h2p_branches(1).first();
+        h2p.row(vec![
+            rec.bench.name.clone(),
+            r.measured_conditionals.to_string(),
+            flagged.to_string(),
+            worst.map_or("-".into(), |b| format!("{:#x}", b.pc)),
+            worst.map_or("-".into(), |b| b.mispredicts.to_string()),
+            worst.map_or("-".into(), |b| f2(b.bias())),
+        ]);
+    }
+    h2p.note(format!(
+        "h2p: low-bias (\u{2264}{H2P_MAX_BIAS}) conditionals with \u{2265}{H2P_MIN_OCCURRENCES} \
+         measured executions and at least one mispredict"
+    ));
+
+    // Machine-readable report (threads-independent on purpose).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_tracecmp_v1\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", env.scale));
+    json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
+    json.push_str(&format!("  \"uop_budget\": {budget},\n"));
+    json.push_str(&format!("  \"traces\": {traces},\n"));
+    json.push_str("  \"ranking\": [\n");
+    for (i, e) in entrants.iter().enumerate() {
+        let comma = if i + 1 < entrants.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"rank\": {}, \"configuration\": \"{}\", \"path\": \"{}\", \
+             \"misp_per_kuops\": {:.4}, \"mispredict_percent\": {:.4}}}{comma}\n",
+            i + 1,
+            e.label.replace('"', "\\\""),
+            e.path,
+            e.misp_per_kuops,
+            e.mispredict_percent,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    (vec![ranked, h2p], json)
+}
+
+/// Runs the tournament and writes [`JSON_PATH`].
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let (tables, json) = run_with_report(env);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => eprintln!("# wrote {JSON_PATH}"),
+        Err(err) => eprintln!("# could not write {JSON_PATH}: {err}"),
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_are_sized_sanely() {
+        for p in conventional_lineup() {
+            let bytes = p.storage_bytes();
+            assert!(
+                (12 * 1024..=20 * 1024).contains(&bytes),
+                "{}: {} bytes is not ~16KB",
+                p.name(),
+                bytes
+            );
+        }
+        for spec in hybrid_lineup() {
+            assert_ne!(spec.critic, CriticKind::None);
+        }
+    }
+
+    #[test]
+    fn tournament_ranks_every_entrant() {
+        let env = ExpEnv {
+            scale: 0.02,
+            ..ExpEnv::tiny()
+        };
+        let (tables, json) = run_with_report(&env);
+        assert_eq!(tables.len(), 2);
+        let expected = conventional_lineup().len() + hybrid_lineup().len();
+        assert_eq!(tables[0].rows.len(), expected);
+        // Ranked ascending by misp/Kuops.
+        let rates: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[3].parse::<f64>().unwrap())
+            .collect();
+        assert!(rates.windows(2).all(|w| w[0] <= w[1]), "{rates:?}");
+        // One H2P row per trace, and a parseable-looking report.
+        assert_eq!(tables[1].rows.len(), 14);
+        assert!(json.contains("\"schema\": \"bench_tracecmp_v1\""));
+        assert!(json.contains("\"rank\": 1"));
+    }
+}

@@ -13,13 +13,37 @@
 //!   shared with the program-snapshot format in the `workloads` crate.
 //! * [`TraceStats`] — workload characterisation (taken rate, uops per
 //!   conditional branch, static branch count).
+//! * [`BranchProfile`]/[`StaticBranchStats`] — streaming per-static-branch
+//!   taken-rate/bias summaries, used by the replay tooling to flag
+//!   hard-to-predict (H2P) branches.
 //!
-//! Note that a *correct-path* branch trace is, by design, insufficient to
-//! evaluate a prophet/critic hybrid (paper §6): the critic's future bits
-//! must be produced by actually fetching down wrong paths. Traces here feed
-//! conventional-predictor experiments and serve as the interchange format;
-//! the execution-driven simulator (the `sim` crate) runs from program
-//! snapshots instead.
+//! # The trace corpus and the trace-vs-snapshot evaluation split
+//!
+//! The `replay` crate builds a durable on-disk **corpus** from these
+//! formats: a directory holding one `<benchmark>.bt` branch trace and one
+//! `<benchmark>.pcl` program snapshot per benchmark, indexed by a
+//! hand-parsed `corpus.manifest` text file. Each manifest line records the
+//! benchmark name, execution seed, uop budget, record count, per-file byte
+//! length and FNV-1a checksum, and the [`TraceStats`] summary, so a corpus
+//! is self-describing and verifiable without re-reading the traces.
+//!
+//! The corpus deliberately carries **both** artifacts because of the
+//! paper's §6 methodology requirement: a *correct-path* branch trace is,
+//! by design, insufficient to evaluate a prophet/critic hybrid — the
+//! critic's future bits must be produced by actually fetching down wrong
+//! paths, and generating them from a correct-path trace would hand the
+//! critic oracle information. Evaluation therefore splits by predictor
+//! class:
+//!
+//! * **conventional predictors** replay the `.bt` trace stream directly
+//!   (the standard CBP-style trace-driven methodology);
+//! * **prophet/critic hybrids** are re-executed from the `.pcl` snapshot
+//!   by the execution-driven simulator (the `sim` crate), which walks
+//!   real wrong paths.
+//!
+//! The two paths are cross-checked: the snapshot's correct-path walk must
+//! reproduce the recorded trace record-for-record, which corpus
+//! verification asserts.
 //!
 //! # Example
 //!
@@ -53,6 +77,6 @@ pub mod wire;
 pub use binary::{BtReader, BtWriter, BT_MAGIC, BT_VERSION};
 pub use error::{Result, TraceError};
 pub use record::{BranchKind, BranchRecord};
-pub use stats::TraceStats;
+pub use stats::{BranchProfile, StaticBranchStats, TraceStats, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 pub use text::{read_text, write_text};
 pub use wire::{WireReader, WireWriter};

@@ -1,4 +1,17 @@
 //! Summary statistics over a branch trace.
+//!
+//! Two granularities:
+//!
+//! * [`TraceStats`] — whole-trace aggregates (taken rate, uops per
+//!   conditional, static branch count), in the paper's vocabulary.
+//! * [`BranchProfile`] — a *streaming* per-static-branch accumulator:
+//!   occurrence and taken counts per PC, from which the replay tooling
+//!   derives each branch's bias and flags hard-to-predict (H2P)
+//!   candidates — the frequently-executed, weakly-biased branches that
+//!   dominate mispredict budgets (the population the Bullseye H2P study
+//!   targets).
+
+use std::collections::HashMap;
 
 use crate::record::{BranchKind, BranchRecord};
 
@@ -22,19 +35,11 @@ impl TraceStats {
     /// Computes statistics over `records`.
     #[must_use]
     pub fn from_records(records: &[BranchRecord]) -> Self {
-        let mut stats = TraceStats::default();
-        let mut pcs = std::collections::HashSet::new();
+        let mut profile = BranchProfile::new();
         for r in records {
-            stats.branches += 1;
-            stats.uops += u64::from(r.uops_since_prev);
-            if r.kind == BranchKind::Conditional {
-                stats.conditionals += 1;
-                stats.taken_conditionals += u64::from(r.taken);
-            }
-            pcs.insert(r.pc);
+            profile.observe(r);
         }
-        stats.static_branches = pcs.len();
-        stats
+        profile.stats()
     }
 
     /// Fraction of conditional branches that were taken.
@@ -69,6 +74,161 @@ impl std::fmt::Display for TraceStats {
             self.uops_per_conditional(),
             self.static_branches
         )
+    }
+}
+
+/// Default minimum measured occurrences for a branch to qualify as a
+/// hard-to-predict (H2P) candidate. Shared by every H2P report in the
+/// workspace (trace inspection, corpus replay, the tournament) so they
+/// all flag the same branch population.
+pub const H2P_MIN_OCCURRENCES: u64 = 32;
+
+/// Default bias ceiling (majority-direction frequency) at or below which
+/// a branch qualifies as an H2P candidate. See [`H2P_MIN_OCCURRENCES`].
+pub const H2P_MAX_BIAS: f64 = 0.75;
+
+/// Per-static-branch dynamic counts: how often one PC executed and how
+/// often it went taken.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StaticBranchStats {
+    /// The branch instruction's address.
+    pub pc: u64,
+    /// Dynamic occurrences of the branch in the trace.
+    pub occurrences: u64,
+    /// How many of those occurrences were taken.
+    pub taken: u64,
+    /// Whether the branch is conditional (only conditionals consume a
+    /// direction prediction; unconditional kinds are always taken).
+    pub conditional: bool,
+}
+
+impl StaticBranchStats {
+    /// Fraction of occurrences that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.occurrences == 0 {
+            return 0.0;
+        }
+        self.taken as f64 / self.occurrences as f64
+    }
+
+    /// Direction bias in `[0.5, 1.0]`: the frequency of the branch's
+    /// *majority* direction. `1.0` is a perfectly biased (trivially
+    /// predictable by a bimodal counter) branch; `0.5` flips like a coin.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        let r = self.taken_rate();
+        r.max(1.0 - r)
+    }
+
+    /// Whether the branch qualifies as a hard-to-predict (H2P) candidate:
+    /// a conditional executed at least `min_occurrences` times whose bias
+    /// stays at or below `max_bias`. Bias is only a proxy — a perfectly
+    /// periodic branch is low-bias yet easy for a history predictor — so
+    /// replay reports pair this flag with measured mispredicts.
+    #[must_use]
+    pub fn is_h2p_candidate(&self, min_occurrences: u64, max_bias: f64) -> bool {
+        self.conditional && self.occurrences >= min_occurrences && self.bias() <= max_bias
+    }
+}
+
+/// A streaming per-static-branch profile of a branch trace.
+///
+/// Feed it records one at a time with [`observe`](Self::observe) — no
+/// materialized trace needed — then read the whole-trace aggregate with
+/// [`stats`](Self::stats) and the per-branch summary with
+/// [`branches`](Self::branches) / [`h2p_candidates`](Self::h2p_candidates).
+///
+/// # Examples
+///
+/// ```
+/// use bptrace::{BranchProfile, BranchRecord};
+///
+/// let mut profile = BranchProfile::new();
+/// for i in 0..100 {
+///     profile.observe(&BranchRecord::conditional(0x40, 0x80, i % 2 == 0, 3));
+///     profile.observe(&BranchRecord::conditional(0x90, 0x20, true, 4));
+/// }
+/// let branches = profile.branches();
+/// assert_eq!(branches.len(), 2);
+/// assert!(branches[0].bias() < 0.51); // 0x40 alternates
+/// assert_eq!(branches[1].bias(), 1.0); // 0x90 always taken
+/// assert_eq!(profile.h2p_candidates(50, 0.7), vec![branches[0]]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BranchProfile {
+    totals: TraceStats,
+    per_pc: HashMap<u64, StaticBranchStats>,
+}
+
+impl BranchProfile {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one record.
+    pub fn observe(&mut self, rec: &BranchRecord) {
+        self.totals.branches += 1;
+        self.totals.uops += u64::from(rec.uops_since_prev);
+        if rec.kind == BranchKind::Conditional {
+            self.totals.conditionals += 1;
+            self.totals.taken_conditionals += u64::from(rec.taken);
+        }
+        let entry = self.per_pc.entry(rec.pc).or_insert(StaticBranchStats {
+            pc: rec.pc,
+            occurrences: 0,
+            taken: 0,
+            conditional: rec.kind == BranchKind::Conditional,
+        });
+        entry.occurrences += 1;
+        entry.taken += u64::from(rec.taken);
+    }
+
+    /// The whole-trace aggregate, including the static branch count.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            static_branches: self.per_pc.len(),
+            ..self.totals
+        }
+    }
+
+    /// Records observed so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.totals.branches
+    }
+
+    /// Every static branch, sorted by PC (deterministic output order).
+    #[must_use]
+    pub fn branches(&self) -> Vec<StaticBranchStats> {
+        let mut out: Vec<StaticBranchStats> = self.per_pc.values().copied().collect();
+        out.sort_unstable_by_key(|b| b.pc);
+        out
+    }
+
+    /// The hard-to-predict candidates (see
+    /// [`StaticBranchStats::is_h2p_candidate`]), hardest first: ascending
+    /// bias, then descending occurrence count, then PC — a deterministic
+    /// ranking regardless of hash-map iteration order.
+    #[must_use]
+    pub fn h2p_candidates(&self, min_occurrences: u64, max_bias: f64) -> Vec<StaticBranchStats> {
+        let mut out: Vec<StaticBranchStats> = self
+            .per_pc
+            .values()
+            .filter(|b| b.is_h2p_candidate(min_occurrences, max_bias))
+            .copied()
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            a.bias()
+                .partial_cmp(&b.bias())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.occurrences.cmp(&a.occurrences))
+                .then(a.pc.cmp(&b.pc))
+        });
+        out
     }
 }
 
@@ -114,5 +274,78 @@ mod tests {
         let text = TraceStats::from_records(&records).to_string();
         assert!(text.contains("1 branches"));
         assert!(text.contains("13.0 uops/cond"));
+    }
+
+    #[test]
+    fn profile_matches_batch_stats() {
+        let records = vec![
+            BranchRecord::conditional(0x10, 0x20, true, 10),
+            BranchRecord::conditional(0x30, 0x40, false, 10),
+            BranchRecord::conditional(0x10, 0x20, false, 6),
+            BranchRecord {
+                pc: 0x50,
+                target: 0x60,
+                kind: BranchKind::Jump,
+                taken: true,
+                uops_since_prev: 4,
+            },
+        ];
+        let mut profile = BranchProfile::new();
+        for r in &records {
+            profile.observe(r);
+        }
+        assert_eq!(profile.stats(), TraceStats::from_records(&records));
+        assert_eq!(profile.records(), 4);
+
+        let branches = profile.branches();
+        assert_eq!(branches.len(), 3);
+        // Sorted by PC.
+        assert_eq!(branches[0].pc, 0x10);
+        assert_eq!(branches[0].occurrences, 2);
+        assert_eq!(branches[0].taken, 1);
+        assert!(branches[0].conditional);
+        assert!(!branches[2].conditional);
+        assert!((branches[0].taken_rate() - 0.5).abs() < 1e-12);
+        assert!((branches[0].bias() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2p_ranking_is_bias_then_frequency() {
+        let mut profile = BranchProfile::new();
+        // 0x100: 50/50 over 40 execs; 0x200: 60/40 over 400 execs;
+        // 0x300: 95/5 (well biased); 0x400: 50/50 but only 4 execs.
+        for i in 0..40 {
+            profile.observe(&BranchRecord::conditional(0x100, 0x10, i % 2 == 0, 1));
+        }
+        for i in 0..400 {
+            profile.observe(&BranchRecord::conditional(0x200, 0x10, i % 5 < 3, 1));
+        }
+        for i in 0..100 {
+            profile.observe(&BranchRecord::conditional(0x300, 0x10, i != 0, 1));
+        }
+        for i in 0..4 {
+            profile.observe(&BranchRecord::conditional(0x400, 0x10, i % 2 == 0, 1));
+        }
+        let h2p = profile.h2p_candidates(10, 0.75);
+        let pcs: Vec<u64> = h2p.iter().map(|b| b.pc).collect();
+        assert_eq!(pcs, vec![0x100, 0x200], "hardest (least biased) first");
+        // The biased and the rare branches are not flagged.
+        assert!(profile.branches().iter().any(|b| b.pc == 0x300));
+        assert!(h2p.iter().all(|b| b.pc != 0x300 && b.pc != 0x400));
+    }
+
+    #[test]
+    fn unconditional_branches_are_not_h2p() {
+        let mut profile = BranchProfile::new();
+        for _ in 0..100 {
+            profile.observe(&BranchRecord {
+                pc: 0x10,
+                target: 0x60,
+                kind: BranchKind::Return,
+                taken: true,
+                uops_since_prev: 1,
+            });
+        }
+        assert!(profile.h2p_candidates(1, 1.0).is_empty());
     }
 }

@@ -7,7 +7,28 @@
 use bptrace::{BranchKind, BranchRecord};
 
 use crate::cfg::Program;
-use crate::exec::Walker;
+use crate::exec::{BranchEvent, Walker};
+
+impl BranchEvent {
+    /// The [`BranchRecord`] this event contributes to a correct-path
+    /// trace.
+    ///
+    /// This is the **single** event-to-record conversion in the
+    /// workspace: the trace extractor here, the corpus recorder and the
+    /// direct-replay reference in the `replay` crate all use it, so the
+    /// corpus-equals-direct-execution determinism guarantee cannot drift
+    /// on a field-mapping detail.
+    #[must_use]
+    pub fn to_record(&self) -> BranchRecord {
+        BranchRecord {
+            pc: self.pc,
+            target: self.taken_target,
+            kind: BranchKind::Conditional,
+            taken: self.outcome,
+            uops_since_prev: u32::try_from(self.uops).unwrap_or(u32::MAX),
+        }
+    }
+}
 
 /// Walks `program`'s correct path for `max_branches` conditional branches
 /// and returns the dynamic branch records.
@@ -21,13 +42,7 @@ pub fn correct_path_trace(program: &Program, seed: u64, max_branches: usize) -> 
     let mut out = Vec::with_capacity(max_branches);
     for _ in 0..max_branches {
         let ev = walker.next_branch();
-        out.push(BranchRecord {
-            pc: ev.pc,
-            target: ev.taken_target,
-            kind: BranchKind::Conditional,
-            taken: ev.outcome,
-            uops_since_prev: u32::try_from(ev.uops).unwrap_or(u32::MAX),
-        });
+        out.push(ev.to_record());
         walker.follow(ev.outcome);
     }
     out

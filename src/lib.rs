@@ -11,6 +11,8 @@
 //! * [`workloads`] — synthetic Table 1 benchmark suites with ghost
 //!   execution (wrong-path fetch support).
 //! * [`bptrace`] — hand-parsed branch-trace and snapshot file formats.
+//! * [`replay`] — the trace corpus builder and the streaming CBP-style
+//!   replay engine for conventional predictors.
 //! * [`frontend`] — BTB + FTQ of the decoupled front end.
 //! * [`uarch`] — Table 2 machine model: caches, prefetcher, data streams.
 //! * [`sim`] — the execution-driven simulators and the experiment harness
@@ -43,6 +45,7 @@ pub use bptrace;
 pub use frontend;
 pub use predictors;
 pub use prophet_critic;
+pub use replay;
 pub use sim;
 pub use uarch;
 pub use workloads;
