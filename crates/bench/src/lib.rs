@@ -9,6 +9,18 @@
 //! harness is a small in-repo stand-in for Criterion: same `sample_size` /
 //! `measurement_time` / `bench_function` surface, median-of-samples
 //! reporting, no external dependency.
+//!
+//! # Example
+//!
+//! A bench target is an ordinary binary over [`harness::Criterion`]:
+//!
+//! ```no_run
+//! use bench_suite::{bench_experiment, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(10);
+//! bench_experiment(&mut c, "fig5"); // prints the tables, times the grid
+//! c.final_summary();
+//! ```
 
 pub mod harness;
 

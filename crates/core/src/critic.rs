@@ -170,6 +170,7 @@ pub enum AllocationPolicy {
 pub struct TaggedGshareCritic {
     table: TaggedGshare,
     policy: AllocationPolicy,
+    confident_only: bool,
 }
 
 impl TaggedGshareCritic {
@@ -184,7 +185,21 @@ impl TaggedGshareCritic {
     /// policy (for the §4 ablation).
     #[must_use]
     pub fn with_policy(table: TaggedGshare, policy: AllocationPolicy) -> Self {
-        Self { table, policy }
+        Self {
+            table,
+            policy,
+            confident_only: false,
+        }
+    }
+
+    /// Sets the override-confidence threshold: when enabled, a critique
+    /// that *disagrees* with the prophet is only issued from a saturated
+    /// (strong) counter; a weak disagreement is downgraded to an explicit
+    /// agree. Training is unchanged, so a weak counter still strengthens
+    /// toward an override on the next occurrence. This is the
+    /// `sim::tune` "override threshold" search dimension.
+    pub fn set_confident_override(&mut self, on: bool) {
+        self.confident_only = on;
     }
 
     /// Fraction of table entries currently valid, for occupancy studies.
@@ -197,7 +212,16 @@ impl TaggedGshareCritic {
 impl Critic for TaggedGshareCritic {
     fn critique(&self, pc: Pc, bor: HistoryBits, prophet_pred: bool) -> CriticDecision {
         match self.table.lookup(pc, bor) {
-            Some(pred) => CriticDecision::explicit(pred.taken()),
+            Some(pred) => {
+                let disagrees = pred.taken() != prophet_pred;
+                if disagrees && self.confident_only && pred.confidence() == 0 {
+                    // Weak counter: not confident enough to flush the
+                    // pipeline over; concur explicitly.
+                    CriticDecision::explicit(prophet_pred)
+                } else {
+                    CriticDecision::explicit(pred.taken())
+                }
+            }
             None => CriticDecision::implicit_agree(prophet_pred),
         }
     }

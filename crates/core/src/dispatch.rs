@@ -122,6 +122,17 @@ pub enum AnyCritic {
     FilteredPerceptron(FilteredPerceptronCritic),
 }
 
+impl AnyCritic {
+    /// Applies the override-confidence threshold where the critic kind
+    /// supports one (currently the tagged gshare critic; a no-op for the
+    /// rest). See [`TaggedGshareCritic::set_confident_override`].
+    pub fn set_confident_override(&mut self, on: bool) {
+        if let AnyCritic::TaggedGshare(c) = self {
+            c.set_confident_override(on);
+        }
+    }
+}
+
 macro_rules! each_critic {
     ($self:expr, $c:ident => $body:expr) => {
         match $self {

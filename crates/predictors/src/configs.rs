@@ -6,6 +6,13 @@
 //! encodes those rows verbatim and provides constructors that honour them,
 //! so experiments elsewhere in the workspace can request e.g. “the 8 KB
 //! perceptron” and get exactly the paper's configuration.
+//!
+//! Component-level configuration stops here: *hybrid*-level presets
+//! (which prophet/critic pairing, future-bit count, override threshold)
+//! are `HybridSpec` constructors in the `prophet-critic` crate — that
+//! crate depends on this one, so presets the `sim::tune` calibration
+//! search promotes (e.g. `HybridSpec::tuned_headline`) live there, built
+//! on these Table 3 rows.
 
 use crate::{BcGskew, Gshare, Perceptron, TaggedGshare};
 

@@ -29,7 +29,7 @@ use crate::error::{ReplayError, Result};
 use crate::manifest::{Manifest, TraceEntry};
 
 /// Walks `program`'s correct path until `max_uops` micro-ops are covered,
-/// streaming one [`BranchRecord`] per conditional branch into `out`.
+/// streaming one [`BranchRecord`](bptrace::BranchRecord) per conditional branch into `out`.
 ///
 /// Returns the record count and the per-static-branch profile (whose
 /// [`BranchProfile::stats`] is the manifest summary). The record stream is

@@ -222,6 +222,31 @@ impl ReplaySession {
 
 /// Replays a `.bt` stream through `predictor` without materializing it.
 ///
+/// # Examples
+///
+/// Record a benchmark's correct path in memory, then stream it back
+/// through a conventional predictor one record at a time:
+///
+/// ```
+/// use bptrace::BtReader;
+/// use predictors::configs::{self, Budget};
+/// use replay::{record_trace, replay_reader, ReplayConfig};
+///
+/// let bench = workloads::benchmark("gzip").unwrap();
+/// let mut bt = Vec::new();
+/// record_trace(&bench.program(), bench.seed, 40_000, &mut bt)?;
+///
+/// let mut reader = BtReader::new(bt.as_slice())?;
+/// let mut predictor = configs::gshare(Budget::K8);
+/// let result = replay_reader(&mut reader, &mut predictor, &ReplayConfig::with_budget(40_000))?;
+/// assert_eq!(result.trace, "gzip");
+/// assert!(result.measured_conditionals > 0);
+/// // Per-branch profiles reconcile with the totals.
+/// let sum: u64 = result.per_branch.iter().map(|b| b.mispredicts).sum();
+/// assert_eq!(sum, result.mispredicts);
+/// # Ok::<(), replay::ReplayError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Trace-format errors from the reader (corruption, truncation, I/O).

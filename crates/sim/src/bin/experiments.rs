@@ -4,9 +4,11 @@
 //! experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list
 //! experiments --list
 //!
-//!   SCALE=2        double the per-benchmark uop budget
-//!   EXP_BENCH=all  sweep all 110 benchmarks instead of 2 per suite
-//!   THREADS=8      default worker count (--threads overrides)
+//!   SCALE=2              double the per-benchmark uop budget
+//!   EXP_BENCH=all        sweep all 110 benchmarks instead of 2 per suite
+//!   THREADS=8            default worker count (--threads overrides)
+//!   TUNE_PRESET=quick    search space for the `tune` experiment
+//!                        (headline | quick | wide; default headline)
 //! ```
 //!
 //! `--list` (or the `list` subcommand) enumerates every runnable
@@ -18,7 +20,9 @@
 //! machine-readable report — wall-clock per experiment plus the headline
 //! misp/Kuops and uPC — so the perf trajectory is tracked across commits;
 //! the default `BENCH_headline.json` is never clobbered by runs without
-//! headline metrics.
+//! headline metrics. The `tracecmp` and `tune` experiments additionally
+//! write their own thread-count-independent reports
+//! (`BENCH_tracecmp.json`, `BENCH_tune.json`).
 
 use std::io::Write;
 use std::time::Instant;

@@ -1,11 +1,15 @@
-//! The abstract's headline numbers: the 8 KB + 8 KB prophet/critic hybrid
+//! The abstract's headline numbers: a 16 KB-class prophet/critic hybrid
 //! vs. the 16 KB 2Bc-gskew (“a predictor similar to that of the proposed
 //! Compaq Alpha EV8 processor”).
 //!
 //! Paper values: 39 % fewer mispredicts; flush distance 418 → 680 uops;
 //! gcc mispredict rate 3.11 % → 1.23 %; uPC +7.8 %; fetched uops −8.6 %.
+//!
+//! The hybrid side is [`HybridSpec::tuned_headline`] — the preset the
+//! `tune` experiment promoted (see `sim::tune` and `docs/EXPERIMENTS.md`
+//! for the calibration history and before/after numbers).
 
-use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use prophet_critic::{Budget, HybridSpec, ProphetKind};
 
 use crate::experiments::common::{run_grid, run_matrix, ExpEnv};
 use crate::metrics::percent_reduction;
@@ -15,14 +19,12 @@ fn baseline() -> HybridSpec {
     HybridSpec::alone(ProphetKind::BcGskew, Budget::K16)
 }
 
+/// The hybrid the headline runs: the 16 KB-class calibrated preset
+/// promoted by `experiments tune` (see `sim::tune`); the untuned
+/// 8+8/8-future-bit default it replaced is kept as
+/// `tune::untuned_default` for comparison.
 fn hybrid() -> HybridSpec {
-    HybridSpec::paired(
-        ProphetKind::BcGskew,
-        Budget::K8,
-        CriticKind::TaggedGshare,
-        Budget::K8,
-        8,
-    )
+    HybridSpec::tuned_headline()
 }
 
 /// The headline comparison in machine-readable form (what
@@ -55,11 +57,11 @@ pub fn run_with_metrics(env: &ExpEnv) -> (Vec<Table>, HeadlineMetrics) {
     let (base, hyb) = (&pooled[0], &pooled[1]);
 
     let mut t = Table::new(
-        "Headline — 8KB+8KB 2Bc-gskew + t.gshare vs 16KB 2Bc-gskew",
+        format!("Headline — {} vs {}", specs[1].label(), specs[0].label()),
         &[
             "metric",
             "16KB 2Bc-gskew",
-            "8+8 prophet/critic",
+            "tuned prophet/critic",
             "change",
             "paper",
         ],

@@ -11,6 +11,7 @@
 //! | `fig9`/`fig10` | uPC | [`upc`] |
 //! | `headline` | the abstract's numbers | [`headline`] |
 //! | `tracecmp` | trace tournament (corpus replay vs snapshot exec) | [`tracecmp`] |
+//! | `tune` | hybrid-parameter calibration search | [`tune`] |
 
 pub mod ablation;
 pub mod common;
@@ -22,6 +23,7 @@ pub mod headline;
 pub mod statics;
 pub mod table4;
 pub mod tracecmp;
+pub mod tune;
 pub mod upc;
 
 pub use common::{BenchSet, ExpEnv};
@@ -117,6 +119,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Trace tournament: corpus replay vs snapshot re-execution",
             run: tracecmp::run,
         },
+        Experiment {
+            id: "tune",
+            title: "Calibration: deterministic hybrid-parameter search vs 2Bc-gskew",
+            run: tune::run,
+        },
     ]
 }
 
@@ -135,7 +142,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "headline", "tracecmp",
+            "fig10", "headline", "tracecmp", "tune",
         ] {
             assert!(ids.contains(&want), "{want} missing from registry");
         }

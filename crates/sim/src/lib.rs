@@ -47,6 +47,16 @@
 //! cargo run -p sim --release --bin experiments -- --threads 8 fig6
 //! SCALE=4 cargo run -p sim --release --bin experiments -- all
 //! ```
+//!
+//! # Calibration
+//!
+//! The [`tune`] module is the deterministic configuration search behind
+//! `experiments tune`: a staged sweep (coarse grid → local refinement)
+//! of hybrid parameters against the 16 KB 2Bc-gskew baseline, scored
+//! over warm-up × workload-mix scenarios with corpus-backed H2P slices.
+//! Its winner is promoted into `HybridSpec::tuned_headline`, which the
+//! `headline` experiment builds by default. See `docs/EXPERIMENTS.md`
+//! for the catalog and `BENCH_*.json` schemas.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,8 +67,9 @@ pub mod experiments;
 mod metrics;
 pub mod runner;
 pub mod table;
+pub mod tune;
 
-pub use accuracy::{run_accuracy, SimConfig};
+pub use accuracy::{run_accuracy, run_accuracy_observed, SimConfig};
 pub use cycle::{run_cycles, CycleConfig, CycleResult};
 pub use metrics::{percent_reduction, AccuracyResult};
 pub use runner::{default_threads, par_map};

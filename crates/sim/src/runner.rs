@@ -17,10 +17,12 @@
 //!   pin one (`--threads` on the `experiments` binary, `THREADS` in the
 //!   environment).
 //!
-//! The higher-level grid entry points ([`run_matrix`], [`run_grid`],
-//! [`pooled_accuracy_par`]) live in
-//! [`experiments::common`](crate::experiments::common), next to the
-//! sequential reference implementations they must match bit-for-bit.
+//! The higher-level grid entry points
+//! ([`run_matrix`](crate::experiments::common::run_matrix),
+//! [`run_grid`](crate::experiments::common::run_grid),
+//! [`pooled_accuracy_par`](crate::experiments::common::pooled_accuracy_par))
+//! live in [`experiments::common`](crate::experiments::common), next to
+//! the sequential reference implementations they must match bit-for-bit.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,6 +49,19 @@ pub fn default_threads() -> usize {
 /// count, which the determinism tests pin down.
 ///
 /// `threads <= 1` (or a single item) runs inline with no thread overhead.
+///
+/// # Examples
+///
+/// ```
+/// use sim::par_map;
+///
+/// let items: Vec<u64> = (0..100).collect();
+/// let squares = par_map(&items, 4, |_, x| x * x);
+/// // Input order is preserved regardless of which worker ran what …
+/// assert_eq!(squares[10], 100);
+/// // … so any thread count produces the identical result vector.
+/// assert_eq!(squares, par_map(&items, 1, |_, x| x * x));
+/// ```
 ///
 /// # Panics
 ///

@@ -1,0 +1,116 @@
+//! Integration pins for the tuner: thread-count determinism of the whole
+//! search (including the JSON report), staged-search bookkeeping, and the
+//! promoted preset actually beating the untuned default.
+
+use prophet_critic::HybridSpec;
+use sim::experiments::common::{pooled_accuracy, ExpEnv};
+use sim::experiments::tune::report_json;
+use sim::tune::{h2p_slices, run_search, untuned_default, TuneOptions, TuneSpace};
+
+/// A reduced-scale environment exercising the parallel path.
+fn env(threads: usize) -> ExpEnv {
+    ExpEnv {
+        scale: 0.05,
+        ..ExpEnv::tiny()
+    }
+    .with_threads(threads)
+}
+
+#[test]
+fn search_and_report_are_bit_identical_across_thread_counts() {
+    let space = TuneSpace::quick();
+    let opts = TuneOptions::default();
+
+    let run = |threads: usize| {
+        let e = env(threads);
+        let outcome = run_search(&space, &e, &opts);
+        let winner = outcome.winner().expect("quick space is non-empty").spec;
+        let slices = h2p_slices(&winner, &e.programs(), &e, 200);
+        let json = report_json(&outcome, &slices, &e);
+        (outcome, slices, json)
+    };
+
+    let (seq, seq_slices, seq_json) = run(1);
+    let (par, par_slices, par_json) = run(3);
+
+    // The full report — floats, rankings, H2P slices — must match byte
+    // for byte (the JSON carries no thread count or wall-clock fields).
+    assert_eq!(
+        seq_json, par_json,
+        "BENCH_tune.json must not depend on --threads"
+    );
+    assert_eq!(seq_slices, par_slices);
+
+    // And the underlying cells, spec for spec, counter for counter.
+    assert_eq!(seq.ranked.len(), par.ranked.len());
+    for (a, b) in seq.ranked.iter().zip(&par.ranked) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.runs, b.runs, "{} raw runs diverged", a.spec.label());
+        assert_eq!(a.scenarios, b.scenarios);
+    }
+}
+
+#[test]
+fn staged_search_visits_coarse_grid_then_refines() {
+    let space = TuneSpace::quick();
+    let e = env(2);
+    let outcome = run_search(&space, &e, &TuneOptions::default());
+
+    // Stage 0 is the coarse grid (plus the untuned default, injected when
+    // the grid does not already contain it — quick's coarse grid does).
+    assert!(!outcome.stage_sizes.is_empty());
+    assert!(outcome.stage_sizes[0] >= space.coarse().len());
+    assert!(outcome.cell(&untuned_default()).is_some());
+
+    // No spec is ever evaluated twice, and every cell scored every
+    // scenario.
+    let mut specs: Vec<String> = outcome.ranked.iter().map(|c| c.spec.label()).collect();
+    specs.sort();
+    let before = specs.len();
+    specs.dedup();
+    assert_eq!(specs.len(), before, "duplicate cells evaluated");
+    for cell in &outcome.ranked {
+        assert_eq!(cell.scenarios.len(), outcome.scenarios.len());
+        assert_eq!(cell.runs.len(), space.warmup_permille.len());
+    }
+
+    // Ranking is by descending mean reduction.
+    assert!(outcome
+        .ranked
+        .windows(2)
+        .all(|w| w[0].mean_reduction_percent >= w[1].mean_reduction_percent));
+}
+
+#[test]
+fn empty_space_produces_no_cells() {
+    let mut space = TuneSpace::quick();
+    space.future_bits.clear();
+    let e = env(2);
+    let outcome = run_search(&space, &e, &TuneOptions::default());
+    assert!(outcome.ranked.is_empty());
+    assert!(outcome.winner().is_none());
+    // No phantom stage bookkeeping for a search that never ran.
+    assert!(outcome.stage_sizes.is_empty());
+    assert!(outcome.baseline_runs.is_empty());
+}
+
+#[test]
+fn tuned_preset_beats_untuned_default_on_pooled_fast_set() {
+    // The promoted preset must beat the configuration it replaced under
+    // the standard environment (pooled fast set, 20% warm-up). This is
+    // the accuracy half of the headline-gap acceptance criterion; the
+    // SCALE=1 before/after numbers are recorded in docs/EXPERIMENTS.md.
+    let e = ExpEnv {
+        scale: 0.25,
+        ..ExpEnv::tiny()
+    };
+    let programs = e.programs();
+    let tuned = pooled_accuracy(&HybridSpec::tuned_headline(), &programs, &e);
+    let untuned = pooled_accuracy(&untuned_default(), &programs, &e);
+    assert!(
+        tuned.misp_per_kuops() < untuned.misp_per_kuops(),
+        "tuned preset must beat the untuned 8+8 default: {:.3} vs {:.3} misp/Kuops",
+        tuned.misp_per_kuops(),
+        untuned.misp_per_kuops()
+    );
+}

@@ -20,6 +20,8 @@
 //! * [`Snapshot`] — the `.pcl` LIT-analog file format.
 //! * [`correct_path_trace`] — dynamic trace extraction for the `.bt`
 //!   tooling.
+//! * [`MixProfile`] — named per-suite weight profiles for pooled scoring
+//!   (the workload-mix dimension the `sim::tune` search sweeps).
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ mod behavior;
 mod builder;
 mod cfg;
 mod exec;
+mod mix;
 pub mod rng;
 mod snapshot;
 mod suites;
@@ -51,6 +54,7 @@ pub use behavior::{eval, Behavior, BehaviorId, BranchState};
 pub use builder::{ProgramBuilder, CODE_BASE};
 pub use cfg::{BasicBlock, BlockId, Program, ProgramError, Terminator};
 pub use exec::{BranchEvent, Checkpoint, Walker};
+pub use mix::MixProfile;
 pub use snapshot::{Snapshot, SnapshotEvent, PCL_MAGIC, PCL_VERSION};
 pub use suites::{all_benchmarks, benchmark, suite_programs, Benchmark, Suite};
 pub use synth::{generate_program, Profile, TemplateMix};

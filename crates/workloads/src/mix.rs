@@ -1,0 +1,186 @@
+//! Named workload-mix weight profiles for pooled scoring.
+//!
+//! The paper pools mispredict rates over all benchmarks of a suite and
+//! then over suites; *which* suites dominate the pool changes which
+//! predictor configuration looks best (a server-heavy mix rewards
+//! chaos-tolerance, an FP-heavy mix rewards loop handling). A
+//! [`MixProfile`] makes that choice explicit and reproducible: a named
+//! set of per-suite weights that the tuner (`sim::tune`) sweeps as a
+//! scoring scenario, so a promoted configuration is known to win (or
+//! lose) under a *stated* workload mix rather than an implicit one.
+//!
+//! Weights are small integers (relative, not normalized) so profiles are
+//! `Eq`/hashable and bit-stable across platforms; normalization happens
+//! at scoring time in floating point, in a fixed suite order.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{MixProfile, Suite};
+//!
+//! let paper = MixProfile::paper();
+//! // Table 1 proportions: WEB (28 benchmarks) outweighs SERV (2).
+//! assert!(paper.weight(Suite::Web) > paper.weight(Suite::Serv));
+//!
+//! let uniform = MixProfile::uniform();
+//! assert_eq!(uniform.weight(Suite::Web), uniform.weight(Suite::Serv));
+//!
+//! // Normalized weights sum to 1 in every profile.
+//! let total: f64 = Suite::ALL.iter().map(|s| paper.normalized(*s)).sum();
+//! assert!((total - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::suites::Suite;
+
+/// A named set of relative per-suite weights (indexed in [`Suite::ALL`]
+/// order) used to pool per-benchmark results into one score.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MixProfile {
+    /// The profile's stable name (appears in tuner reports and JSON).
+    pub name: &'static str,
+    /// Relative weight per suite, in [`Suite::ALL`] order.
+    pub weights: [u32; 7],
+}
+
+impl MixProfile {
+    /// Table 1's proportions: each suite weighted by its benchmark count
+    /// (12, 14, 28, 15, 27, 2, 12) — the paper's implicit mix when it
+    /// averages "over all benchmarks".
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            name: "paper",
+            weights: [12, 14, 28, 15, 27, 2, 12],
+        }
+    }
+
+    /// Every suite weighted equally, regardless of benchmark count.
+    #[must_use]
+    pub fn uniform() -> Self {
+        Self {
+            name: "uniform",
+            weights: [1, 1, 1, 1, 1, 1, 1],
+        }
+    }
+
+    /// Integer/productivity-dominated desktop mix (INT00 + PROD + WEB
+    /// heavy): the branchy, correlation-rich population the critic is
+    /// supposed to help most.
+    #[must_use]
+    pub fn desktop() -> Self {
+        Self {
+            name: "desktop",
+            weights: [30, 5, 20, 10, 30, 0, 5],
+        }
+    }
+
+    /// Server-dominated mix (SERV + WEB heavy): chaotic data-dependent
+    /// branches with huge static footprints — the hardest population for
+    /// long-history predictors.
+    #[must_use]
+    pub fn server() -> Self {
+        Self {
+            name: "server",
+            weights: [10, 0, 35, 5, 10, 35, 5],
+        }
+    }
+
+    /// Every built-in profile, in report order.
+    #[must_use]
+    pub fn presets() -> Vec<MixProfile> {
+        vec![
+            Self::paper(),
+            Self::uniform(),
+            Self::desktop(),
+            Self::server(),
+        ]
+    }
+
+    /// Looks a preset up by name (`"paper"`, `"uniform"`, `"desktop"`,
+    /// `"server"`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<MixProfile> {
+        Self::presets().into_iter().find(|m| m.name == name)
+    }
+
+    /// The raw relative weight of `suite`.
+    #[must_use]
+    pub fn weight(&self, suite: Suite) -> u32 {
+        let idx = Suite::ALL
+            .iter()
+            .position(|s| *s == suite)
+            .expect("Suite::ALL covers every suite");
+        self.weights[idx]
+    }
+
+    /// The weight of `suite` normalized so all suites sum to 1.
+    ///
+    /// A profile whose weights are all zero falls back to uniform (never
+    /// divides by zero).
+    #[must_use]
+    pub fn normalized(&self, suite: Suite) -> f64 {
+        let total: u32 = self.weights.iter().sum();
+        if total == 0 {
+            return 1.0 / Suite::ALL.len() as f64;
+        }
+        f64::from(self.weight(suite)) / f64::from(total)
+    }
+}
+
+impl std::fmt::Display for MixProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_follows_table1_counts() {
+        let m = MixProfile::paper();
+        for suite in Suite::ALL {
+            assert_eq!(m.weight(suite) as usize, suite.benchmark_count());
+        }
+    }
+
+    #[test]
+    fn presets_have_unique_names_and_resolve() {
+        let presets = MixProfile::presets();
+        for m in &presets {
+            assert_eq!(MixProfile::by_name(m.name), Some(*m));
+        }
+        let mut names: Vec<&str> = presets.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), presets.len());
+        assert_eq!(MixProfile::by_name("no-such-mix"), None);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        for m in MixProfile::presets() {
+            let total: f64 = Suite::ALL.iter().map(|s| m.normalized(*s)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{}: {total}", m.name);
+        }
+    }
+
+    #[test]
+    fn zero_weight_profile_degrades_to_uniform() {
+        let m = MixProfile {
+            name: "zero",
+            weights: [0; 7],
+        };
+        for suite in Suite::ALL {
+            assert!((m.normalized(suite) - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn server_mix_drops_fp() {
+        let m = MixProfile::server();
+        assert_eq!(m.weight(Suite::Fp00), 0);
+        assert!(m.normalized(Suite::Serv) > m.normalized(Suite::Int00));
+    }
+}

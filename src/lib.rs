@@ -15,8 +15,12 @@
 //!   replay engine for conventional predictors.
 //! * [`frontend`] — BTB + FTQ of the decoupled front end.
 //! * [`uarch`] — Table 2 machine model: caches, prefetcher, data streams.
-//! * [`sim`] — the execution-driven simulators and the experiment harness
-//!   reproducing every table and figure.
+//! * [`sim`] — the execution-driven simulators, the experiment harness
+//!   reproducing every table and figure, and the `sim::tune` calibration
+//!   search behind the promoted headline preset.
+//!
+//! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
+//! `docs/EXPERIMENTS.md` for the experiment catalog and report schemas.
 //!
 //! # Quickstart
 //!
