@@ -1,10 +1,14 @@
 //! Decoupled front-end machinery for the prophet/critic reproduction:
-//! the branch target buffer and the fetch target queue of §5 / Figure 4.
+//! the branch target buffer and the fetch target queue of §5 / Figure 4,
+//! plus the stage-accurate fetch/critique/commit timing engine built on
+//! them ([`pipeline`]).
 //!
 //! The prediction engine itself lives in the `prophet-critic` crate; this
 //! crate supplies the structures that surround it in the paper's
-//! implementation — the BTB that identifies branches at fetch and the FTQ
-//! that decouples prediction generation from prediction consumption.
+//! implementation — the BTB that identifies branches at fetch, the FTQ
+//! that decouples prediction generation from prediction consumption, and
+//! the pipeline engine that turns override-vs-flush recovery into real,
+//! distinct bubble profiles for the cycle model.
 //!
 //! ```
 //! use frontend::{Btb, Ftq};
@@ -20,6 +24,8 @@
 
 mod btb;
 mod ftq;
+pub mod pipeline;
 
 pub use btb::{Btb, BtbEntry};
 pub use ftq::{Ftq, FtqEntry};
+pub use pipeline::{BubbleProfile, FrontendPipeline, PipelineEvents, PipelineParams};

@@ -1,0 +1,368 @@
+//! Regression diff for `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--tolerance PCT]
+//! ```
+//!
+//! Compares the accuracy/performance metrics of two benchmark reports —
+//! every numeric field whose key contains `misp_per_kuops`, `upc` or
+//! `misp` — and exits non-zero when any metric drifted by more than the
+//! tolerance (default 1 %). Wall-clock, thread-count and scale fields
+//! are ignored: they are environment, not results.
+//!
+//! Array-of-object entries are matched by their `configuration`/`bench`
+//! label when one is present (so a re-ranked tournament still diffs the
+//! right rows), by position otherwise. Metrics present on only one side
+//! are reported as warnings, not failures — lineups legitimately change
+//! across commits; drift in a *shared* metric is the regression signal.
+//!
+//! CI's nightly `grid-soak` job downloads the previous run's artifacts
+//! and fails on drift (see `.github/workflows/ci.yml`).
+
+use std::process::ExitCode;
+
+/// A minimal JSON value — the reports are written by this workspace, so
+/// the parser favours clarity over completeness (no escapes beyond
+/// `\"`/`\\`, which is all the writers emit).
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool),
+            b'f' => self.literal("false", Json::Bool),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .copied()
+                        .ok_or("dangling escape")?;
+                    out.push(char::from(escaped));
+                    self.pos += 2;
+                }
+                Some(b) => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Whether a numeric field is a result metric worth diffing.
+fn is_metric(key: &str) -> bool {
+    key.contains("misp_per_kuops") || key.contains("upc") || key.contains("misp")
+}
+
+/// Whether a field is run environment, never diffed.
+fn is_environment(key: &str) -> bool {
+    key.contains("wall_clock")
+        || key.contains("seconds")
+        || key.contains("threads")
+        || key == "scale"
+        || key == "rank"
+}
+
+/// The label key that identifies an object inside an array, if any.
+fn label_of(obj: &[(String, Json)]) -> Option<String> {
+    for want in ["configuration", "bench", "id"] {
+        if let Some((_, Json::Str(s))) = obj.iter().find(|(k, _)| k == want) {
+            return Some(format!("{want}={s}"));
+        }
+    }
+    None
+}
+
+/// Flattens a report to `path -> value` for every metric leaf.
+fn metrics(value: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                if is_environment(key) {
+                    continue;
+                }
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match v {
+                    Json::Num(n) if is_metric(key) => out.push((child, *n)),
+                    _ => metrics(v, &child, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                let label = match v {
+                    Json::Obj(fields) => label_of(fields).unwrap_or_else(|| i.to_string()),
+                    _ => i.to_string(),
+                };
+                metrics(v, &format!("{path}[{label}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_diff OLD.json NEW.json [--tolerance PCT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 1.0f64;
+    if let Some(pos) = args.iter().position(|a| a == "--tolerance") {
+        if pos + 1 >= args.len() {
+            return usage();
+        }
+        match args.remove(pos + 1).parse::<f64>() {
+            Ok(t) if t >= 0.0 => tolerance = t,
+            _ => return usage(),
+        }
+        args.remove(pos);
+    }
+    let [old_path, new_path] = args.as_slice() else {
+        return usage();
+    };
+
+    let mut sides = Vec::new();
+    for path in [old_path, new_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("bench_diff: cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse(&text) {
+            Ok(v) => {
+                let mut m = Vec::new();
+                metrics(&v, "", &mut m);
+                sides.push(m);
+            }
+            Err(err) => {
+                eprintln!("bench_diff: {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let new_side = sides.pop().expect("two sides parsed");
+    let old_side = sides.pop().expect("two sides parsed");
+
+    let mut drifted = 0usize;
+    let mut compared = 0usize;
+    for (key, old) in &old_side {
+        let Some((_, new)) = new_side.iter().find(|(k, _)| k == key) else {
+            eprintln!("warning: {key} only in {old_path}");
+            continue;
+        };
+        compared += 1;
+        let base = old.abs().max(1e-9);
+        let drift = (new - old).abs() / base * 100.0;
+        if drift > tolerance {
+            drifted += 1;
+            println!("DRIFT {key}: {old:.4} -> {new:.4} ({drift:+.2}%)");
+        }
+    }
+    for (key, _) in &new_side {
+        if !old_side.iter().any(|(k, _)| k == key) {
+            eprintln!("warning: {key} only in {new_path}");
+        }
+    }
+
+    println!(
+        "bench_diff: {compared} metric(s) compared, {drifted} drifted beyond {tolerance}% \
+         ({old_path} -> {new_path})"
+    );
+    if drifted > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_report_shape() {
+        let v = parse(
+            r#"{"schema": "x", "ranking": [{"configuration": "a", "misp_per_kuops": 1.5, "upc": 2.0}], "headline": null}"#,
+        )
+        .unwrap();
+        let mut m = Vec::new();
+        metrics(&v, "", &mut m);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().any(
+            |(k, v)| k == "ranking[configuration=a].misp_per_kuops" && (*v - 1.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn environment_fields_are_ignored() {
+        let v = parse(r#"{"threads": 8, "total_wall_clock_seconds": 3.2, "upc": 1.0}"#).unwrap();
+        let mut m = Vec::new();
+        metrics(&v, "", &mut m);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].0, "upc");
+    }
+
+    #[test]
+    fn label_matching_survives_reordering() {
+        let a =
+            parse(r#"{"r": [{"bench": "x", "misp": 1.0}, {"bench": "y", "misp": 2.0}]}"#).unwrap();
+        let b =
+            parse(r#"{"r": [{"bench": "y", "misp": 2.0}, {"bench": "x", "misp": 1.0}]}"#).unwrap();
+        let (mut ma, mut mb) = (Vec::new(), Vec::new());
+        metrics(&a, "", &mut ma);
+        metrics(&b, "", &mut mb);
+        for (k, v) in &ma {
+            let (_, w) = mb.iter().find(|(kb, _)| kb == k).expect("matched by label");
+            assert!((v - w).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The execution-driven feed: walker + hybrid + BTB over the pipeline
+//! engine.
+//!
+//! This is the §6-faithful path: fetch follows the *prophecy*, wrong or
+//! not, so the critic's future bits really come from wrong-path fetch;
+//! override and mispredict recovery rewind the walker through its
+//! checkpoint journal exactly as the accuracy simulator does.
+
+use std::collections::VecDeque;
+
+use frontend::Btb;
+use predictors::{DirectionPredictor, Pc};
+use prophet_critic::{BranchId, Critic, ProphetCritic};
+use workloads::{Checkpoint, Program, Walker};
+
+use super::model::{Critique, FetchChunk, PipelineModel, Resolution};
+use super::CycleConfig;
+
+#[derive(Copy, Clone, Debug)]
+struct ExecInflight {
+    id: Option<BranchId>, // None: BTB miss, unpredicted
+    pc: u64,
+    outcome: bool,
+    taken_target: u64,
+    checkpoint: Checkpoint,
+}
+
+/// The execution-driven [`PipelineModel`]: drives a prophet/critic
+/// hybrid down the predicted path of a synthetic program.
+pub struct ExecModel<'p, 'h, P, C> {
+    walker: Walker<'p>,
+    hybrid: &'h mut ProphetCritic<P, C>,
+    btb: Btb,
+    inflight: VecDeque<ExecInflight>,
+}
+
+impl<'p, 'h, P, C> ExecModel<'p, 'h, P, C>
+where
+    P: DirectionPredictor,
+    C: Critic,
+{
+    /// Creates the feed for one program/hybrid pair.
+    #[must_use]
+    pub fn new(
+        program: &'p Program,
+        hybrid: &'h mut ProphetCritic<P, C>,
+        config: &CycleConfig,
+    ) -> Self {
+        let m = &config.machine;
+        Self {
+            walker: Walker::with_seed(program, config.seed),
+            hybrid,
+            btb: Btb::new(m.btb_entries, m.btb_ways),
+            inflight: VecDeque::with_capacity(2 * m.ftq_entries + 1),
+        }
+    }
+
+    fn index_of(&self, id: BranchId) -> usize {
+        self.inflight
+            .iter()
+            .position(|r| r.id == Some(id))
+            .expect("critiqued branch is in flight")
+    }
+
+    fn apply_override(&mut self, idx: usize, final_taken: bool) {
+        self.inflight.truncate(idx + 1);
+        self.walker.restore(&self.inflight[idx].checkpoint);
+        self.walker.follow(final_taken);
+    }
+}
+
+impl<P, C> PipelineModel for ExecModel<'_, '_, P, C>
+where
+    P: DirectionPredictor,
+    C: Critic,
+{
+    fn fetch_next(&mut self) -> Option<FetchChunk> {
+        let ev = self.walker.next_branch();
+        let cp = self.walker.checkpoint();
+        let identified = self.btb.lookup(Pc::new(ev.pc)).is_some();
+        if identified {
+            let pe = self.hybrid.predict(Pc::new(ev.pc));
+            self.inflight.push_back(ExecInflight {
+                id: Some(pe.id),
+                pc: ev.pc,
+                outcome: ev.outcome,
+                taken_target: ev.taken_target,
+                checkpoint: cp,
+            });
+            // Fetch proceeds down the prophecy — possibly the wrong path.
+            self.walker.follow(pe.taken);
+            Some(FetchChunk {
+                pc: ev.pc,
+                uops: ev.uops,
+                critiqued_at_fetch: false,
+                btb_redirect: false,
+            })
+        } else {
+            self.inflight.push_back(ExecInflight {
+                id: None,
+                pc: ev.pc,
+                outcome: ev.outcome,
+                taken_target: ev.taken_target,
+                checkpoint: cp,
+            });
+            // Decode-time BTB allocation (see the accuracy model); the
+            // discovered outcome repairs the predictor's history windows.
+            self.btb.allocate(Pc::new(ev.pc), ev.taken_target, true);
+            self.hybrid.note_external_outcome(ev.outcome);
+            self.walker.follow(ev.outcome);
+            Some(FetchChunk {
+                pc: ev.pc,
+                uops: ev.uops,
+                critiqued_at_fetch: true,
+                btb_redirect: ev.outcome,
+            })
+        }
+    }
+
+    fn critique_next(&mut self) -> Option<Critique> {
+        let cr = self.hybrid.critique_next()?;
+        let idx = self.index_of(cr.id);
+        if cr.overridden {
+            self.apply_override(idx, cr.final_taken);
+        }
+        Some(Critique {
+            index: idx,
+            overridden: cr.overridden,
+        })
+    }
+
+    fn force_critique(&mut self) -> Option<Critique> {
+        let cr = self.hybrid.force_critique_next()?;
+        let idx = self.index_of(cr.id);
+        if cr.overridden {
+            self.apply_override(idx, cr.final_taken);
+        }
+        Some(Critique {
+            index: idx,
+            overridden: cr.overridden,
+        })
+    }
+
+    fn resolve_head(&mut self) -> Resolution {
+        let head = *self
+            .inflight
+            .front()
+            .expect("resolve with a branch in flight");
+        let mispredict = match head.id {
+            None => {
+                self.inflight.pop_front();
+                false
+            }
+            Some(_) => {
+                let res = self
+                    .hybrid
+                    .resolve_oldest(head.outcome)
+                    .expect("critiqued head resolves");
+                if res.mispredict {
+                    // Squash everything younger and restart fetch down the
+                    // resolved outcome.
+                    self.inflight.clear();
+                    self.walker.restore(&head.checkpoint);
+                    self.walker.follow(head.outcome);
+                } else {
+                    self.inflight.pop_front();
+                }
+                res.mispredict
+            }
+        };
+        self.btb.allocate(Pc::new(head.pc), head.taken_target, true);
+        self.walker.release(&head.checkpoint);
+        Resolution { mispredict }
+    }
+}

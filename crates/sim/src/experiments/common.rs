@@ -22,6 +22,7 @@ use prophet_critic::HybridSpec;
 use workloads::{all_benchmarks, Benchmark, Program, Suite};
 
 use crate::accuracy::{run_accuracy, SimConfig};
+use crate::cycle::{run_cycles, CycleConfig, CycleResult};
 use crate::metrics::AccuracyResult;
 use crate::runner::{default_threads, par_map};
 
@@ -245,6 +246,53 @@ pub fn pooled_accuracy_seq(
         })
         .collect();
     AccuracyResult::pooled(&spec.label(), &runs)
+}
+
+/// One representative benchmark per suite for cycle-model experiments
+/// (cycle runs are slower than accuracy runs).
+#[must_use]
+pub fn representatives() -> Vec<Benchmark> {
+    ["gcc", "swim", "specjbb", "premiere", "msvc7", "tpcc", "cad"]
+        .iter()
+        .map(|n| workloads::benchmark(n).expect("representative exists"))
+        .collect()
+}
+
+/// The cycle-model configuration for one benchmark under this
+/// environment (suite-specific data character, shared uop budget).
+#[must_use]
+pub fn cycle_cfg(env: &ExpEnv, bench: &Benchmark) -> CycleConfig {
+    CycleConfig::isca04()
+        .budget(env.uop_budget())
+        .seed(bench.seed)
+        .data(crate::experiments::upc::suite_data_profile(bench.suite))
+}
+
+/// Runs every `spec × bench` cycle-model cell on the parallel engine and
+/// returns the results as `[spec index][bench index]`, in input order.
+/// Programs are synthesized once per benchmark and shared across spec
+/// cells. (The `upc` and `headline` experiments share this grid; the
+/// determinism tests pin it parallel == sequential.)
+#[must_use]
+pub fn cycle_grid(
+    env: &ExpEnv,
+    specs: &[HybridSpec],
+    benches: &[Benchmark],
+) -> Vec<Vec<CycleResult>> {
+    let programs: Vec<_> = par_map(benches, env.threads, |_, b| b.program());
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..benches.len()).map(move |b| (s, b)))
+        .collect();
+    let flat = par_map(&cells, env.threads, |_, &(s, b)| {
+        let mut hybrid = specs[s].build();
+        run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, &benches[b]))
+    });
+    let mut rows: Vec<Vec<CycleResult>> = Vec::with_capacity(specs.len());
+    let mut it = flat.into_iter();
+    for _ in 0..specs.len() {
+        rows.push(it.by_ref().take(benches.len()).collect());
+    }
+    rows
 }
 
 /// Runs `spec` on a single program.

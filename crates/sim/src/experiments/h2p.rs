@@ -1,0 +1,332 @@
+//! The H2P-targeted experiment (`experiments h2p`): per-hard-branch
+//! accuracy deltas between the 16 KB 2Bc-gskew baseline and the tuned
+//! prophet/critic hybrid, in the style of the Bullseye study
+//! (arXiv:2506.06773) — predictor quality is dominated by a small
+//! population of hard-to-predict static branches, so this experiment
+//! reports *where* the hybrid wins or loses, static by static.
+//!
+//! Per benchmark, one `par_map` cell:
+//!
+//! 1. record the correct-path trace in memory (identical bytes to
+//!    `traces record`);
+//! 2. flag the H2P statics from the trace's [`BranchProfile`]
+//!    (low-bias conditionals with enough dynamic executions —
+//!    predictor-independent);
+//! 3. replay the **baseline** over the trace (§6: conventional
+//!    predictors replay) and collect its per-static mispredicts;
+//! 4. re-execute the **hybrid** from the program (§6: hybrids must walk
+//!    real wrong paths) with the per-commit observer and collect its
+//!    per-static mispredicts;
+//! 5. emit the per-static deltas on exactly the flagged population.
+//!
+//! The report (`BENCH_h2p.json`) carries no thread count and no
+//! wall-clock: it is byte-identical for any `--threads`, pinned by
+//! `crates/sim/tests/h2p.rs`.
+
+use std::collections::HashMap;
+
+use bptrace::{BranchProfile, BtReader, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
+use predictors::configs::{self, Budget};
+use prophet_critic::HybridSpec;
+use replay::{record_trace, replay_bytes, ReplayConfig};
+
+use crate::accuracy::run_accuracy_observed;
+use crate::experiments::common::ExpEnv;
+use crate::runner::par_map;
+use crate::table::{f2, pct, Table};
+
+/// Default path of the machine-readable report.
+pub const JSON_PATH: &str = "BENCH_h2p.json";
+
+/// Per-benchmark H2P rows kept in the report (the hardest statics,
+/// by baseline mispredicts).
+const ROWS_PER_BENCH: usize = 8;
+
+/// One hard static branch, with both sides' mispredicts on it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct H2pStatic {
+    /// The branch instruction's address.
+    pub pc: u64,
+    /// Measured dynamic executions under the baseline replay.
+    pub occurrences: u64,
+    /// Fraction of executions taken (baseline replay, measured region).
+    pub taken_rate: f64,
+    /// Baseline (trace-replay) mispredicts on this static.
+    pub baseline_misp: u64,
+    /// Hybrid (re-execution) mispredicts on this static.
+    pub hybrid_misp: u64,
+}
+
+impl H2pStatic {
+    /// Percent mispredict reduction on this static (positive = the
+    /// hybrid wins).
+    #[must_use]
+    pub fn reduction_percent(&self) -> f64 {
+        crate::metrics::percent_reduction(self.baseline_misp as f64, self.hybrid_misp as f64)
+    }
+}
+
+/// One benchmark's H2P slice.
+#[derive(Clone, PartialEq, Debug)]
+pub struct H2pBench {
+    /// Benchmark name.
+    pub bench: String,
+    /// H2P statics flagged by the corpus profile.
+    pub h2p_statics: usize,
+    /// Dynamic executions of the flagged population (baseline replay).
+    pub h2p_occurrences: u64,
+    /// Baseline mispredicts summed over the population.
+    pub baseline_misp: u64,
+    /// Hybrid mispredicts summed over the population.
+    pub hybrid_misp: u64,
+    /// The hardest statics, descending baseline mispredicts (ties by
+    /// PC), capped at `ROWS_PER_BENCH` (8).
+    pub worst: Vec<H2pStatic>,
+}
+
+/// The baseline side: the paper's 16 KB 2Bc-gskew, replayed over the
+/// trace.
+#[must_use]
+pub fn baseline_label() -> String {
+    crate::tune::baseline_spec().label()
+}
+
+/// The hybrid side: the tuned headline preset, re-executed.
+#[must_use]
+pub fn hybrid_spec() -> HybridSpec {
+    HybridSpec::tuned_headline()
+}
+
+/// Computes every benchmark's H2P slice, one `par_map` cell each.
+#[must_use]
+pub fn h2p_benches(env: &ExpEnv) -> Vec<H2pBench> {
+    let programs = env.programs();
+    let budget = env.uop_budget();
+    let spec = hybrid_spec();
+    par_map(&programs, env.threads, |_, (bench, program)| {
+        let mut bt = Vec::new();
+        record_trace(program, bench.seed, budget, &mut bt)
+            .expect("in-memory recording cannot fail");
+
+        // H2P population from the corpus profile (predictor-independent).
+        let mut profile = BranchProfile::new();
+        let mut reader = BtReader::new(bt.as_slice()).expect("in-memory trace is well-formed");
+        while let Some(rec) = reader
+            .next_record()
+            .expect("in-memory trace is well-formed")
+        {
+            profile.observe(&rec);
+        }
+        let h2p: Vec<u64> = profile
+            .h2p_candidates(H2P_MIN_OCCURRENCES, H2P_MAX_BIAS)
+            .iter()
+            .map(|b| b.pc)
+            .collect();
+
+        // Baseline: conventional predictor, trace replay (§6 split).
+        let mut base = configs::bc_gskew(Budget::K16);
+        let base_replay = replay_bytes(&bt, &mut base, &ReplayConfig::with_budget(budget))
+            .expect("in-memory trace is well-formed");
+        let base_by_pc: HashMap<u64, (u64, u64, f64)> = base_replay
+            .per_branch
+            .iter()
+            .map(|b| (b.pc, (b.occurrences, b.mispredicts, b.taken_rate())))
+            .collect();
+
+        // Hybrid: re-execution with the per-commit observer.
+        let mut hyb_by_pc: HashMap<u64, u64> = HashMap::new();
+        let mut hybrid = spec.build();
+        let _ = run_accuracy_observed(
+            program,
+            &mut hybrid,
+            &env.sim_config(bench.seed),
+            |pc, _, misp| {
+                if misp {
+                    *hyb_by_pc.entry(pc).or_insert(0) += 1;
+                }
+            },
+        );
+
+        let mut statics: Vec<H2pStatic> = h2p
+            .iter()
+            .filter_map(|pc| {
+                let &(occurrences, baseline_misp, taken_rate) = base_by_pc.get(pc)?;
+                Some(H2pStatic {
+                    pc: *pc,
+                    occurrences,
+                    taken_rate,
+                    baseline_misp,
+                    hybrid_misp: hyb_by_pc.get(pc).copied().unwrap_or(0),
+                })
+            })
+            .collect();
+        statics
+            .sort_unstable_by(|a, b| b.baseline_misp.cmp(&a.baseline_misp).then(a.pc.cmp(&b.pc)));
+        let h2p_occurrences = statics.iter().map(|s| s.occurrences).sum();
+        let baseline_misp = statics.iter().map(|s| s.baseline_misp).sum();
+        let hybrid_misp = statics.iter().map(|s| s.hybrid_misp).sum();
+        statics.truncate(ROWS_PER_BENCH);
+        H2pBench {
+            bench: bench.name.clone(),
+            h2p_statics: h2p.len(),
+            h2p_occurrences,
+            baseline_misp,
+            hybrid_misp,
+            worst: statics,
+        }
+    })
+}
+
+/// Runs the experiment and also returns the machine-readable JSON
+/// report (thread-count independent by construction).
+#[must_use]
+pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
+    let benches = h2p_benches(env);
+    let spec = hybrid_spec();
+
+    let mut per_bench = Table::new(
+        format!(
+            "H2P slices — {} (replay) vs {} (re-execution)",
+            baseline_label(),
+            spec.label()
+        ),
+        &[
+            "benchmark",
+            "h2p statics",
+            "h2p execs",
+            "baseline misp",
+            "hybrid misp",
+            "reduction",
+        ],
+    );
+    for b in &benches {
+        per_bench.row(vec![
+            b.bench.clone(),
+            b.h2p_statics.to_string(),
+            b.h2p_occurrences.to_string(),
+            b.baseline_misp.to_string(),
+            b.hybrid_misp.to_string(),
+            pct(crate::metrics::percent_reduction(
+                b.baseline_misp as f64,
+                b.hybrid_misp as f64,
+            )),
+        ]);
+    }
+    per_bench.note(format!(
+        "h2p: conditionals with \u{2265}{H2P_MIN_OCCURRENCES} recorded executions and bias \
+         \u{2264}{H2P_MAX_BIAS} (trace BranchProfile; predictor-independent)"
+    ));
+    per_bench.note(
+        "positive reduction: the critic repairs that benchmark's hard statics \
+         (Bullseye-style slice, arXiv:2506.06773)",
+    );
+
+    // The hardest statics across the whole corpus.
+    let mut worst: Vec<(&str, &H2pStatic)> = benches
+        .iter()
+        .flat_map(|b| b.worst.iter().map(move |s| (b.bench.as_str(), s)))
+        .collect();
+    worst.sort_by(|a, b| {
+        b.1.baseline_misp
+            .cmp(&a.1.baseline_misp)
+            .then(a.1.pc.cmp(&b.1.pc))
+            .then(a.0.cmp(b.0))
+    });
+    worst.truncate(12);
+    let mut worst_t = Table::new(
+        "Hardest statics corpus-wide (by baseline mispredicts)",
+        &[
+            "benchmark",
+            "pc",
+            "execs",
+            "taken rate",
+            "baseline misp",
+            "hybrid misp",
+            "reduction",
+        ],
+    );
+    for (bench, s) in &worst {
+        worst_t.row(vec![
+            (*bench).to_string(),
+            format!("{:#x}", s.pc),
+            s.occurrences.to_string(),
+            f2(s.taken_rate),
+            s.baseline_misp.to_string(),
+            s.hybrid_misp.to_string(),
+            pct(s.reduction_percent()),
+        ]);
+    }
+
+    // Machine-readable report (no threads, no wall-clock — byte-identical
+    // across `--threads`).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_h2p_v1\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", env.scale));
+    json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
+    json.push_str(&format!("  \"uop_budget\": {},\n", env.uop_budget()));
+    json.push_str(&format!("  \"baseline\": \"{}\",\n", baseline_label()));
+    json.push_str(&format!("  \"hybrid\": \"{}\",\n", spec.label()));
+    json.push_str("  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"h2p_statics\": {}, \"h2p_occurrences\": {}, \
+             \"baseline_misp\": {}, \"hybrid_misp\": {}, \"worst\": [",
+            b.bench, b.h2p_statics, b.h2p_occurrences, b.baseline_misp, b.hybrid_misp
+        ));
+        for (j, s) in b.worst.iter().enumerate() {
+            let wcomma = if j + 1 < b.worst.len() { ", " } else { "" };
+            json.push_str(&format!(
+                "{{\"pc\": {}, \"occurrences\": {}, \"taken_rate\": {:.4}, \
+                 \"baseline_misp\": {}, \"hybrid_misp\": {}}}{wcomma}",
+                s.pc, s.occurrences, s.taken_rate, s.baseline_misp, s.hybrid_misp
+            ));
+        }
+        json.push_str(&format!("]}}{comma}\n"));
+    }
+    json.push_str("  ]\n}\n");
+
+    (vec![per_bench, worst_t], json)
+}
+
+/// Runs the experiment and writes [`JSON_PATH`].
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let (tables, json) = run_with_report(env);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => eprintln!("# wrote {JSON_PATH}"),
+        Err(err) => eprintln!("# could not write {JSON_PATH}: {err}"),
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2p_covers_the_fast_set_and_reconciles() {
+        let env = ExpEnv {
+            scale: 0.05,
+            ..ExpEnv::tiny()
+        };
+        let (tables, json) = run_with_report(&env);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 14, "one row per fast-set bench");
+        assert!(json.contains("\"schema\": \"bench_h2p_v1\""));
+        // The per-bench totals cover the flagged population: every listed
+        // worst static's counts are bounded by its bench totals.
+        let benches = h2p_benches(&env);
+        for b in &benches {
+            assert!(b.worst.len() <= ROWS_PER_BENCH);
+            for s in &b.worst {
+                assert!(s.baseline_misp <= b.baseline_misp);
+                assert!(s.hybrid_misp <= b.hybrid_misp);
+                assert!(s.taken_rate >= 0.0 && s.taken_rate <= 1.0);
+            }
+        }
+        // At least one benchmark must flag hard branches at this scale.
+        assert!(benches.iter().any(|b| b.h2p_statics > 0));
+    }
+}

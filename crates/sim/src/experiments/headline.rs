@@ -104,8 +104,8 @@ pub fn run_with_metrics(env: &ExpEnv) -> (Vec<Table>, HeadlineMetrics) {
 
     // Cycle-model uPC and fetched-uop comparison over the suite
     // representatives, on the shared spec × bench cycle grid.
-    let benches = crate::experiments::upc::representatives();
-    let grid = crate::experiments::upc::cycle_grid(env, &specs, &benches);
+    let benches = crate::experiments::common::representatives();
+    let grid = crate::experiments::common::cycle_grid(env, &specs, &benches);
     let (base_runs, hyb_runs) = (&grid[0], &grid[1]);
     let n = benches.len() as f64;
     let base_upc: f64 = base_runs

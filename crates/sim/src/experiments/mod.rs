@@ -12,6 +12,7 @@
 //! | `headline` | the abstract's numbers | [`headline`] |
 //! | `tracecmp` | trace tournament (corpus replay vs snapshot exec) | [`tracecmp`] |
 //! | `tune` | hybrid-parameter calibration search | [`tune`] |
+//! | `h2p` | per-hard-branch deltas (Bullseye-style) | [`h2p`] |
 
 pub mod ablation;
 pub mod common;
@@ -19,6 +20,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod h2p;
 pub mod headline;
 pub mod statics;
 pub mod table4;
@@ -120,6 +122,11 @@ pub fn all() -> Vec<Experiment> {
             run: tracecmp::run,
         },
         Experiment {
+            id: "h2p",
+            title: "H2P slices: per-hard-branch deltas, baseline vs tuned hybrid",
+            run: h2p::run,
+        },
+        Experiment {
             id: "tune",
             title: "Calibration: deterministic hybrid-parameter search vs 2Bc-gskew",
             run: tune::run,
@@ -142,7 +149,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "headline", "tracecmp", "tune",
+            "fig10", "headline", "tracecmp", "tune", "h2p",
         ] {
             assert!(ids.contains(&want), "{want} missing from registry");
         }

@@ -17,8 +17,14 @@
 //! 4. **re-executes** each hybrid spec from each snapshot with the
 //!    execution-driven simulator — a correct-path trace would hand the
 //!    critic oracle future bits, so hybrids never touch the replay path;
-//! 5. emits a ranked misp/Kuops report plus a per-trace H2P summary, and
-//!    (from the `run` entry point) writes `BENCH_tracecmp.json`.
+//! 5. **times** every entrant on the stage-accurate pipeline engine —
+//!    conventionals through [`TraceModel`](crate::cycle::TraceModel)
+//!    over the recorded `.bt` stream, hybrids through the execution-driven
+//!    [`run_cycles`] on the snapshot program —
+//!    giving the tournament a uPC column;
+//! 6. emits a ranked misp/Kuops + uPC report plus a per-trace H2P
+//!    summary, and (from the `run` entry point) writes
+//!    `BENCH_tracecmp.json`.
 //!
 //! Every stage fans through [`par_map`] with input-ordered collection, so
 //! the report is bit-identical for any thread count — pinned by
@@ -32,7 +38,8 @@ use replay::{cross_check_snapshot, record_trace, replay_bytes, ReplayConfig, Rep
 use workloads::{Benchmark, Snapshot};
 
 use crate::accuracy::run_accuracy;
-use crate::experiments::common::ExpEnv;
+use crate::cycle::{run_cycles, run_cycles_trace, CycleResult};
+use crate::experiments::common::{cycle_cfg, ExpEnv};
 use crate::metrics::AccuracyResult;
 use crate::runner::par_map;
 use crate::table::{f2, pct, Table};
@@ -94,6 +101,18 @@ struct Entrant {
     path: &'static str,
     misp_per_kuops: f64,
     mispredict_percent: f64,
+    upc: f64,
+}
+
+/// Pooled uPC over a row of cycle results (total uops / total cycles).
+fn pooled_upc(row: &[CycleResult]) -> f64 {
+    let uops: u64 = row.iter().map(|r| r.committed_uops).sum();
+    let cycles: f64 = row.iter().map(|r| r.cycles).sum();
+    if cycles == 0.0 {
+        0.0
+    } else {
+        uops as f64 / cycles
+    }
 }
 
 /// Runs the tournament and also returns the machine-readable JSON report
@@ -151,7 +170,29 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
     });
 
-    // ---- 5. Pool, rank, report.
+    // ---- 5. Cycle-level timing on the shared pipeline engine: trace
+    // feed for conventionals, snapshot execution for hybrids.
+    let conv_cycles: Vec<CycleResult> = par_map(&conv_cells, env.threads, |_, &(p, t)| {
+        let mut predictor = lineup[p].clone();
+        let mut reader =
+            BtReader::new(recorded[t].bt.as_slice()).expect("in-memory trace is well-formed");
+        run_cycles_trace(
+            &mut reader,
+            &mut predictor,
+            &cycle_cfg(env, &recorded[t].bench),
+        )
+    });
+    let hyb_cycles: Vec<CycleResult> = par_map(&hyb_cells, env.threads, |_, &(s, t)| {
+        let snap = Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+        let mut hybrid = hybrids[s].build();
+        run_cycles(
+            &snap.program,
+            &mut hybrid,
+            &cycle_cfg(env, &recorded[t].bench),
+        )
+    });
+
+    // ---- 6. Pool, rank, report.
     let traces = recorded.len();
     let mut entrants: Vec<Entrant> = Vec::new();
     let mut conv_rates: Vec<f64> = Vec::with_capacity(lineup.len());
@@ -175,6 +216,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             } else {
                 misp as f64 * 100.0 / conds as f64
             },
+            upc: pooled_upc(&conv_cycles[p * traces..(p + 1) * traces]),
         });
     }
     for (s, spec) in hybrids.iter().enumerate() {
@@ -184,6 +226,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             path: "snapshot exec",
             misp_per_kuops: pooled.misp_per_kuops(),
             mispredict_percent: pooled.mispredict_percent(),
+            upc: pooled_upc(&hyb_cycles[s * traces..(s + 1) * traces]),
         });
     }
     entrants.sort_by(|a, b| {
@@ -201,6 +244,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             "eval path",
             "misp/Kuops",
             "mispred %",
+            "uPC",
         ],
     );
     for (i, e) in entrants.iter().enumerate() {
@@ -210,6 +254,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             e.path.to_string(),
             f2(e.misp_per_kuops),
             pct(e.mispredict_percent),
+            f2(e.upc),
         ]);
     }
     ranked.note(format!(
@@ -218,6 +263,10 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     ranked.note(
         "hybrids are re-executed from snapshots: a correct-path trace would hand \
          the critic oracle future bits (paper \u{a7}6)",
+    );
+    ranked.note(
+        "uPC: the stage-accurate pipeline engine times both paths — conventionals \
+         fed from the trace, hybrids from snapshot execution",
     );
 
     // Per-trace H2P summary, measured under the best conventional entrant.
@@ -269,7 +318,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     // Machine-readable report (threads-independent on purpose).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_tracecmp_v1\",\n");
+    json.push_str("  \"schema\": \"bench_tracecmp_v2\",\n");
     json.push_str(&format!("  \"scale\": {},\n", env.scale));
     json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
     json.push_str(&format!("  \"uop_budget\": {budget},\n"));
@@ -279,12 +328,13 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         let comma = if i + 1 < entrants.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"rank\": {}, \"configuration\": \"{}\", \"path\": \"{}\", \
-             \"misp_per_kuops\": {:.4}, \"mispredict_percent\": {:.4}}}{comma}\n",
+             \"misp_per_kuops\": {:.4}, \"mispredict_percent\": {:.4}, \"upc\": {:.4}}}{comma}\n",
             i + 1,
             e.label.replace('"', "\\\""),
             e.path,
             e.misp_per_kuops,
             e.mispredict_percent,
+            e.upc,
         ));
     }
     json.push_str("  ]\n}\n");
@@ -342,7 +392,12 @@ mod tests {
         assert!(rates.windows(2).all(|w| w[0] <= w[1]), "{rates:?}");
         // One H2P row per trace, and a parseable-looking report.
         assert_eq!(tables[1].rows.len(), 14);
-        assert!(json.contains("\"schema\": \"bench_tracecmp_v1\""));
+        assert!(json.contains("\"schema\": \"bench_tracecmp_v2\""));
         assert!(json.contains("\"rank\": 1"));
+        // Every entrant carries a positive uPC.
+        for row in &tables[0].rows {
+            let upc: f64 = row[5].parse().unwrap();
+            assert!(upc > 0.0 && upc < 6.0, "uPC {upc} out of band");
+        }
     }
 }

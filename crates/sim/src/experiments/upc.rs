@@ -15,9 +15,8 @@ use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
 use uarch::DataProfile;
 use workloads::{Benchmark, Suite};
 
-use crate::cycle::{run_cycles, CycleConfig, CycleResult};
-use crate::experiments::common::ExpEnv;
-use crate::runner::par_map;
+use crate::cycle::CycleResult;
+use crate::experiments::common::{cycle_grid, representatives, ExpEnv};
 use crate::table::{f2, Table};
 
 const FUTURE_BITS: [usize; 3] = [4, 8, 12];
@@ -32,52 +31,28 @@ pub fn suite_data_profile(suite: Suite) -> DataProfile {
     }
 }
 
-/// One representative benchmark per suite (cycle runs are slower).
-pub(crate) fn representatives() -> Vec<Benchmark> {
-    ["gcc", "swim", "specjbb", "premiere", "msvc7", "tpcc", "cad"]
-        .iter()
-        .map(|n| workloads::benchmark(n).expect("representative exists"))
-        .collect()
-}
-
-fn cycle_cfg(env: &ExpEnv, bench: &Benchmark) -> CycleConfig {
-    let mut c = CycleConfig::with_budget(env.uop_budget(), bench.seed);
-    c.data = suite_data_profile(bench.suite);
-    c
-}
-
-/// Runs every `spec × bench` cycle-model cell on the parallel engine and
-/// returns the results as `[spec index][bench index]`, in input order.
-/// Programs are synthesized once per benchmark and shared across spec
-/// cells. (The headline experiment reuses this grid for its uPC and
-/// fetched-uop comparison.)
-pub(crate) fn cycle_grid(
-    env: &ExpEnv,
-    specs: &[HybridSpec],
-    benches: &[Benchmark],
-) -> Vec<Vec<CycleResult>> {
-    let programs: Vec<_> = par_map(benches, env.threads, |_, b| b.program());
-    let cells: Vec<(usize, usize)> = (0..specs.len())
-        .flat_map(|s| (0..benches.len()).map(move |b| (s, b)))
-        .collect();
-    let flat = par_map(&cells, env.threads, |_, &(s, b)| {
-        let mut hybrid = specs[s].build();
-        run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, &benches[b]))
-    });
-    let mut rows: Vec<Vec<CycleResult>> = Vec::with_capacity(specs.len());
-    let mut it = flat.into_iter();
-    for _ in 0..specs.len() {
-        rows.push(it.by_ref().take(benches.len()).collect());
-    }
-    rows
-}
-
 /// [`cycle_grid`] reduced to uPC per cell.
 fn upc_grid(env: &ExpEnv, specs: &[HybridSpec], benches: &[Benchmark]) -> Vec<Vec<f64>> {
     cycle_grid(env, specs, benches)
         .iter()
         .map(|row| row.iter().map(CycleResult::upc).collect())
         .collect()
+}
+
+/// Shared Figure 10 spec list: the 2Bc-gskew prophet alone, then each
+/// future-bit pairing.
+fn fig10_specs() -> Vec<HybridSpec> {
+    let mut specs: Vec<HybridSpec> = vec![HybridSpec::alone(ProphetKind::BcGskew, Budget::K16)];
+    for fb in FUTURE_BITS {
+        specs.push(HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            fb,
+        ));
+    }
+    specs
 }
 
 /// Runs Figure 9.
@@ -124,26 +99,42 @@ pub fn fig10(env: &ExpEnv) -> Vec<Table> {
         &["suite", "16KB alone", "4 fb", "8 fb", "12 fb"],
     );
     let benches = representatives();
-    let mut specs: Vec<HybridSpec> = vec![HybridSpec::alone(ProphetKind::BcGskew, Budget::K16)];
-    for fb in FUTURE_BITS {
-        specs.push(HybridSpec::paired(
-            ProphetKind::BcGskew,
-            Budget::K8,
-            CriticKind::TaggedGshare,
-            Budget::K8,
-            fb,
-        ));
-    }
-    let grid = upc_grid(env, &specs, &benches);
+    let specs = fig10_specs();
+    let grid = cycle_grid(env, &specs, &benches);
     for (bi, bench) in benches.iter().enumerate() {
         let mut cells = vec![bench.suite.label().to_string()];
         for row in &grid {
-            cells.push(f2(row[bi]));
+            cells.push(f2(row[bi].upc()));
         }
         t.row(cells);
     }
     t.note("paper: hybrid beats the 16KB prophet in every suite; 12-fb speedups from 1.7% (FP00) to 10.7% (INT00)");
-    vec![t]
+
+    // The pipeline engine's recovery bubble profile: where the cycles
+    // went — full-flush restarts vs cheap override redirects (§5's
+    // central timing claim, now separately visible per recovery kind).
+    let mut b = Table::new(
+        "Figure 10 (engine detail) — recovery bubbles per suite, 16KB alone vs 12 fb hybrid",
+        &[
+            "suite",
+            "flush restart cyc (alone)",
+            "flush restart cyc (12fb)",
+            "redirect cyc (12fb)",
+            "overrides (12fb)",
+        ],
+    );
+    let (alone, twelve) = (&grid[0], &grid[FUTURE_BITS.len()]);
+    for (bi, bench) in benches.iter().enumerate() {
+        b.row(vec![
+            bench.suite.label().to_string(),
+            format!("{:.0}", alone[bi].bubbles.flush_restart),
+            format!("{:.0}", twelve[bi].bubbles.flush_restart),
+            format!("{:.0}", twelve[bi].bubbles.redirect),
+            twelve[bi].overrides.to_string(),
+        ]);
+    }
+    b.note("an override redirects only fetch (the criticized FTQ prefix keeps the consumer fed); a flush restarts every stage");
+    vec![t, b]
 }
 
 #[cfg(test)]
@@ -164,8 +155,10 @@ mod tests {
 
     #[test]
     fn fig10_covers_all_suites() {
-        let t = &fig10(&ExpEnv::tiny())[0];
-        assert_eq!(t.rows.len(), 7);
+        let tables = fig10(&ExpEnv::tiny());
+        assert_eq!(tables[0].rows.len(), 7);
+        // The engine-detail table covers the same suites.
+        assert_eq!(tables[1].rows.len(), 7);
     }
 
     #[test]

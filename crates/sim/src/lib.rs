@@ -70,6 +70,9 @@ pub mod table;
 pub mod tune;
 
 pub use accuracy::{run_accuracy, run_accuracy_observed, SimConfig};
-pub use cycle::{run_cycles, CycleConfig, CycleResult};
+pub use cycle::{
+    run_cycles, run_cycles_trace, run_pipeline, CycleConfig, CycleResult, ExecModel, PipelineModel,
+    TraceModel,
+};
 pub use metrics::{percent_reduction, AccuracyResult};
 pub use runner::{default_threads, par_map};

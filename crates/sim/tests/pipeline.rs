@@ -1,0 +1,137 @@
+//! Determinism pins for the stage-accurate pipeline engine: the cycle
+//! grid must be bit-identical for any worker-thread count, and a
+//! small-budget reference run is pinned byte-for-byte so that *any*
+//! unintended change to the timing model (a reordered float add, a new
+//! stall term, a different recovery path) fails loudly instead of
+//! silently shifting every uPC figure.
+
+use prophet_critic::{Budget, CriticKind, HybridSpec, ProphetKind};
+use sim::experiments::common::{cycle_grid, representatives, ExpEnv};
+use sim::{run_cycles, run_cycles_trace, CycleConfig};
+
+fn tiny() -> ExpEnv {
+    ExpEnv {
+        scale: 0.03,
+        ..ExpEnv::tiny()
+    }
+}
+
+fn grid_specs() -> Vec<HybridSpec> {
+    vec![
+        HybridSpec::alone(ProphetKind::BcGskew, Budget::K16),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::tuned_headline(),
+    ]
+}
+
+#[test]
+fn cycle_grid_is_bit_identical_for_any_thread_count() {
+    let benches = representatives();
+    let specs = grid_specs();
+    let reference = cycle_grid(&tiny().with_threads(1), &specs, &benches);
+    for threads in [2, 3, 8] {
+        let wide = cycle_grid(&tiny().with_threads(threads), &specs, &benches);
+        assert_eq!(
+            wide, reference,
+            "{threads}-thread cycle grid diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn trace_feed_prediction_stream_equals_the_replay_engine() {
+    // The trace-driven cycle feed predicts and trains on every record in
+    // order, exactly like `replay::replay_reader` — so over a fully
+    // consumed trace (cycle budget beyond the trace content, no warm-up
+    // gating differences) the two paths must count identical mispredicts.
+    // This also pins the post-stream drain: a flush near the end of the
+    // trace must refetch (and commit) its squashed correct-path tail
+    // rather than dropping it.
+    for bench_name in ["gzip", "tpcc"] {
+        let bench = workloads::benchmark(bench_name).unwrap();
+        let mut bt = Vec::new();
+        replay::record_trace(&bench.program(), bench.seed, 50_000, &mut bt).unwrap();
+
+        let mut replay_pred = predictors::configs::gshare(predictors::configs::Budget::K8);
+        let replayed = replay::replay_bytes(
+            &bt,
+            &mut replay_pred,
+            &replay::ReplayConfig {
+                max_uops: 200_000,
+                warmup_uops: 0,
+            },
+        )
+        .unwrap();
+
+        let mut reader = bptrace::BtReader::new(bt.as_slice()).unwrap();
+        let mut cycle_pred = predictors::configs::gshare(predictors::configs::Budget::K8);
+        let timed = run_cycles_trace(
+            &mut reader,
+            &mut cycle_pred,
+            &CycleConfig::isca04().budget(200_000).seed(bench.seed).warmup(0),
+        );
+
+        assert_eq!(
+            timed.final_mispredicts, replayed.mispredicts,
+            "{bench_name}: trace-feed mispredicts diverged from replay_reader"
+        );
+        assert_eq!(
+            timed.committed_uops, replayed.measured_uops,
+            "{bench_name}: trace-feed committed uops diverged (dropped refetch tail?)"
+        );
+    }
+}
+
+#[test]
+fn trace_feed_is_deterministic_and_matches_itself_across_reads() {
+    // The trace-driven model re-reads the same bytes; two passes must
+    // agree bit-for-bit (no hidden state outside the reader).
+    let bench = workloads::benchmark("tpcc").unwrap();
+    let mut bt = Vec::new();
+    replay::record_trace(&bench.program(), bench.seed, 60_000, &mut bt).unwrap();
+    let cfg = CycleConfig::isca04().budget(60_000).seed(bench.seed);
+    let run = || {
+        let mut reader = bptrace::BtReader::new(bt.as_slice()).unwrap();
+        let mut p = predictors::configs::bc_gskew(predictors::configs::Budget::K16);
+        run_cycles_trace(&mut reader, &mut p, &cfg)
+    };
+    assert_eq!(run(), run());
+}
+
+/// The byte pin: a small reference run, formatted with full `Debug`
+/// precision. If this fails after an *intentional* model change, rerun
+/// the test, inspect the printed actual value, and update the literal —
+/// the pin exists to make silent drift impossible, not to forbid
+/// calibration.
+#[test]
+fn small_budget_cycle_result_is_byte_pinned() {
+    let program = workloads::benchmark("gzip").unwrap().program();
+    let mut hybrid = HybridSpec::paired(
+        ProphetKind::Gshare,
+        Budget::K4,
+        CriticKind::TaggedGshare,
+        Budget::K4,
+        4,
+    )
+    .build();
+    let r = run_cycles(
+        &program,
+        &mut hybrid,
+        &CycleConfig::isca04().budget(30_000).seed(0x5EED),
+    );
+    let got = format!("{r:?}");
+    let want = "CycleResult { benchmark: \"gzip\", cycles: 88824.08333333186, \
+                committed_uops: 24020, final_mispredicts: 655, overrides: 157, \
+                fetched_uops: 220158, forced_critiques: 124, critiques: 35209, \
+                data_counts: (34602, 24633, 14580), bubbles: BubbleProfile { \
+                icache: 2624.0, ftq_full: 15631.83333333317, \
+                ftq_empty: 5165.166666673981, window_full: 18887.83333333335, \
+                redirect: 1368.0, flush_restart: 6048.0 } }";
+    assert_eq!(got, want, "\nactual:\n{got}\n");
+}

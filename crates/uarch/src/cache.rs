@@ -179,6 +179,7 @@ pub struct Hierarchy {
     pub_l1_hits: u64,
     pub_l2_hits: u64,
     pub_mem: u64,
+    stall_cycles: u64,
 }
 
 impl Hierarchy {
@@ -195,6 +196,7 @@ impl Hierarchy {
             pub_l1_hits: 0,
             pub_l2_hits: 0,
             pub_mem: 0,
+            stall_cycles: 0,
         }
     }
 
@@ -211,9 +213,11 @@ impl Hierarchy {
         }
         if self.l2.access(addr) {
             self.pub_l2_hits += 1;
+            self.stall_cycles += self.l2_hit - self.l1_hit;
             return (self.l2_hit, AccessLevel::L2);
         }
         self.pub_mem += 1;
+        self.stall_cycles += self.mem_lat - self.l1_hit;
         (self.mem_lat, AccessLevel::Memory)
     }
 
@@ -221,6 +225,15 @@ impl Hierarchy {
     #[must_use]
     pub fn counts(&self) -> (u64, u64, u64) {
         (self.pub_l1_hits, self.pub_l2_hits, self.pub_mem)
+    }
+
+    /// Bubble bookkeeping: total latency cycles beyond an L1 hit incurred
+    /// by demand accesses so far — the raw (un-overlapped) data-stall
+    /// exposure the pipeline model divides by its memory-level-parallelism
+    /// factor.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
     }
 
     /// Prefetch lines issued so far.
@@ -287,6 +300,8 @@ mod tests {
         let (l1, lvl) = h.access(0x10_0000);
         assert_eq!(lvl, AccessLevel::L1);
         assert_eq!(l1, 3);
+        // Bubble bookkeeping: one memory access beyond L1, one free hit.
+        assert_eq!(h.stall_cycles(), 380 - 3);
     }
 
     #[test]

@@ -53,6 +53,19 @@ pub struct MachineParams {
     pub prophet_per_cycle: u64,
     /// Critic throughput in critiques per cycle (§5: 1).
     pub critic_per_cycle: u64,
+    /// I-cache fetch ports: cache lines the front end can read per cycle
+    /// (2, matching the dual prediction ports of §5 — fetch of a chunk
+    /// spanning more lines serializes on the ports).
+    pub fetch_ports: u64,
+    /// Front-end redirect latency in cycles (8, roughly decode depth):
+    /// charged when fetch restarts at a target discovered *behind* the
+    /// front end — BTB-miss discovery at decode, or the restart after a
+    /// mispredict flush.
+    pub redirect_cycles: u64,
+    /// Critic-override redirect latency in cycles (2): the critic sits
+    /// inside the front end, walking the FTQ (Figure 4), so redirecting
+    /// fetch on a disagreement is far cheaper than a back-end redirect.
+    pub override_redirect_cycles: u64,
     /// Instruction cache (64 KB, 8-way, 64-byte lines).
     pub icache: CacheParams,
     /// L1 data cache (32 KB, 16-way, 64-byte lines, 3-cycle hit).
@@ -79,6 +92,9 @@ impl MachineParams {
             window_uops: 2048,
             prophet_per_cycle: 2,
             critic_per_cycle: 1,
+            fetch_ports: 2,
+            redirect_cycles: 8,
+            override_redirect_cycles: 2,
             icache: CacheParams {
                 size_bytes: 64 << 10,
                 ways: 8,
@@ -146,5 +162,8 @@ mod tests {
         let m = MachineParams::isca04();
         assert_eq!(m.prophet_per_cycle, 2);
         assert_eq!(m.critic_per_cycle, 1);
+        assert_eq!(m.fetch_ports, 2);
+        assert_eq!(m.redirect_cycles, 8);
+        assert_eq!(m.override_redirect_cycles, 2);
     }
 }

@@ -14,8 +14,10 @@ fn main() {
     let bench = workloads::benchmark("gcc").expect("INT00 member");
     let program = bench.program();
 
-    let mut config = CycleConfig::with_budget(500_000, bench.seed);
-    config.data = DataProfile::resident(); // integer-code data character
+    let config = CycleConfig::isca04()
+        .budget(500_000)
+        .seed(bench.seed)
+        .data(DataProfile::resident()); // integer-code data character
 
     let specs = [
         HybridSpec::alone(ProphetKind::BcGskew, Budget::K16),

@@ -131,8 +131,10 @@ fn wrong_path_training_requires_execution_driven_sim() {
 fn cycle_model_orders_configurations_like_accuracy_model() {
     let bench = workloads::benchmark("gcc").unwrap();
     let program = bench.program();
-    let mut config = CycleConfig::with_budget(150_000, bench.seed);
-    config.warmup_uops = 30_000;
+    let config = CycleConfig::isca04()
+        .budget(150_000)
+        .seed(bench.seed)
+        .warmup(30_000);
 
     let weak = HybridSpec::alone(ProphetKind::Gshare, Budget::K2);
     let strong = HybridSpec::paired(
