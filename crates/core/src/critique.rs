@@ -198,6 +198,20 @@ impl CritiqueStats {
             *a += b;
         }
     }
+
+    /// The raw per-kind counters, in [`CritiqueKind::ALL`] order — for
+    /// exact (lossless) serialization of results.
+    #[must_use]
+    pub fn counts(&self) -> [u64; 6] {
+        self.counts
+    }
+
+    /// Rebuilds a table from counters previously taken via
+    /// [`counts`](Self::counts).
+    #[must_use]
+    pub fn from_counts(counts: [u64; 6]) -> Self {
+        Self { counts }
+    }
 }
 
 #[cfg(test)]

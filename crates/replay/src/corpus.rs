@@ -246,6 +246,52 @@ pub fn verify_corpus(dir: &Path, manifest: &Manifest) -> Result<()> {
     Ok(())
 }
 
+/// One corpus entry that failed verification and was set aside.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The trace (benchmark) name from the manifest.
+    pub trace: String,
+    /// Why verification failed, verbatim.
+    pub reason: String,
+}
+
+/// The outcome of a full, non-short-circuiting corpus verification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Names of entries that passed every check, in manifest order.
+    pub ok: Vec<String>,
+    /// Entries that failed a check, in manifest order, with reasons.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl VerifyReport {
+    /// Whether every entry verified clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantine.is_empty()
+    }
+}
+
+/// Verifies every entry of `manifest` without short-circuiting: failed
+/// entries are quarantined (name + reason) and the rest still get
+/// checked. This is the graceful-degradation counterpart of
+/// [`verify_corpus`] — a single rotten `.bt` block marks one trace bad
+/// instead of aborting the whole corpus.
+#[must_use]
+pub fn verify_corpus_report(dir: &Path, manifest: &Manifest) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    for entry in &manifest.entries {
+        match verify_entry(dir, entry) {
+            Ok(()) => report.ok.push(entry.name.clone()),
+            Err(e) => report.quarantine.push(QuarantineEntry {
+                trace: entry.name.clone(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,260 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Crash-safety claims are only as good as the faults they were tested
+//! against, so this module makes faults *injectable and reproducible*: a
+//! [`FaultPlan`] names which traces get corrupted (seeded bit flips,
+//! truncations), which experiment cells panic mid-grid, and everything is
+//! derived from a single seed through [`workloads::rng`] — two runs with
+//! the same plan inject byte-identical faults, so tests can assert
+//! recovery, quarantine accounting, and bit-identical surviving cells for
+//! any thread count.
+//!
+//! Consumers:
+//!
+//! * the `tracecmp` tournament corrupts its in-memory corpus through
+//!   [`FaultPlan::corrupt_trace`] and quarantines what the integrity
+//!   checks catch;
+//! * the `sim` grid runners call [`FaultPlan::panic_if_scheduled`] at the
+//!   top of every cell, exercising the `catch_unwind` isolation path;
+//! * the cell-store tests simulate crashes mid-write with [`torn_write`].
+//!
+//! The plan is inert by default ([`FaultPlan::none`]); production runs
+//! never pay for it. The `FAULT_PLAN` environment variable arms it from
+//! the command line:
+//!
+//! ```text
+//! FAULT_PLAN="seed=7;flip=gcc;trunc=swim;panic=16KB perceptron"
+//! ```
+
+use std::path::Path;
+
+use workloads::rng::SmallRng;
+
+use crate::checksum::fnv1a;
+
+/// Environment variable holding a fault-plan spec (see [`FaultPlan::from_spec`]).
+pub const FAULT_PLAN_ENV: &str = "FAULT_PLAN";
+
+/// A seeded, declarative fault-injection plan.
+///
+/// The default plan injects nothing; every injection site is a cheap
+/// membership test when the plan is inactive.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Master seed all injected faults derive from.
+    pub seed: u64,
+    /// Trace names whose `.bt` bytes get one seeded bit flip (in the
+    /// record region, so integrity checks must catch it).
+    pub flip: Vec<String>,
+    /// Trace names whose `.bt` bytes are truncated at a seeded offset.
+    pub trunc: Vec<String>,
+    /// Cell-label substrings that panic when a grid cell matching them
+    /// starts (scheduled worker panics).
+    pub panic_cells: Vec<String>,
+}
+
+impl FaultPlan {
+    /// The inert plan: injects nothing anywhere.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan injects any fault at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !(self.flip.is_empty() && self.trunc.is_empty() && self.panic_cells.is_empty())
+    }
+
+    /// Parses a plan spec: `;`-separated `key=value` pairs where `key` is
+    /// `seed` (integer, `0x` hex accepted), `flip`/`trunc` (comma-separated
+    /// trace names) or `panic` (a cell-label substring; repeatable).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed pair.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::none();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed fault spec pair {part:?} (want key=value)"))?;
+            match key.trim() {
+                "seed" => {
+                    let v = value.trim();
+                    plan.seed = v
+                        .strip_prefix("0x")
+                        .map_or_else(|| v.parse::<u64>(), |hex| u64::from_str_radix(hex, 16))
+                        .map_err(|_| format!("bad fault seed {value:?}"))?;
+                }
+                "flip" => plan
+                    .flip
+                    .extend(value.split(',').map(|s| s.trim().to_string())),
+                "trunc" => plan
+                    .trunc
+                    .extend(value.split(',').map(|s| s.trim().to_string())),
+                "panic" => plan.panic_cells.push(value.trim().to_string()),
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from the `FAULT_PLAN` environment variable; unset
+    /// means [`FaultPlan::none`].
+    ///
+    /// # Panics
+    ///
+    /// On a malformed spec — an armed-but-broken fault plan silently
+    /// testing nothing is worse than a loud failure.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(spec) => Self::from_spec(&spec).unwrap_or_else(|e| panic!("{FAULT_PLAN_ENV}: {e}")),
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Applies this plan's corruptions to one trace's `.bt` bytes.
+    /// Returns a description of what was injected, or `None` when the
+    /// trace is not targeted. Deterministic in `(seed, name)`.
+    pub fn corrupt_trace(&self, name: &str, bytes: &mut Vec<u8>) -> Option<String> {
+        let mut applied: Vec<String> = Vec::new();
+        if self.trunc.iter().any(|t| t == name) && bytes.len() > 4 {
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ fnv1a(name.as_bytes()) ^ 0x7472_756e);
+            // Cut somewhere in the second half: past the header, inside
+            // the record stream.
+            let len = bytes.len();
+            let keep = len / 2 + (rng.next_u64() % (len as u64 / 4).max(1)) as usize;
+            bytes.truncate(keep);
+            applied.push(format!("truncated to {keep} of {len} bytes"));
+        }
+        if self.flip.iter().any(|t| t == name) && !bytes.is_empty() {
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ fnv1a(name.as_bytes()) ^ 0x666c_6970);
+            // Flip a bit in the second half of the (possibly already
+            // truncated) stream — record bytes, not the header, so the
+            // corruption must surface as divergence, not a bad magic.
+            let start = bytes.len() / 2;
+            let span = (bytes.len() - start).max(1) as u64;
+            let pos = start + (rng.next_u64() % span) as usize;
+            let bit = (rng.next_u64() % 8) as u8;
+            bytes[pos] ^= 1 << bit;
+            applied.push(format!("flipped bit {bit} of byte {pos}"));
+        }
+        if applied.is_empty() {
+            None
+        } else {
+            Some(applied.join("; "))
+        }
+    }
+
+    /// Whether a grid cell with this label is scheduled to panic.
+    #[must_use]
+    pub fn should_panic(&self, label: &str) -> bool {
+        self.panic_cells.iter().any(|p| label.contains(p.as_str()))
+    }
+
+    /// Panics (deterministically) when `label` matches a scheduled cell
+    /// panic — the grid runners call this at the top of every cell.
+    ///
+    /// # Panics
+    ///
+    /// When the plan schedules a panic for this label; that is the point.
+    pub fn panic_if_scheduled(&self, label: &str) {
+        if self.should_panic(label) {
+            panic!("injected fault: scheduled panic in cell '{label}'");
+        }
+    }
+}
+
+/// Simulates a torn write: persists only the first `keep` bytes of
+/// `bytes` to `path`, as if the process died mid-`write`. Recovery code
+/// must treat the result as absent/corrupt, never as valid data.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the (partial) write.
+pub fn torn_write(path: &Path, bytes: &[u8], keep: usize) -> std::io::Result<()> {
+    std::fs::write(path, &bytes[..keep.min(bytes.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trip() {
+        let plan =
+            FaultPlan::from_spec("seed=0x2a; flip=gcc,swim; trunc=art; panic=perceptron").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.flip, vec!["gcc".to_string(), "swim".to_string()]);
+        assert_eq!(plan.trunc, vec!["art".to_string()]);
+        assert!(plan.should_panic("16KB perceptron × gzip"));
+        assert!(!plan.should_panic("16KB gshare × gzip"));
+        assert!(plan.is_active());
+        assert!(!FaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::from_spec("seed=zebra").is_err());
+        assert!(FaultPlan::from_spec("frobnicate=1").is_err());
+        assert!(FaultPlan::from_spec("justakey").is_err());
+        // Empty / whitespace specs are the inert plan.
+        assert_eq!(FaultPlan::from_spec("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::from_spec(" ; ").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_targeted() {
+        let plan = FaultPlan {
+            seed: 7,
+            flip: vec!["gcc".into()],
+            trunc: vec!["swim".into()],
+            ..FaultPlan::none()
+        };
+        let original: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+
+        let mut a = original.clone();
+        let mut b = original.clone();
+        assert!(plan.corrupt_trace("gcc", &mut a).is_some());
+        assert!(plan.corrupt_trace("gcc", &mut b).is_some());
+        assert_eq!(a, b, "same plan, same trace, same corruption");
+        assert_eq!(a.len(), original.len(), "flip does not change length");
+        assert_ne!(a, original);
+        // Exactly one bit differs.
+        let diff_bits: u32 = a
+            .iter()
+            .zip(&original)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
+
+        let mut t = original.clone();
+        assert!(plan.corrupt_trace("swim", &mut t).is_some());
+        assert!(t.len() < original.len());
+        assert!(t.len() >= original.len() / 2);
+
+        let mut untouched = original.clone();
+        assert!(plan.corrupt_trace("tpcc", &mut untouched).is_none());
+        assert_eq!(untouched, original);
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix() {
+        let dir = std::env::temp_dir().join("replay-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        let payload = b"0123456789";
+        torn_write(&path, payload, 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        // keep beyond the end clamps to the full payload.
+        torn_write(&path, payload, 64).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), payload);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

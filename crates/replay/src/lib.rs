@@ -56,14 +56,16 @@ pub mod checksum;
 mod corpus;
 mod engine;
 mod error;
+pub mod fault;
 mod manifest;
 
 pub use corpus::{
     cross_check_snapshot, load_snapshot, open_trace, record_benchmark, record_corpus, record_trace,
-    verify_corpus, verify_entry,
+    verify_corpus, verify_corpus_report, verify_entry, QuarantineEntry, VerifyReport,
 };
 pub use engine::{
     direct_replay, replay_bytes, replay_reader, BranchReplay, ReplayConfig, ReplayResult,
 };
 pub use error::{ReplayError, Result};
+pub use fault::FaultPlan;
 pub use manifest::{Manifest, TraceEntry, MANIFEST_FILE, MANIFEST_HEADER};

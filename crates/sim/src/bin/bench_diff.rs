@@ -1,7 +1,8 @@
-//! Regression diff for `BENCH_*.json` artifacts.
+//! Regression diff for `BENCH_*.json` artifacts and cell stores.
 //!
 //! ```text
 //! bench_diff OLD.json NEW.json [--tolerance PCT]
+//! bench_diff --store OLD_DIR NEW_DIR [--tolerance PCT]
 //! ```
 //!
 //! Compares the accuracy/performance metrics of two benchmark reports —
@@ -9,6 +10,18 @@
 //! `misp` — and exits non-zero when any metric drifted by more than the
 //! tolerance (default 1 %). Wall-clock, thread-count and scale fields
 //! are ignored: they are environment, not results.
+//!
+//! Exit codes are distinct so CI can tell *what kind* of failure it saw:
+//! `0` no drift, `1` drift beyond tolerance, `2` usage error, `3` bad
+//! input (missing, empty, or unparseable report / store). A missing or
+//! truncated artifact gets a one-line diagnostic naming the file and the
+//! problem, never a panic.
+//!
+//! `--store` diffs two incremental cell stores (see `sim::store`)
+//! field-by-field instead of two JSON reports: cells are matched by
+//! their canonical key, every numeric payload field is compared, and
+//! cells present on only one side are warnings (grids legitimately grow
+//! across commits).
 //!
 //! Array-of-object entries are matched by their `configuration`/`bench`
 //! label when one is present (so a re-ranked tournament still diffs the
@@ -19,7 +32,15 @@
 //! CI's nightly `grid-soak` job downloads the previous run's artifacts
 //! and fails on drift (see `.github/workflows/ci.yml`).
 
+use std::path::Path;
 use std::process::ExitCode;
+
+use sim::{decode_numeric, CellStore};
+
+/// Exit code for inputs that could not be read or parsed (distinct from
+/// drift = 1 and usage = 2, so CI can distinguish "results regressed"
+/// from "artifact never materialised").
+const EXIT_BAD_INPUT: u8 = 3;
 
 /// A minimal JSON value — the reports are written by this workspace, so
 /// the parser favours clarity over completeness (no escapes beyond
@@ -247,8 +268,94 @@ fn metrics(value: &Json, path: &str, out: &mut Vec<(String, f64)>) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_diff OLD.json NEW.json [--tolerance PCT]");
+    eprintln!(
+        "usage: bench_diff OLD.json NEW.json [--tolerance PCT]\n       \
+         bench_diff --store OLD_DIR NEW_DIR [--tolerance PCT]"
+    );
     ExitCode::from(2)
+}
+
+/// Loads one JSON report side as `path -> value` metric leaves, with a
+/// one-line diagnostic (and no panic) for every way the artifact can be
+/// bad: missing, unreadable, empty, or unparseable.
+fn load_report(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("bench_diff: cannot read {path}: {err}"))?;
+    if text.trim().is_empty() {
+        return Err(format!(
+            "bench_diff: {path} is empty (interrupted run or truncated write?)"
+        ));
+    }
+    let v = parse(&text).map_err(|err| format!("bench_diff: {path}: {err}"))?;
+    let mut m = Vec::new();
+    metrics(&v, "", &mut m);
+    Ok(m)
+}
+
+/// Loads one cell-store side as `key.field -> value` numeric leaves.
+fn load_store(dir: &str) -> Result<Vec<(String, f64)>, String> {
+    let path = Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("bench_diff: store {dir} does not exist"));
+    }
+    let store = CellStore::open(path)
+        .map_err(|err| format!("bench_diff: cannot open store {dir}: {err}"))?;
+    let entries = store
+        .entries()
+        .map_err(|err| format!("bench_diff: cannot scan store {dir}: {err}"))?;
+    if entries.is_empty() {
+        return Err(format!("bench_diff: store {dir} contains no cells"));
+    }
+    let mut out = Vec::new();
+    for entry in entries {
+        for (field, value) in &entry.fields {
+            if let Some(n) = decode_numeric(value) {
+                out.push((format!("{}.{field}", entry.key), n));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Compares two flattened metric sides and prints the drift report.
+fn diff_sides(
+    old_side: &[(String, f64)],
+    new_side: &[(String, f64)],
+    old_path: &str,
+    new_path: &str,
+    tolerance: f64,
+) -> ExitCode {
+    let mut drifted = 0usize;
+    let mut compared = 0usize;
+    for (key, old) in old_side {
+        let Some((_, new)) = new_side.iter().find(|(k, _)| k == key) else {
+            eprintln!("warning: {key} only in {old_path}");
+            continue;
+        };
+        compared += 1;
+        let base = old.abs().max(1e-9);
+        let drift = (new - old).abs() / base * 100.0;
+        if drift > tolerance {
+            drifted += 1;
+            println!("DRIFT {key}: {old:.4} -> {new:.4} ({drift:+.2}%)");
+        }
+    }
+    for (key, _) in new_side {
+        if !old_side.iter().any(|(k, _)| k == key) {
+            eprintln!("warning: {key} only in {new_path}");
+        }
+    }
+
+    println!(
+        "bench_diff: {compared} metric(s) compared, {drifted} drifted beyond {tolerance}% \
+         ({old_path} -> {new_path})"
+    );
+    if drifted > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -264,64 +371,29 @@ fn main() -> ExitCode {
         }
         args.remove(pos);
     }
+    let store_mode = args
+        .iter()
+        .position(|a| a == "--store")
+        .map(|pos| args.remove(pos))
+        .is_some();
     let [old_path, new_path] = args.as_slice() else {
         return usage();
     };
 
+    let load = if store_mode { load_store } else { load_report };
     let mut sides = Vec::new();
     for path in [old_path, new_path] {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(err) => {
-                eprintln!("bench_diff: cannot read {path}: {err}");
-                return ExitCode::from(2);
-            }
-        };
-        match parse(&text) {
-            Ok(v) => {
-                let mut m = Vec::new();
-                metrics(&v, "", &mut m);
-                sides.push(m);
-            }
-            Err(err) => {
-                eprintln!("bench_diff: {path}: {err}");
-                return ExitCode::from(2);
+        match load(path) {
+            Ok(m) => sides.push(m),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(EXIT_BAD_INPUT);
             }
         }
     }
     let new_side = sides.pop().expect("two sides parsed");
     let old_side = sides.pop().expect("two sides parsed");
-
-    let mut drifted = 0usize;
-    let mut compared = 0usize;
-    for (key, old) in &old_side {
-        let Some((_, new)) = new_side.iter().find(|(k, _)| k == key) else {
-            eprintln!("warning: {key} only in {old_path}");
-            continue;
-        };
-        compared += 1;
-        let base = old.abs().max(1e-9);
-        let drift = (new - old).abs() / base * 100.0;
-        if drift > tolerance {
-            drifted += 1;
-            println!("DRIFT {key}: {old:.4} -> {new:.4} ({drift:+.2}%)");
-        }
-    }
-    for (key, _) in &new_side {
-        if !old_side.iter().any(|(k, _)| k == key) {
-            eprintln!("warning: {key} only in {new_path}");
-        }
-    }
-
-    println!(
-        "bench_diff: {compared} metric(s) compared, {drifted} drifted beyond {tolerance}% \
-         ({old_path} -> {new_path})"
-    );
-    if drifted > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    diff_sides(&old_side, &new_side, old_path, new_path, tolerance)
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! The experiment runner.
 //!
 //! ```text
-//! experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list
+//! experiments [--csv DIR] [--threads N] [--json FILE]
+//!             [--store DIR | --resume] <id>... | all | list
 //! experiments --list
 //!
 //!   SCALE=2              double the per-benchmark uop budget
@@ -9,6 +10,9 @@
 //!   THREADS=8            default worker count (--threads overrides)
 //!   TUNE_PRESET=quick    search space for the `tune` experiment
 //!                        (headline | quick | wide; default headline)
+//!   CELL_STORE=DIR       same as --store DIR
+//!   FAULT_PLAN=SPEC      deterministic fault injection (testing only;
+//!                        see `replay::fault`)
 //! ```
 //!
 //! `--list` (or the `list` subcommand) enumerates every runnable
@@ -23,17 +27,30 @@
 //! headline metrics. The `tracecmp` and `tune` experiments additionally
 //! write their own thread-count-independent reports
 //! (`BENCH_tracecmp.json`, `BENCH_tune.json`).
+//!
+//! `--store DIR` (or `--resume`, which defaults the directory to
+//! `.cellstore`) backs the run with a crash-safe incremental cell store:
+//! every (spec × benchmark × config) cell persists its result to disk
+//! under a content hash, so a killed run picks up where it left off —
+//! re-runs recompute only the missing cells and produce byte-identical
+//! artifacts.
 
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 use sim::experiments::headline::HeadlineMetrics;
 use sim::experiments::{all, by_id, ExpEnv, Experiment};
+use sim::CellStore;
 
 const DEFAULT_JSON_PATH: &str = "BENCH_headline.json";
+const DEFAULT_STORE_DIR: &str = ".cellstore";
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--csv DIR] [--threads N] [--json FILE] <id>... | all | list");
+    eprintln!(
+        "usage: experiments [--csv DIR] [--threads N] [--json FILE] [--store DIR | --resume] \
+         <id>... | all | list"
+    );
     eprintln!("       experiments --list   (enumerate experiments and benchmarks)");
     eprintln!("experiments:");
     for e in all() {
@@ -74,6 +91,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(pos + 1);
     args.remove(pos);
     Some(value)
+}
+
+/// Removes a bare `--flag` switch from `args`, reporting its presence.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
 }
 
 struct Timing {
@@ -155,6 +183,9 @@ fn main() {
         .unwrap_or_else(|| DEFAULT_JSON_PATH.to_string());
     let threads =
         take_flag(&mut args, "--threads").map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()));
+    let resume = take_switch(&mut args, "--resume");
+    let store_dir =
+        take_flag(&mut args, "--store").or_else(|| resume.then(|| DEFAULT_STORE_DIR.to_string()));
     if args.is_empty() {
         usage();
     }
@@ -174,6 +205,17 @@ fn main() {
     let mut env = ExpEnv::from_env();
     if let Some(t) = threads {
         env = env.with_threads(t);
+    }
+    let store: Option<Arc<CellStore>> = store_dir.map(|dir| {
+        let store = CellStore::open(dir.as_ref()).unwrap_or_else(|e| {
+            eprintln!("experiments: cannot open cell store {dir}: {e}");
+            std::process::exit(2);
+        });
+        Arc::new(store)
+    });
+    if let Some(s) = &store {
+        env = env.with_store(Arc::clone(s));
+        eprintln!("# cell store: {}", s.dir().display());
     }
     eprintln!(
         "# running {} experiment(s), scale {}, bench set {:?}, {} thread(s)",
@@ -229,5 +271,14 @@ fn main() {
             Ok(()) => eprintln!("# wrote {json_path}"),
             Err(err) => eprintln!("# could not write {json_path}: {err}"),
         }
+    }
+
+    if let Some(s) = &store {
+        eprintln!(
+            "# cell store: {} hit(s), {} computed ({})",
+            s.hits(),
+            s.misses(),
+            s.dir().display()
+        );
     }
 }

@@ -18,14 +18,19 @@
 //! cross-checks each snapshot walk against its trace. Recording, replay
 //! and verification all fan out through the deterministic parallel grid
 //! runner, so results are identical for any `--threads` value.
+//!
+//! `replay` and `verify` degrade gracefully: a corrupt or truncated
+//! trace is *quarantined* — listed with its failure reason under the
+//! report — while every healthy trace still replays and pools. Only a
+//! corpus with zero readable traces exits non-zero.
 
 use std::path::{Path, PathBuf};
 
 use bptrace::{BranchProfile, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 use predictors::DirectionPredictor;
 use replay::{
-    open_trace, record_benchmark, replay_reader, verify_entry, Manifest, ReplayConfig,
-    ReplayResult, TraceEntry,
+    open_trace, record_benchmark, replay_reader, verify_entry, Manifest, QuarantineEntry,
+    ReplayConfig, ReplayResult, TraceEntry,
 };
 use sim::experiments::common::select_benchmarks;
 use sim::experiments::tracecmp::conventional_lineup;
@@ -230,22 +235,43 @@ fn cmd_replay(mut args: Vec<String>) {
         manifest.entries.len(),
         lineup.len()
     );
-    let results: Vec<ReplayResult> = par_map(&cells, threads, |_, &(p, t)| {
+    let results: Vec<Result<ReplayResult, String>> = par_map(&cells, threads, |_, &(p, t)| {
         let entry = &manifest.entries[t];
         let mut predictor = lineup[p].clone();
         let cfg = ReplayConfig::with_budget(entry.uop_budget);
-        let mut reader =
-            open_trace(&dir, entry).unwrap_or_else(|e| fail(&format!("{}: {e}", entry.name)));
-        replay_reader(&mut reader, &mut predictor, &cfg)
-            .unwrap_or_else(|e| fail(&format!("replaying {}: {e}", entry.name)))
+        let mut reader = open_trace(&dir, entry).map_err(|e| format!("opening trace: {e}"))?;
+        replay_reader(&mut reader, &mut predictor, &cfg).map_err(|e| format!("replaying: {e}"))
     });
 
+    // A trace whose replay failed under *any* predictor is quarantined:
+    // the remaining traces still pool, so one rotten `.bt` degrades the
+    // report instead of aborting it.
     let traces = manifest.entries.len();
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut alive: Vec<usize> = Vec::new();
+    for (t, entry) in manifest.entries.iter().enumerate() {
+        match (0..lineup.len()).find_map(|p| results[p * traces + t].as_ref().err()) {
+            Some(e) => quarantine.push(QuarantineEntry {
+                trace: entry.name.clone(),
+                reason: e.clone(),
+            }),
+            None => alive.push(t),
+        }
+    }
+    if alive.is_empty() {
+        fail("every trace failed to replay (corpus unreadable?)");
+    }
+
+    let cell = |p: usize, t: usize| -> &ReplayResult {
+        results[p * traces + t]
+            .as_ref()
+            .expect("quarantined traces were filtered out")
+    };
     let mut pooled: Vec<(usize, f64, f64)> = lineup
         .iter()
         .enumerate()
         .map(|(p, _)| {
-            let row = &results[p * traces..(p + 1) * traces];
+            let row: Vec<&ReplayResult> = alive.iter().map(|&t| cell(p, t)).collect();
             let uops: u64 = row.iter().map(|r| r.measured_uops).sum();
             let conds: u64 = row.iter().map(|r| r.measured_conditionals).sum();
             let misp: u64 = row.iter().map(|r| r.mispredicts).sum();
@@ -282,7 +308,22 @@ fn cmd_replay(mut args: Vec<String>) {
         ]);
     }
     t.note("hybrids need snapshot re-execution (paper §6): run `experiments tracecmp`");
+    if !quarantine.is_empty() {
+        t.note(format!(
+            "{} of {} trace(s) quarantined and excluded from pooling",
+            quarantine.len(),
+            traces
+        ));
+    }
     println!("{}", t.render());
+
+    if !quarantine.is_empty() {
+        println!("quarantined traces:");
+        for q in &quarantine {
+            println!("  {:<10} {}", q.trace, q.reason);
+        }
+        println!();
+    }
 
     // Per-trace H2P flags under the winning predictor.
     let winner = pooled.first().map_or(0, |(p, _, _)| *p);
@@ -290,8 +331,9 @@ fn cmd_replay(mut args: Vec<String>) {
         "hardest branches per trace under {} (top {top}):",
         lineup[winner].name()
     );
-    for (ti, entry) in manifest.entries.iter().enumerate() {
-        let r = &results[winner * traces + ti];
+    for &ti in &alive {
+        let entry = &manifest.entries[ti];
+        let r = cell(winner, ti);
         let hard = r.h2p_branches(top);
         let summary: Vec<String> = hard
             .iter()
@@ -319,18 +361,33 @@ fn cmd_verify(mut args: Vec<String>) {
     let outcomes: Vec<Option<String>> = par_map(&manifest.entries, threads, |_, entry| {
         verify_entry(&dir, entry).err().map(|e| e.to_string())
     });
-    let mut failures = 0;
+    let quarantine: Vec<QuarantineEntry> = manifest
+        .entries
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(entry, outcome)| {
+            outcome.as_ref().map(|e| QuarantineEntry {
+                trace: entry.name.clone(),
+                reason: e.clone(),
+            })
+        })
+        .collect();
     for (entry, outcome) in manifest.entries.iter().zip(&outcomes) {
         match outcome {
             None => println!("{:<10} ok", entry.name),
-            Some(e) => {
-                println!("{:<10} FAIL: {e}", entry.name);
-                failures += 1;
-            }
+            Some(e) => println!("{:<10} QUARANTINE: {e}", entry.name),
         }
     }
-    if failures > 0 {
-        fail(&format!("{failures} corpus entr(ies) failed verification"));
+    if !quarantine.is_empty() {
+        println!("\nquarantined traces:");
+        for q in &quarantine {
+            println!("  {:<10} {}", q.trace, q.reason);
+        }
+        fail(&format!(
+            "{} of {} corpus entr(ies) quarantined",
+            quarantine.len(),
+            manifest.entries.len()
+        ));
     }
     eprintln!("# {} entries verified", manifest.entries.len());
 }

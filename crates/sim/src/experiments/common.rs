@@ -17,14 +17,30 @@
 //! seeded, so any thread count produces bit-identical `AccuracyResult`s
 //! to the sequential path ([`pooled_accuracy_seq`] is kept as the
 //! reference and the determinism tests compare against it).
+//!
+//! Two robustness layers sit underneath (both inert by default):
+//!
+//! * **Checkpoint/resume.** When [`ExpEnv::store`] holds a
+//!   [`CellStore`], every grid cell is looked up by content hash before
+//!   simulating and persisted after — so a rerun of a killed grid only
+//!   recomputes missing cells (see `sim::store`).
+//! * **Panic isolation.** The `*_checked` grid variants route through
+//!   [`try_par_map`]: a panicking cell becomes a recorded
+//!   [`CellFailure`] while the rest of the grid completes. The plain
+//!   variants keep the all-or-nothing contract but now name the cell
+//!   that died. [`ExpEnv::fault`] injects scheduled panics for tests.
+
+use std::sync::Arc;
 
 use prophet_critic::HybridSpec;
+use replay::FaultPlan;
 use workloads::{all_benchmarks, Benchmark, Program, Suite};
 
 use crate::accuracy::{run_accuracy, SimConfig};
 use crate::cycle::{run_cycles, CycleConfig, CycleResult};
 use crate::metrics::AccuracyResult;
-use crate::runner::{default_threads, par_map};
+use crate::runner::{default_threads, par_map, try_par_map, CellFailure};
+use crate::store::{CellKey, CellPayload, CellStore};
 
 /// Default committed-uop budget per benchmark at `SCALE=1`.
 pub const BASE_UOPS: u64 = 1_200_000;
@@ -69,7 +85,12 @@ pub fn select_benchmarks(set: BenchSet) -> Vec<Benchmark> {
 /// * `EXP_BENCH` — `fast` (default) or `all`.
 /// * `THREADS` — worker threads for the grid runner (default: all cores;
 ///   the `experiments` binary's `--threads` flag overrides it).
-#[derive(Copy, Clone, Debug)]
+/// * `CELL_STORE` — directory of the incremental cell store (default:
+///   none; the `experiments` binary's `--store`/`--resume` flags
+///   override it).
+/// * `FAULT_PLAN` — a fault-injection spec ([`FaultPlan::from_spec`];
+///   default: inert).
+#[derive(Clone, Debug)]
 pub struct ExpEnv {
     /// Budget multiplier.
     pub scale: f64,
@@ -77,11 +98,21 @@ pub struct ExpEnv {
     pub bench_set: BenchSet,
     /// Worker threads for grid fan-out (1 = sequential).
     pub threads: usize,
+    /// Incremental cell store; `None` recomputes everything.
+    pub store: Option<Arc<CellStore>>,
+    /// Fault-injection plan; inert by default.
+    pub fault: FaultPlan,
 }
 
 impl ExpEnv {
-    /// Reads `SCALE`, `EXP_BENCH` and `THREADS` from the process
-    /// environment.
+    /// Reads `SCALE`, `EXP_BENCH`, `THREADS`, `CELL_STORE` and
+    /// `FAULT_PLAN` from the process environment.
+    ///
+    /// # Panics
+    ///
+    /// If `CELL_STORE` names a directory that cannot be created or read,
+    /// or `FAULT_PLAN` is malformed — both are explicit opt-ins, and
+    /// silently dropping them would fake the robustness they test.
     #[must_use]
     pub fn from_env() -> Self {
         let scale = std::env::var("SCALE")
@@ -93,10 +124,19 @@ impl ExpEnv {
             Ok("all") => BenchSet::All,
             _ => BenchSet::Fast,
         };
+        let store = std::env::var("CELL_STORE").ok().map(|dir| {
+            let dir = std::path::PathBuf::from(dir);
+            Arc::new(
+                CellStore::open(&dir)
+                    .unwrap_or_else(|e| panic!("CELL_STORE {}: {e}", dir.display())),
+            )
+        });
         Self {
             scale,
             bench_set,
             threads: default_threads(),
+            store,
+            fault: FaultPlan::from_env(),
         }
     }
 
@@ -109,6 +149,8 @@ impl ExpEnv {
             scale: 0.08,
             bench_set: BenchSet::Fast,
             threads: 2,
+            store: None,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -116,6 +158,20 @@ impl ExpEnv {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// This environment backed by an incremental cell store.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<CellStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// This environment under a fault-injection plan.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -161,32 +217,107 @@ impl ExpEnv {
     }
 }
 
+/// Runs `compute` through the environment's cell store, if any: a valid
+/// stored record short-circuits the simulation; a fresh result is
+/// persisted (atomically) for the next run. Storeless environments just
+/// compute.
+///
+/// A failed store *write* only warns — losing one checkpoint must not
+/// kill a healthy grid.
+pub fn cached<R: CellPayload>(env: &ExpEnv, key: &CellKey, compute: impl FnOnce() -> R) -> R {
+    let Some(store) = &env.store else {
+        return compute();
+    };
+    if let Some(hit) = store.get::<R>(key) {
+        return hit;
+    }
+    let result = compute();
+    if let Err(e) = store.put(key, &result) {
+        eprintln!(
+            "warning: cell store write failed for {}: {e}",
+            key.canonical()
+        );
+    }
+    result
+}
+
+fn abort_on_failures(what: &str, failures: &[CellFailure]) {
+    if let Some(first) = failures.first() {
+        panic!(
+            "{} of the {what} grid's cells failed; first failure: {first}",
+            failures.len()
+        );
+    }
+}
+
+fn into_rows<R>(flat: Vec<Option<R>>, rows: usize, cols: usize) -> Vec<Vec<Option<R>>> {
+    let mut out: Vec<Vec<Option<R>>> = Vec::with_capacity(rows);
+    let mut it = flat.into_iter();
+    for _ in 0..rows {
+        out.push(it.by_ref().take(cols).collect());
+    }
+    out
+}
+
+/// The fault-isolating form of [`run_matrix`]: simulates every
+/// `spec × program` cell in parallel, resolving cells through the
+/// environment's store and catching per-cell panics. Returns the grid as
+/// `[spec index][program index]` (`None` marks a failed cell) plus the
+/// failures, sorted by cell index — both deterministic for any thread
+/// count.
+#[must_use]
+pub fn run_matrix_checked(
+    specs: &[HybridSpec],
+    programs: &[(Benchmark, Program)],
+    env: &ExpEnv,
+) -> (Vec<Vec<Option<AccuracyResult>>>, Vec<CellFailure>) {
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..programs.len()).map(move |p| (s, p)))
+        .collect();
+    let label = |_: usize, &(s, p): &(usize, usize)| {
+        format!("{} × {}", specs[s].label(), programs[p].0.name)
+    };
+    let (flat, failures) = try_par_map(&cells, env.threads, label, |i, &(s, p)| {
+        let (bench, program) = &programs[p];
+        env.fault.panic_if_scheduled(&label(i, &(s, p)));
+        let key = CellKey::new(
+            "accuracy",
+            &format!("{:?} × {}", specs[s], bench.name),
+            bench.seed,
+            env.uop_budget(),
+        );
+        cached(env, &key, || {
+            let mut hybrid = specs[s].build();
+            run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed))
+        })
+    });
+    (into_rows(flat, specs.len(), programs.len()), failures)
+}
+
 /// Simulates every `spec × program` cell of the grid in parallel and
 /// returns the results as `[spec index][program index]`, in input order.
 ///
 /// This is the engine behind every figure module: a whole experiment's
 /// spec list goes in at once so the fan-out covers the full grid rather
-/// than one row at a time.
+/// than one row at a time. Cells resolve through the environment's cell
+/// store when one is configured.
+///
+/// # Panics
+///
+/// If any cell panics, with a message naming the failed cell
+/// (spec × benchmark) and its worker. Callers that must survive failed
+/// cells use [`run_matrix_checked`].
 #[must_use]
 pub fn run_matrix(
     specs: &[HybridSpec],
     programs: &[(Benchmark, Program)],
     env: &ExpEnv,
 ) -> Vec<Vec<AccuracyResult>> {
-    let cells: Vec<(usize, usize)> = (0..specs.len())
-        .flat_map(|s| (0..programs.len()).map(move |p| (s, p)))
-        .collect();
-    let flat = par_map(&cells, env.threads, |_, &(s, p)| {
-        let (bench, program) = &programs[p];
-        let mut hybrid = specs[s].build();
-        run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed))
-    });
-    let mut rows: Vec<Vec<AccuracyResult>> = Vec::with_capacity(specs.len());
-    let mut it = flat.into_iter();
-    for _ in 0..specs.len() {
-        rows.push(it.by_ref().take(programs.len()).collect());
-    }
-    rows
+    let (rows, failures) = run_matrix_checked(specs, programs, env);
+    abort_on_failures("accuracy", &failures);
+    rows.into_iter()
+        .map(|row| row.into_iter().map(Option::unwrap).collect())
+        .collect()
 }
 
 /// Runs every spec over the program set in parallel and pools each spec's
@@ -225,7 +356,7 @@ pub fn pooled_accuracy_par(
     env: &ExpEnv,
     threads: usize,
 ) -> AccuracyResult {
-    pooled_accuracy(spec, programs, &env.with_threads(threads))
+    pooled_accuracy(spec, programs, &env.clone().with_threads(threads))
 }
 
 /// The strictly sequential reference implementation of
@@ -268,31 +399,60 @@ pub fn cycle_cfg(env: &ExpEnv, bench: &Benchmark) -> CycleConfig {
         .data(crate::experiments::upc::suite_data_profile(bench.suite))
 }
 
+/// The fault-isolating form of [`cycle_grid`]: same grid, cells resolve
+/// through the environment's store, per-cell panics become recorded
+/// [`CellFailure`]s (`None` in the grid).
+#[must_use]
+pub fn cycle_grid_checked(
+    env: &ExpEnv,
+    specs: &[HybridSpec],
+    benches: &[Benchmark],
+) -> (Vec<Vec<Option<CycleResult>>>, Vec<CellFailure>) {
+    let programs: Vec<_> = par_map(benches, env.threads, |_, b| b.program());
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..benches.len()).map(move |b| (s, b)))
+        .collect();
+    let label = |_: usize, &(s, b): &(usize, usize)| {
+        format!("cycle {} × {}", specs[s].label(), benches[b].name)
+    };
+    let (flat, failures) = try_par_map(&cells, env.threads, label, |i, &(s, b)| {
+        env.fault.panic_if_scheduled(&label(i, &(s, b)));
+        let bench = &benches[b];
+        let key = CellKey::new(
+            "cycle",
+            &format!("{:?} × {}", specs[s], bench.name),
+            bench.seed,
+            env.uop_budget(),
+        );
+        cached(env, &key, || {
+            let mut hybrid = specs[s].build();
+            run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, bench))
+        })
+    });
+    (into_rows(flat, specs.len(), benches.len()), failures)
+}
+
 /// Runs every `spec × bench` cycle-model cell on the parallel engine and
 /// returns the results as `[spec index][bench index]`, in input order.
 /// Programs are synthesized once per benchmark and shared across spec
 /// cells. (The `upc` and `headline` experiments share this grid; the
 /// determinism tests pin it parallel == sequential.)
+///
+/// # Panics
+///
+/// If any cell panics, naming the failed cell; see [`cycle_grid_checked`]
+/// for the tolerant form.
 #[must_use]
 pub fn cycle_grid(
     env: &ExpEnv,
     specs: &[HybridSpec],
     benches: &[Benchmark],
 ) -> Vec<Vec<CycleResult>> {
-    let programs: Vec<_> = par_map(benches, env.threads, |_, b| b.program());
-    let cells: Vec<(usize, usize)> = (0..specs.len())
-        .flat_map(|s| (0..benches.len()).map(move |b| (s, b)))
-        .collect();
-    let flat = par_map(&cells, env.threads, |_, &(s, b)| {
-        let mut hybrid = specs[s].build();
-        run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, &benches[b]))
-    });
-    let mut rows: Vec<Vec<CycleResult>> = Vec::with_capacity(specs.len());
-    let mut it = flat.into_iter();
-    for _ in 0..specs.len() {
-        rows.push(it.by_ref().take(benches.len()).collect());
-    }
-    rows
+    let (rows, failures) = cycle_grid_checked(env, specs, benches);
+    abort_on_failures("cycle", &failures);
+    rows.into_iter()
+        .map(|row| row.into_iter().map(Option::unwrap).collect())
+        .collect()
 }
 
 /// Runs `spec` on a single program.

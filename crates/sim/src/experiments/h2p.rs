@@ -29,10 +29,12 @@ use bptrace::{BranchProfile, BtReader, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 use predictors::configs::{self, Budget};
 use prophet_critic::HybridSpec;
 use replay::{record_trace, replay_bytes, ReplayConfig};
+use workloads::{Benchmark, Program};
 
 use crate::accuracy::run_accuracy_observed;
-use crate::experiments::common::ExpEnv;
-use crate::runner::par_map;
+use crate::experiments::common::{cached, ExpEnv};
+use crate::runner::{try_par_map, CellFailure};
+use crate::store::{CellKey, CellPayload};
 use crate::table::{f2, pct, Table};
 
 /// Default path of the machine-readable report.
@@ -97,13 +99,60 @@ pub fn hybrid_spec() -> HybridSpec {
     HybridSpec::tuned_headline()
 }
 
-/// Computes every benchmark's H2P slice, one `par_map` cell each.
+/// Computes every benchmark's H2P slice with fault isolation: one cell
+/// per benchmark, resolved through the environment's cell store, panics
+/// recorded as [`CellFailure`]s (`None` in the result vector). Both
+/// vectors are deterministic for any thread count.
 #[must_use]
-pub fn h2p_benches(env: &ExpEnv) -> Vec<H2pBench> {
+pub fn h2p_benches_checked(env: &ExpEnv) -> (Vec<Option<H2pBench>>, Vec<CellFailure>) {
     let programs = env.programs();
     let budget = env.uop_budget();
     let spec = hybrid_spec();
-    par_map(&programs, env.threads, |_, (bench, program)| {
+    let baseline = crate::tune::baseline_spec();
+    let label = |_: usize, (bench, _): &(Benchmark, Program)| format!("h2p × {}", bench.name);
+    try_par_map(&programs, env.threads, label, |i, cell| {
+        let (bench, program) = cell;
+        env.fault.panic_if_scheduled(&label(i, cell));
+        let key = CellKey::new(
+            "h2p",
+            &format!("{baseline:?} vs {spec:?} × {}", bench.name),
+            bench.seed,
+            budget,
+        );
+        cached(env, &key, || {
+            h2p_one_bench(env, bench, program, &spec, budget)
+        })
+    })
+}
+
+/// Computes every benchmark's H2P slice, one grid cell each.
+///
+/// # Panics
+///
+/// If any cell panics, naming the failed cell; see
+/// [`h2p_benches_checked`] for the tolerant form.
+#[must_use]
+pub fn h2p_benches(env: &ExpEnv) -> Vec<H2pBench> {
+    let (cells, failures) = h2p_benches_checked(env);
+    if let Some(first) = failures.first() {
+        panic!(
+            "{} of the h2p grid's cells failed; first failure: {first}",
+            failures.len()
+        );
+    }
+    cells.into_iter().map(Option::unwrap).collect()
+}
+
+/// One benchmark's full H2P pipeline (record → flag → replay baseline →
+/// re-execute hybrid → per-static deltas).
+fn h2p_one_bench(
+    env: &ExpEnv,
+    bench: &Benchmark,
+    program: &Program,
+    spec: &HybridSpec,
+    budget: u64,
+) -> H2pBench {
+    {
         let mut bt = Vec::new();
         record_trace(program, bench.seed, budget, &mut bt)
             .expect("in-memory recording cannot fail");
@@ -174,14 +223,80 @@ pub fn h2p_benches(env: &ExpEnv) -> Vec<H2pBench> {
             hybrid_misp,
             worst: statics,
         }
-    })
+    }
+}
+
+impl CellPayload for H2pBench {
+    fn to_cell_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "bench={}\nh2p_statics={}\nh2p_occurrences={}\nbaseline_misp={}\nhybrid_misp={}\n",
+            self.bench,
+            self.h2p_statics,
+            self.h2p_occurrences,
+            self.baseline_misp,
+            self.hybrid_misp
+        );
+        for s in &self.worst {
+            out.push_str(&format!(
+                "worst={},{},f:{:016x},{},{}\n",
+                s.pc,
+                s.occurrences,
+                s.taken_rate.to_bits(),
+                s.baseline_misp,
+                s.hybrid_misp
+            ));
+        }
+        out.into_bytes()
+    }
+
+    fn from_cell_bytes(bytes: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut fields: HashMap<&str, &str> = HashMap::new();
+        let mut worst = Vec::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once('=')?;
+            if k == "worst" {
+                let mut parts = v.split(',');
+                let pc = parts.next()?.parse().ok()?;
+                let occurrences = parts.next()?.parse().ok()?;
+                let taken_bits = u64::from_str_radix(parts.next()?.strip_prefix("f:")?, 16).ok()?;
+                let baseline_misp = parts.next()?.parse().ok()?;
+                let hybrid_misp = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                worst.push(H2pStatic {
+                    pc,
+                    occurrences,
+                    taken_rate: f64::from_bits(taken_bits),
+                    baseline_misp,
+                    hybrid_misp,
+                });
+            } else {
+                fields.insert(k, v);
+            }
+        }
+        Some(Self {
+            bench: (*fields.get("bench")?).to_string(),
+            h2p_statics: fields.get("h2p_statics")?.parse().ok()?,
+            h2p_occurrences: fields.get("h2p_occurrences")?.parse().ok()?,
+            baseline_misp: fields.get("baseline_misp")?.parse().ok()?,
+            hybrid_misp: fields.get("hybrid_misp")?.parse().ok()?,
+            worst,
+        })
+    }
 }
 
 /// Runs the experiment and also returns the machine-readable JSON
 /// report (thread-count independent by construction).
+///
+/// Failed cells (e.g. under fault injection) drop out of the tables and
+/// are listed in a `failed_cells` JSON section — which is emitted only
+/// when non-empty, so clean runs stay byte-identical to earlier builds.
 #[must_use]
 pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
-    let benches = h2p_benches(env);
+    let (cells, failures) = h2p_benches_checked(env);
+    let benches: Vec<H2pBench> = cells.into_iter().flatten().collect();
     let spec = hybrid_spec();
 
     let mut per_bench = Table::new(
@@ -220,6 +335,9 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         "positive reduction: the critic repairs that benchmark's hard statics \
          (Bullseye-style slice, arXiv:2506.06773)",
     );
+    for f in &failures {
+        per_bench.note(format!("FAILED CELL '{}': {}", f.label, f.reason));
+    }
 
     // The hardest statics across the whole corpus.
     let mut worst: Vec<(&str, &H2pStatic)> = benches
@@ -285,7 +403,24 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         }
         json.push_str(&format!("]}}{comma}\n"));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if failures.is_empty() {
+        json.push('\n');
+    } else {
+        // Deterministic across `--threads`: sorted by cell index, worker
+        // IDs deliberately excluded.
+        json.push_str(",\n  \"failed_cells\": [\n");
+        for (i, f) in failures.iter().enumerate() {
+            let comma = if i + 1 < failures.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"label\": \"{}\", \"reason\": \"{}\"}}{comma}\n",
+                crate::table::json_escape(&f.label),
+                crate::table::json_escape(&f.reason)
+            ));
+        }
+        json.push_str("  ]\n");
+    }
+    json.push_str("}\n");
 
     (vec![per_bench, worst_t], json)
 }

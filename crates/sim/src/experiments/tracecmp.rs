@@ -26,23 +26,36 @@
 //!    summary, and (from the `run` entry point) writes
 //!    `BENCH_tracecmp.json`.
 //!
-//! Every stage fans through [`par_map`] with input-ordered collection, so
-//! the report is bit-identical for any thread count — pinned by
-//! `crates/sim/tests/tracecmp.rs`.
+//! Every stage fans through the deterministic grid runner with
+//! input-ordered collection, so the report is bit-identical for any
+//! thread count — pinned by `crates/sim/tests/tracecmp.rs`.
+//!
+//! **Graceful degradation.** Step 2 doubles as an integrity gate: a trace
+//! whose `.bt` bytes fail decoding, diverge from the snapshot walk, or
+//! come up short on record count (silent clean-boundary truncation — the
+//! format has no trailer) is **quarantined** — dropped from the
+//! tournament and listed in a `quarantine` report section — instead of
+//! aborting the run. Steps 3–5 run under per-cell panic isolation
+//! ([`try_par_map`]): a panicking cell becomes a `failed_cells` entry and
+//! its pool skips it. Both sections are deterministic across thread
+//! counts, and [`ExpEnv::fault`] can inject corruptions/panics to prove
+//! it (`crates/sim/tests/faultinject.rs`).
 
 use bptrace::{BtReader, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 use predictors::configs::{self, Budget};
 use predictors::{Bimodal, DirectionPredictor, GAs, Local, Yags};
 use prophet_critic::{AnyProphet, CriticKind, HybridSpec, ProphetKind};
-use replay::{cross_check_snapshot, record_trace, replay_bytes, ReplayConfig, ReplayResult};
+use replay::{
+    cross_check_snapshot, record_trace, replay_bytes, QuarantineEntry, ReplayConfig, ReplayResult,
+};
 use workloads::{Benchmark, Snapshot};
 
 use crate::accuracy::run_accuracy;
 use crate::cycle::{run_cycles, run_cycles_trace, CycleResult};
 use crate::experiments::common::{cycle_cfg, ExpEnv};
 use crate::metrics::AccuracyResult;
-use crate::runner::par_map;
-use crate::table::{f2, pct, Table};
+use crate::runner::{par_map, try_par_map, CellFailure};
+use crate::table::{f2, json_escape, pct, Table};
 
 /// Default path of the machine-readable tournament report.
 pub const JSON_PATH: &str = "BENCH_tracecmp.json";
@@ -93,6 +106,26 @@ struct RecordedTrace {
     bench: Benchmark,
     bt: Vec<u8>,
     pcl: Vec<u8>,
+    /// Record count captured at write time — the `.bt` format carries no
+    /// trailer, so a truncation at a clean record boundary is only
+    /// detectable by comparing against this.
+    records: u64,
+}
+
+/// Checks one recorded trace end-to-end: snapshot decode, trace decode,
+/// snapshot-vs-trace cross-check, and the record count against the count
+/// captured at write time.
+fn check_trace(t: &RecordedTrace) -> Result<(), String> {
+    let snap = Snapshot::read_from(t.pcl.as_slice()).map_err(|e| format!("snapshot: {e}"))?;
+    let reader = BtReader::new(t.bt.as_slice()).map_err(|e| format!("trace header: {e}"))?;
+    let records = cross_check_snapshot(reader, &snap).map_err(|e| e.to_string())?;
+    if records != t.records {
+        return Err(format!(
+            "record count {records} != {} captured at record time (truncated?)",
+            t.records
+        ));
+    }
+    Ok(())
 }
 
 /// One ranked tournament row.
@@ -104,10 +137,11 @@ struct Entrant {
     upc: f64,
 }
 
-/// Pooled uPC over a row of cycle results (total uops / total cycles).
-fn pooled_upc(row: &[CycleResult]) -> f64 {
-    let uops: u64 = row.iter().map(|r| r.committed_uops).sum();
-    let cycles: f64 = row.iter().map(|r| r.cycles).sum();
+/// Pooled uPC over a row of cycle results (total uops / total cycles);
+/// failed cells (`None`) drop out of the pool.
+fn pooled_upc(row: &[Option<CycleResult>]) -> f64 {
+    let uops: u64 = row.iter().flatten().map(|r| r.committed_uops).sum();
+    let cycles: f64 = row.iter().flatten().map(|r| r.cycles).sum();
     if cycles == 0.0 {
         0.0
     } else {
@@ -124,73 +158,122 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let budget = env.uop_budget();
     let replay_cfg = ReplayConfig::with_budget(budget);
 
-    // ---- 1. Record the corpus, one cell per benchmark.
-    let recorded: Vec<RecordedTrace> = par_map(&programs, env.threads, |_, (bench, program)| {
-        let mut bt = Vec::new();
-        record_trace(program, bench.seed, budget, &mut bt)
-            .expect("in-memory recording cannot fail");
-        let mut pcl = Vec::new();
-        Snapshot::new(program.clone(), bench.seed)
-            .write_to(&mut pcl)
-            .expect("in-memory snapshot write cannot fail");
-        RecordedTrace {
-            bench: bench.clone(),
-            bt,
-            pcl,
+    // ---- 1. Record the corpus, one cell per benchmark. The fault plan
+    // corrupts targeted traces *after* recording, exactly as bit rot or a
+    // torn write would on disk — the integrity gate below must catch it.
+    let all_recorded: Vec<RecordedTrace> =
+        par_map(&programs, env.threads, |_, (bench, program)| {
+            let mut bt = Vec::new();
+            let (records, _) = record_trace(program, bench.seed, budget, &mut bt)
+                .expect("in-memory recording cannot fail");
+            env.fault.corrupt_trace(&bench.name, &mut bt);
+            let mut pcl = Vec::new();
+            Snapshot::new(program.clone(), bench.seed)
+                .write_to(&mut pcl)
+                .expect("in-memory snapshot write cannot fail");
+            RecordedTrace {
+                bench: bench.clone(),
+                bt,
+                pcl,
+                records,
+            }
+        });
+
+    // ---- 2. Integrity gate: cross-check every trace against its
+    // snapshot and its record count; failures quarantine the trace
+    // instead of aborting the tournament.
+    let checks = par_map(&all_recorded, env.threads, |_, t| check_trace(t));
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut recorded: Vec<RecordedTrace> = Vec::with_capacity(all_recorded.len());
+    for (t, check) in all_recorded.into_iter().zip(checks) {
+        match check {
+            Ok(()) => recorded.push(t),
+            Err(reason) => quarantine.push(QuarantineEntry {
+                trace: t.bench.name.clone(),
+                reason,
+            }),
         }
-    });
+    }
 
-    // ---- 2. Cross-check: the snapshot walk must reproduce the trace.
-    par_map(&recorded, env.threads, |_, t| {
-        let snap = Snapshot::read_from(t.pcl.as_slice()).expect("snapshot round-trips");
-        let reader = BtReader::new(t.bt.as_slice()).expect("trace round-trips");
-        cross_check_snapshot(reader, &snap)
-            .expect("trace and snapshot must observe the same correct path");
-    });
+    let mut failures: Vec<CellFailure> = Vec::new();
 
-    // ---- 3. Conventional predictors replay the traces.
+    // ---- 3. Conventional predictors replay the surviving traces.
     let lineup = conventional_lineup();
     let conv_cells: Vec<(usize, usize)> = (0..lineup.len())
         .flat_map(|p| (0..recorded.len()).map(move |t| (p, t)))
         .collect();
-    let conv: Vec<ReplayResult> = par_map(&conv_cells, env.threads, |_, &(p, t)| {
-        let mut predictor = lineup[p].clone();
-        replay_bytes(&recorded[t].bt, &mut predictor, &replay_cfg)
-            .expect("in-memory trace is well-formed")
-    });
+    let conv_label = |_: usize, &(p, t): &(usize, usize)| {
+        format!(
+            "replay {} × {}",
+            size_label(&lineup[p]),
+            recorded[t].bench.name
+        )
+    };
+    let (conv, fails): (Vec<Option<ReplayResult>>, _) =
+        try_par_map(&conv_cells, env.threads, conv_label, |i, &(p, t)| {
+            env.fault.panic_if_scheduled(&conv_label(i, &(p, t)));
+            let mut predictor = lineup[p].clone();
+            replay_bytes(&recorded[t].bt, &mut predictor, &replay_cfg)
+                .expect("trace passed the integrity gate")
+        });
+    failures.extend(fails);
 
     // ---- 4. Hybrids re-execute from the snapshots (§6: no trace replay).
     let hybrids = hybrid_lineup();
     let hyb_cells: Vec<(usize, usize)> = (0..hybrids.len())
         .flat_map(|s| (0..recorded.len()).map(move |t| (s, t)))
         .collect();
-    let hyb: Vec<AccuracyResult> = par_map(&hyb_cells, env.threads, |_, &(s, t)| {
-        let snap = Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
-        let mut hybrid = hybrids[s].build();
-        run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
-    });
+    let hyb_label = |_: usize, &(s, t): &(usize, usize)| {
+        format!("exec {} × {}", hybrids[s].label(), recorded[t].bench.name)
+    };
+    let (hyb, fails): (Vec<Option<AccuracyResult>>, _) =
+        try_par_map(&hyb_cells, env.threads, hyb_label, |i, &(s, t)| {
+            env.fault.panic_if_scheduled(&hyb_label(i, &(s, t)));
+            let snap =
+                Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+            let mut hybrid = hybrids[s].build();
+            run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
+        });
+    failures.extend(fails);
 
     // ---- 5. Cycle-level timing on the shared pipeline engine: trace
     // feed for conventionals, snapshot execution for hybrids.
-    let conv_cycles: Vec<CycleResult> = par_map(&conv_cells, env.threads, |_, &(p, t)| {
-        let mut predictor = lineup[p].clone();
-        let mut reader =
-            BtReader::new(recorded[t].bt.as_slice()).expect("in-memory trace is well-formed");
-        run_cycles_trace(
-            &mut reader,
-            &mut predictor,
-            &cycle_cfg(env, &recorded[t].bench),
+    let conv_cycle_label = |_: usize, &(p, t): &(usize, usize)| {
+        format!(
+            "cycle {} × {}",
+            size_label(&lineup[p]),
+            recorded[t].bench.name
         )
-    });
-    let hyb_cycles: Vec<CycleResult> = par_map(&hyb_cells, env.threads, |_, &(s, t)| {
-        let snap = Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
-        let mut hybrid = hybrids[s].build();
-        run_cycles(
-            &snap.program,
-            &mut hybrid,
-            &cycle_cfg(env, &recorded[t].bench),
-        )
-    });
+    };
+    let (conv_cycles, fails): (Vec<Option<CycleResult>>, _) =
+        try_par_map(&conv_cells, env.threads, conv_cycle_label, |i, &(p, t)| {
+            env.fault.panic_if_scheduled(&conv_cycle_label(i, &(p, t)));
+            let mut predictor = lineup[p].clone();
+            let mut reader =
+                BtReader::new(recorded[t].bt.as_slice()).expect("trace passed the integrity gate");
+            run_cycles_trace(
+                &mut reader,
+                &mut predictor,
+                &cycle_cfg(env, &recorded[t].bench),
+            )
+        });
+    failures.extend(fails);
+    let hyb_cycle_label = |_: usize, &(s, t): &(usize, usize)| {
+        format!("cycle {} × {}", hybrids[s].label(), recorded[t].bench.name)
+    };
+    let (hyb_cycles, fails): (Vec<Option<CycleResult>>, _) =
+        try_par_map(&hyb_cells, env.threads, hyb_cycle_label, |i, &(s, t)| {
+            env.fault.panic_if_scheduled(&hyb_cycle_label(i, &(s, t)));
+            let snap =
+                Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+            let mut hybrid = hybrids[s].build();
+            run_cycles(
+                &snap.program,
+                &mut hybrid,
+                &cycle_cfg(env, &recorded[t].bench),
+            )
+        });
+    failures.extend(fails);
 
     // ---- 6. Pool, rank, report.
     let traces = recorded.len();
@@ -198,9 +281,9 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let mut conv_rates: Vec<f64> = Vec::with_capacity(lineup.len());
     for (p, predictor) in lineup.iter().enumerate() {
         let row = &conv[p * traces..(p + 1) * traces];
-        let uops: u64 = row.iter().map(|r| r.measured_uops).sum();
-        let conds: u64 = row.iter().map(|r| r.measured_conditionals).sum();
-        let misp: u64 = row.iter().map(|r| r.mispredicts).sum();
+        let uops: u64 = row.iter().flatten().map(|r| r.measured_uops).sum();
+        let conds: u64 = row.iter().flatten().map(|r| r.measured_conditionals).sum();
+        let misp: u64 = row.iter().flatten().map(|r| r.mispredicts).sum();
         let misp_per_kuops = if uops == 0 {
             0.0
         } else {
@@ -220,7 +303,12 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         });
     }
     for (s, spec) in hybrids.iter().enumerate() {
-        let pooled = AccuracyResult::pooled(&spec.label(), &hyb[s * traces..(s + 1) * traces]);
+        let runs: Vec<AccuracyResult> = hyb[s * traces..(s + 1) * traces]
+            .iter()
+            .flatten()
+            .cloned()
+            .collect();
+        let pooled = AccuracyResult::pooled(&spec.label(), &runs);
         entrants.push(Entrant {
             label: spec.label(),
             path: "snapshot exec",
@@ -268,6 +356,12 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         "uPC: the stage-accurate pipeline engine times both paths — conventionals \
          fed from the trace, hybrids from snapshot execution",
     );
+    for q in &quarantine {
+        ranked.note(format!("QUARANTINED trace '{}': {}", q.trace, q.reason));
+    }
+    for f in &failures {
+        ranked.note(format!("FAILED CELL '{}': {}", f.label, f.reason));
+    }
 
     // Per-trace H2P summary, measured under the best conventional entrant.
     let best_conv = conv_rates
@@ -290,7 +384,19 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         ],
     );
     for (t, rec) in recorded.iter().enumerate() {
-        let r = &conv[best_conv * traces + t];
+        let Some(r) = &conv[best_conv * traces + t] else {
+            // The best conventional's replay cell on this trace failed
+            // (e.g. an injected panic): keep the row, dash the stats.
+            h2p.row(vec![
+                rec.bench.name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         let flagged = r
             .per_branch
             .iter()
@@ -315,10 +421,11 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
          measured executions and at least one mispredict"
     ));
 
-    // Machine-readable report (threads-independent on purpose).
+    // Machine-readable report (threads-independent on purpose: failed
+    // cells are sorted by input index, worker IDs excluded).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_tracecmp_v2\",\n");
+    json.push_str("  \"schema\": \"bench_tracecmp_v3\",\n");
     json.push_str(&format!("  \"scale\": {},\n", env.scale));
     json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
     json.push_str(&format!("  \"uop_budget\": {budget},\n"));
@@ -337,7 +444,36 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             e.upc,
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"quarantine\": [");
+    for (i, q) in quarantine.iter().enumerate() {
+        let comma = if i + 1 < quarantine.len() { "," } else { "" };
+        json.push_str(&format!(
+            "\n    {{\"trace\": \"{}\", \"reason\": \"{}\"}}{comma}",
+            json_escape(&q.trace),
+            json_escape(&q.reason)
+        ));
+    }
+    json.push_str(if quarantine.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    json.push_str("  \"failed_cells\": [");
+    for (i, f) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        json.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"reason\": \"{}\"}}{comma}",
+            json_escape(&f.label),
+            json_escape(&f.reason)
+        ));
+    }
+    json.push_str(if failures.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    json.push_str("}\n");
 
     (vec![ranked, h2p], json)
 }
@@ -392,7 +528,10 @@ mod tests {
         assert!(rates.windows(2).all(|w| w[0] <= w[1]), "{rates:?}");
         // One H2P row per trace, and a parseable-looking report.
         assert_eq!(tables[1].rows.len(), 14);
-        assert!(json.contains("\"schema\": \"bench_tracecmp_v2\""));
+        assert!(json.contains("\"schema\": \"bench_tracecmp_v3\""));
+        // Clean run: both robustness sections present and empty.
+        assert!(json.contains("\"quarantine\": []"));
+        assert!(json.contains("\"failed_cells\": []"));
         assert!(json.contains("\"rank\": 1"));
         // Every entrant carries a positive uPC.
         for row in &tables[0].rows {

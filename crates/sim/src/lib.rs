@@ -66,6 +66,7 @@ pub mod cycle;
 pub mod experiments;
 mod metrics;
 pub mod runner;
+pub mod store;
 pub mod table;
 pub mod tune;
 
@@ -75,4 +76,5 @@ pub use cycle::{
     TraceModel,
 };
 pub use metrics::{percent_reduction, AccuracyResult};
-pub use runner::{default_threads, par_map};
+pub use runner::{default_threads, par_map, try_par_map, CellFailure};
+pub use store::{decode_numeric, CellEntry, CellKey, CellPayload, CellStore, ENGINE_VERSION};

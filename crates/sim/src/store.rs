@@ -1,0 +1,605 @@
+//! The crash-safe incremental cell store: checkpoint/resume for the
+//! experiment grid.
+//!
+//! Every grid cell — one `(spec × benchmark × config)` simulation — is
+//! deterministic in its inputs, so its result can be cached on disk and
+//! reused by any later run of the same cell. The store turns that into
+//! checkpoint/resume for free: kill a grid mid-run, rerun the same
+//! command with the same store, and only the missing cells recompute;
+//! the final artifacts are byte-identical to an uninterrupted run.
+//!
+//! Three properties carry the design:
+//!
+//! * **Content-addressed keys.** A [`CellKey`] hashes the experiment
+//!   name, the cell's spec fingerprint (`HybridSpec`'s `Debug` output —
+//!   every field, so any spec change changes the key), the workload
+//!   seed, the uop budget and [`ENGINE_VERSION`]. Changing *anything*
+//!   that could change the numbers changes the key, so a stale store
+//!   can only ever cause recomputation, never wrong results.
+//! * **Checksummed records.** A cell file carries its payload length and
+//!   FNV-1a checksum plus the full canonical key; [`CellStore::get`]
+//!   re-verifies all three, so a torn write, truncation or bit flip at
+//!   *any* byte offset degrades to a cache miss (the sweep tests pin
+//!   this), and an fnv64 filename collision degrades to recomputation
+//!   rather than cross-cell contamination.
+//! * **Atomic writes.** [`CellStore::put`] writes to a `.tmp-*` file in
+//!   the store directory and `rename`s it into place — on the same
+//!   filesystem, so a crash leaves either the old state or the new
+//!   state, never a half-written record. Stale temp files from killed
+//!   runs are swept on [`CellStore::open`].
+//!
+//! Failed (panicked) cells are deliberately **not** stored: a resume
+//! retries them, which is what lets a run killed by a fault plan heal on
+//! the next invocation.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use replay::checksum::fnv1a;
+
+use crate::cycle::CycleResult;
+use crate::metrics::AccuracyResult;
+
+/// Version of the simulation numerics baked into every cell key.
+///
+/// Bump this whenever any change could alter a cell's counters — new
+/// pipeline behaviour, changed warm-up policy, different RNG — so stale
+/// stores silently become cold instead of silently becoming wrong.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// The identity of one grid cell, hashed into the store filename.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellKey {
+    /// Experiment family (e.g. `"h2p"`, `"matrix"`, `"cycle"`).
+    pub experiment: String,
+    /// Cell fingerprint: the spec's `Debug` form plus the benchmark name
+    /// (every spec field participates, so any config change misses).
+    pub cell: String,
+    /// The workload seed driving the cell's simulation.
+    pub seed: u64,
+    /// The committed-uop budget (scale changes must miss).
+    pub budget: u64,
+}
+
+impl CellKey {
+    /// Builds a key; newlines in the free-text parts are flattened so the
+    /// canonical form stays line-oriented.
+    #[must_use]
+    pub fn new(experiment: &str, cell: &str, seed: u64, budget: u64) -> Self {
+        Self {
+            experiment: experiment.replace('\n', " "),
+            cell: cell.replace('\n', " "),
+            seed,
+            budget,
+        }
+    }
+
+    /// The canonical single-line form stored inside the record and
+    /// compared on every read.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "exp={} cell={} seed={:#x} budget={} engine={}",
+            self.experiment, self.cell, self.seed, self.budget, ENGINE_VERSION
+        )
+    }
+
+    /// The 64-bit content hash of the canonical form.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    /// The record filename inside the store directory.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.cell", self.hash())
+    }
+}
+
+/// A result type that round-trips losslessly through a cell record.
+///
+/// Implementations must be **exact**: integers as decimal, floats via
+/// [`f64::to_bits`], so a cached cell is bit-identical to a recomputed
+/// one (the resume tests compare final JSON artifacts byte-for-byte).
+pub trait CellPayload: Sized {
+    /// Serializes the result into the record payload.
+    fn to_cell_bytes(&self) -> Vec<u8>;
+    /// Decodes a payload; `None` on any structural mismatch.
+    fn from_cell_bytes(bytes: &[u8]) -> Option<Self>;
+}
+
+const CELL_MAGIC: &str = "pcr-cell v1";
+
+/// An on-disk store of finished cell results with hit/miss accounting.
+#[derive(Debug)]
+pub struct CellStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    nonce: AtomicU64,
+}
+
+impl CellStore {
+    /// Opens (creating if needed) a store directory and sweeps temp files
+    /// left behind by killed runs.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or scanning the directory.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                // Best-effort: a stale temp file is garbage, not state.
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            nonce: AtomicU64::new(0),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cells resolved from disk so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells that had to be (re)computed so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Looks `key` up and decodes its payload. Any failure along the way
+    /// — missing file, torn header, checksum or key mismatch, undecodable
+    /// payload — is a cache miss, never an error: the cell simply
+    /// recomputes.
+    pub fn get<R: CellPayload>(&self, key: &CellKey) -> Option<R> {
+        let decoded = self
+            .read_verified(key)
+            .and_then(|payload| R::from_cell_bytes(&payload));
+        if decoded.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        decoded
+    }
+
+    fn read_verified(&self, key: &CellKey) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.dir.join(key.file_name())).ok()?;
+        let (key_line, sum_line, payload) = split_record(&bytes)?;
+        if key_line != format!("key={}", key.canonical()) {
+            return None;
+        }
+        let rest = sum_line.strip_prefix("len=")?;
+        let (len_s, fnv_s) = rest.split_once(" fnv1a=0x")?;
+        let len: usize = len_s.parse().ok()?;
+        let fnv = u64::from_str_radix(fnv_s, 16).ok()?;
+        if payload.len() != len || fnv1a(payload) != fnv {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Persists one finished cell atomically (tmp file + rename). Safe to
+    /// call concurrently from grid workers: last rename wins, and every
+    /// candidate record for the same key is identical anyway.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing or renaming the record.
+    pub fn put<R: CellPayload>(&self, key: &CellKey, value: &R) -> std::io::Result<()> {
+        let payload = value.to_cell_bytes();
+        let mut record = format!(
+            "{CELL_MAGIC}\nkey={}\nlen={} fnv1a={:#x}\n---\n",
+            key.canonical(),
+            payload.len(),
+            fnv1a(&payload)
+        )
+        .into_bytes();
+        record.extend_from_slice(&payload);
+
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".tmp-{:016x}-{}-{nonce}",
+            key.hash(),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &record)?;
+        std::fs::rename(&tmp, self.dir.join(key.file_name()))
+    }
+
+    /// Reads every valid record in the store — the `bench_diff --store`
+    /// path. Corrupt or foreign files are skipped (they are misses, not
+    /// errors); entries come back sorted by canonical key.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors scanning the directory.
+    pub fn entries(&self) -> std::io::Result<Vec<CellEntry>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cell") {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Some(parsed) = CellEntry::parse(&bytes) else {
+                continue;
+            };
+            out.push(parsed);
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
+    }
+}
+
+/// One decoded store record: canonical key plus raw `field=value` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellEntry {
+    /// The canonical [`CellKey`] line the record was stored under.
+    pub key: String,
+    /// Payload fields in record order, undecoded.
+    pub fields: Vec<(String, String)>,
+}
+
+impl CellEntry {
+    fn parse(bytes: &[u8]) -> Option<Self> {
+        let (key_line, sum_line, payload) = split_record(bytes)?;
+        let key = key_line.strip_prefix("key=")?.to_string();
+        let rest = sum_line.strip_prefix("len=")?;
+        let (len_s, fnv_s) = rest.split_once(" fnv1a=0x")?;
+        if payload.len() != len_s.parse::<usize>().ok()?
+            || fnv1a(payload) != u64::from_str_radix(fnv_s, 16).ok()?
+        {
+            return None;
+        }
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut fields = Vec::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once('=')?;
+            fields.push((k.to_string(), v.to_string()));
+        }
+        Some(Self { key, fields })
+    }
+
+    /// The value of one payload field, if present.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decodes a payload field value as a number: plain decimal `u64` or an
+/// `f:`-prefixed [`f64::to_bits`] hex float (list-valued fields decode as
+/// `None`). `bench_diff --store` uses this to treat counters and rates
+/// uniformly.
+#[must_use]
+pub fn decode_numeric(value: &str) -> Option<f64> {
+    if let Some(hex) = value.strip_prefix("f:") {
+        return u64::from_str_radix(hex, 16).ok().map(f64::from_bits);
+    }
+    value.parse::<u64>().ok().map(|v| v as f64)
+}
+
+/// Splits a record into `(key line, checksum line, payload)`, validating
+/// the magic and separator lines.
+fn split_record(bytes: &[u8]) -> Option<(&str, &str, &[u8])> {
+    let mut rest = bytes;
+    let mut lines: [&str; 4] = [""; 4];
+    for slot in &mut lines {
+        let pos = rest.iter().position(|&b| b == b'\n')?;
+        *slot = std::str::from_utf8(&rest[..pos]).ok()?;
+        rest = &rest[pos + 1..];
+    }
+    if lines[0] != CELL_MAGIC || lines[3] != "---" {
+        return None;
+    }
+    Some((lines[1], lines[2], rest))
+}
+
+// ---- exact (lossless) field codecs ----------------------------------------
+
+/// Formats an `f64` losslessly (`f:` + 16 hex digits of the bit pattern).
+fn fmt_f64(x: f64) -> String {
+    format!("f:{:016x}", x.to_bits())
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s.strip_prefix("f:")?, 16)
+        .ok()
+        .map(f64::from_bits)
+}
+
+fn parse_u64_list<const N: usize>(s: &str) -> Option<[u64; N]> {
+    let mut out = [0u64; N];
+    let mut parts = s.split(',');
+    for slot in &mut out {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+fn parse_f64_list<const N: usize>(s: &str) -> Option<[f64; N]> {
+    let mut out = [0f64; N];
+    let mut parts = s.split(',');
+    for slot in &mut out {
+        *slot = parse_f64(parts.next()?)?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+struct FieldMap<'a>(Vec<(&'a str, &'a str)>);
+
+impl<'a> FieldMap<'a> {
+    fn parse(bytes: &'a [u8]) -> Option<Self> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut fields = Vec::new();
+        for line in text.lines() {
+            fields.push(line.split_once('=')?);
+        }
+        Some(Self(fields))
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    fn u64(&self, name: &str) -> Option<u64> {
+        self.get(name)?.parse().ok()
+    }
+
+    fn f64(&self, name: &str) -> Option<f64> {
+        parse_f64(self.get(name)?)
+    }
+}
+
+impl CellPayload for AccuracyResult {
+    fn to_cell_bytes(&self) -> Vec<u8> {
+        let c = self.critiques.counts();
+        format!(
+            "benchmark={}\n\
+             committed_uops={}\n\
+             committed_branches={}\n\
+             final_mispredicts={}\n\
+             prophet_mispredicts={}\n\
+             fetched_uops={}\n\
+             btb_redirects={}\n\
+             critic_overrides={}\n\
+             ftq_entries_flushed={}\n\
+             btb_miss_rate={}\n\
+             critiques={},{},{},{},{},{}\n",
+            self.benchmark,
+            self.committed_uops,
+            self.committed_branches,
+            self.final_mispredicts,
+            self.prophet_mispredicts,
+            self.fetched_uops,
+            self.btb_redirects,
+            self.critic_overrides,
+            self.ftq_entries_flushed,
+            fmt_f64(self.btb_miss_rate),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4],
+            c[5],
+        )
+        .into_bytes()
+    }
+
+    fn from_cell_bytes(bytes: &[u8]) -> Option<Self> {
+        let f = FieldMap::parse(bytes)?;
+        Some(Self {
+            benchmark: f.get("benchmark")?.to_string(),
+            committed_uops: f.u64("committed_uops")?,
+            committed_branches: f.u64("committed_branches")?,
+            final_mispredicts: f.u64("final_mispredicts")?,
+            prophet_mispredicts: f.u64("prophet_mispredicts")?,
+            fetched_uops: f.u64("fetched_uops")?,
+            btb_redirects: f.u64("btb_redirects")?,
+            critic_overrides: f.u64("critic_overrides")?,
+            ftq_entries_flushed: f.u64("ftq_entries_flushed")?,
+            btb_miss_rate: f.f64("btb_miss_rate")?,
+            critiques: prophet_critic::CritiqueStats::from_counts(parse_u64_list::<6>(
+                f.get("critiques")?,
+            )?),
+        })
+    }
+}
+
+impl CellPayload for CycleResult {
+    fn to_cell_bytes(&self) -> Vec<u8> {
+        let b = &self.bubbles;
+        format!(
+            "benchmark={}\n\
+             cycles={}\n\
+             committed_uops={}\n\
+             final_mispredicts={}\n\
+             overrides={}\n\
+             fetched_uops={}\n\
+             forced_critiques={}\n\
+             critiques={}\n\
+             data_counts={},{},{}\n\
+             bubbles={},{},{},{},{},{}\n",
+            self.benchmark,
+            fmt_f64(self.cycles),
+            self.committed_uops,
+            self.final_mispredicts,
+            self.overrides,
+            self.fetched_uops,
+            self.forced_critiques,
+            self.critiques,
+            self.data_counts.0,
+            self.data_counts.1,
+            self.data_counts.2,
+            fmt_f64(b.icache),
+            fmt_f64(b.ftq_full),
+            fmt_f64(b.ftq_empty),
+            fmt_f64(b.window_full),
+            fmt_f64(b.redirect),
+            fmt_f64(b.flush_restart),
+        )
+        .into_bytes()
+    }
+
+    fn from_cell_bytes(bytes: &[u8]) -> Option<Self> {
+        let f = FieldMap::parse(bytes)?;
+        let dc = parse_u64_list::<3>(f.get("data_counts")?)?;
+        let bb = parse_f64_list::<6>(f.get("bubbles")?)?;
+        Some(Self {
+            benchmark: f.get("benchmark")?.to_string(),
+            cycles: f.f64("cycles")?,
+            committed_uops: f.u64("committed_uops")?,
+            final_mispredicts: f.u64("final_mispredicts")?,
+            overrides: f.u64("overrides")?,
+            fetched_uops: f.u64("fetched_uops")?,
+            forced_critiques: f.u64("forced_critiques")?,
+            critiques: f.u64("critiques")?,
+            data_counts: (dc[0], dc[1], dc[2]),
+            bubbles: frontend::pipeline::BubbleProfile {
+                icache: bb[0],
+                ftq_full: bb[1],
+                ftq_empty: bb[2],
+                window_full: bb[3],
+                redirect: bb[4],
+                flush_restart: bb[5],
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_critic::CritiqueStats;
+
+    fn temp_store(tag: &str) -> (PathBuf, CellStore) {
+        let dir = std::env::temp_dir().join(format!("sim-store-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CellStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn sample_accuracy() -> AccuracyResult {
+        AccuracyResult {
+            benchmark: "gcc".into(),
+            committed_uops: 123_456,
+            committed_branches: 9_876,
+            final_mispredicts: 321,
+            prophet_mispredicts: 400,
+            fetched_uops: 150_000,
+            btb_redirects: 17,
+            critic_overrides: 55,
+            ftq_entries_flushed: 60,
+            btb_miss_rate: 0.012_345_678_9,
+            critiques: CritiqueStats::from_counts([1, 2, 3, 4, 5, 6]),
+        }
+    }
+
+    #[test]
+    fn key_changes_with_every_component() {
+        let base = CellKey::new("h2p", "spec × gcc", 0x1234, 96_000);
+        let variants = [
+            CellKey::new("upc", "spec × gcc", 0x1234, 96_000),
+            CellKey::new("h2p", "spec × swim", 0x1234, 96_000),
+            CellKey::new("h2p", "spec × gcc", 0x1235, 96_000),
+            CellKey::new("h2p", "spec × gcc", 0x1234, 96_001),
+        ];
+        for v in &variants {
+            assert_ne!(base.hash(), v.hash(), "{}", v.canonical());
+        }
+        assert!(base
+            .canonical()
+            .contains(&format!("engine={ENGINE_VERSION}")));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let (dir, store) = temp_store("roundtrip");
+        let key = CellKey::new("test", "spec × gcc", 7, 1000);
+        let original = sample_accuracy();
+        assert!(store.get::<AccuracyResult>(&key).is_none());
+        store.put(&key, &original).unwrap();
+        let back: AccuracyResult = store.get(&key).unwrap();
+        assert_eq!(back, original);
+        assert_eq!(
+            back.btb_miss_rate.to_bits(),
+            original.btb_miss_rate.to_bits()
+        );
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_is_a_miss_not_a_collision() {
+        let (dir, store) = temp_store("wrongkey");
+        let key = CellKey::new("test", "a", 1, 10);
+        store.put(&key, &sample_accuracy()).unwrap();
+        // Simulate an fnv collision: another key's lookup lands on the
+        // same file. The stored canonical key must reject it.
+        let other = CellKey::new("test", "b", 2, 20);
+        let collided = dir.join(other.file_name());
+        std::fs::rename(dir.join(key.file_name()), collided).unwrap();
+        assert!(store.get::<AccuracyResult>(&other).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let (dir, store) = temp_store("sweep");
+        drop(store);
+        let stale = dir.join(".tmp-deadbeef-1-0");
+        std::fs::write(&stale, b"half a record").unwrap();
+        let _store = CellStore::open(&dir).unwrap();
+        assert!(!stale.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_lists_valid_records_sorted() {
+        let (dir, store) = temp_store("entries");
+        let k1 = CellKey::new("test", "b-spec", 2, 20);
+        let k2 = CellKey::new("test", "a-spec", 1, 10);
+        store.put(&k1, &sample_accuracy()).unwrap();
+        store.put(&k2, &sample_accuracy()).unwrap();
+        std::fs::write(dir.join("junk.cell"), b"not a record").unwrap();
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].key < entries[1].key);
+        assert_eq!(entries[0].field("benchmark"), Some("gcc"));
+        assert_eq!(
+            decode_numeric(entries[0].field("committed_uops").unwrap()),
+            Some(123_456.0)
+        );
+        assert!(decode_numeric(entries[0].field("btb_miss_rate").unwrap()).is_some());
+        assert!(decode_numeric(entries[0].field("critiques").unwrap()).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -66,7 +66,7 @@ fn grid_runner_matches_per_spec_sequential_runs() {
     let env = tiny();
     let programs = env.named_programs(&["vpr", "art"]);
     let specs = specs();
-    let pooled = run_grid(&specs, &programs, &env.with_threads(4));
+    let pooled = run_grid(&specs, &programs, &env.clone().with_threads(4));
     assert_eq!(pooled.len(), specs.len());
     for (spec, got) in specs.iter().zip(&pooled) {
         let want = pooled_accuracy_seq(spec, &programs, &env);
@@ -79,7 +79,7 @@ fn matrix_cells_are_thread_count_invariant() {
     let env = tiny();
     let programs = env.named_programs(&["mcf", "crafty"]);
     let specs = specs();
-    let reference = run_matrix(&specs, &programs, &env.with_threads(1));
+    let reference = run_matrix(&specs, &programs, &env.clone().with_threads(1));
     let wide = run_matrix(&specs, &programs, &env.with_threads(8));
     assert_eq!(reference, wide);
 }

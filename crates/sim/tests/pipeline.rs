@@ -74,7 +74,10 @@ fn trace_feed_prediction_stream_equals_the_replay_engine() {
         let timed = run_cycles_trace(
             &mut reader,
             &mut cycle_pred,
-            &CycleConfig::isca04().budget(200_000).seed(bench.seed).warmup(0),
+            &CycleConfig::isca04()
+                .budget(200_000)
+                .seed(bench.seed)
+                .warmup(0),
         );
 
         assert_eq!(

@@ -1,0 +1,159 @@
+//! Crash-safety tests for the incremental cell store.
+//!
+//! Two claims are pinned here, both from the failure model in
+//! `ARCHITECTURE.md`:
+//!
+//! * **Corruption degrades to a miss.** A cell record torn at *any* byte
+//!   offset, or with *any* single bit flipped, must read back as a cache
+//!   miss — never as wrong data, never as a panic. The sweeps below try
+//!   every offset and every byte.
+//! * **Kill-and-resume heals byte-identically.** A grid interrupted
+//!   mid-run (here: a scheduled cell panic) leaves a partial store; a
+//!   clean rerun over the same store recomputes *only* the missing cells
+//!   and emits a report byte-identical to an uninterrupted run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use prophet_critic::CritiqueStats;
+use replay::fault::torn_write;
+use replay::FaultPlan;
+use sim::experiments::{h2p, ExpEnv};
+use sim::{AccuracyResult, CellKey, CellStore};
+
+fn temp_store(tag: &str) -> (PathBuf, Arc<CellStore>) {
+    let dir = std::env::temp_dir().join(format!("sim-store-it-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(CellStore::open(&dir).unwrap());
+    (dir, store)
+}
+
+fn sample() -> AccuracyResult {
+    AccuracyResult {
+        benchmark: "gzip".into(),
+        committed_uops: 987_654,
+        committed_branches: 54_321,
+        final_mispredicts: 1_234,
+        prophet_mispredicts: 1_500,
+        fetched_uops: 1_200_000,
+        btb_redirects: 42,
+        critic_overrides: 99,
+        ftq_entries_flushed: 101,
+        btb_miss_rate: 0.042_424_242,
+        critiques: CritiqueStats::from_counts([6, 5, 4, 3, 2, 1]),
+    }
+}
+
+#[test]
+fn torn_write_at_every_offset_is_a_miss_and_restore_heals() {
+    let (dir, store) = temp_store("torn-sweep");
+    let key = CellKey::new("sweep", "spec × gzip", 0xbeef, 20_000);
+    store.put(&key, &sample()).unwrap();
+    let path = dir.join(key.file_name());
+    let record = std::fs::read(&path).unwrap();
+
+    for keep in 0..record.len() {
+        torn_write(&path, &record, keep).unwrap();
+        assert!(
+            store.get::<AccuracyResult>(&key).is_none(),
+            "record torn at byte {keep} of {} must be a miss",
+            record.len()
+        );
+    }
+    std::fs::write(&path, &record).unwrap();
+    assert_eq!(store.get::<AccuracyResult>(&key), Some(sample()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn single_bit_flip_at_every_byte_is_a_miss() {
+    let (dir, store) = temp_store("flip-sweep");
+    let key = CellKey::new("sweep", "spec × gzip", 0xf11b, 20_000);
+    store.put(&key, &sample()).unwrap();
+    let path = dir.join(key.file_name());
+    let record = std::fs::read(&path).unwrap();
+
+    // The invariant is "never WRONG data": every flip must read back as
+    // either a miss or the exact original (a case flip inside the hex
+    // checksum digits parses to the same value — harmless by design).
+    for pos in 0..record.len() {
+        let mut bad = record.clone();
+        bad[pos] ^= 1 << (pos % 8);
+        std::fs::write(&path, &bad).unwrap();
+        match store.get::<AccuracyResult>(&key) {
+            None => {}
+            Some(got) => assert_eq!(
+                got,
+                sample(),
+                "bit flip in byte {pos} of {} surfaced as wrong data",
+                record.len()
+            ),
+        }
+    }
+    std::fs::write(&path, &record).unwrap();
+    assert_eq!(store.get::<AccuracyResult>(&key), Some(sample()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_and_resume_recomputes_only_missing_cells_byte_identically() {
+    let env = ExpEnv {
+        scale: 0.03,
+        ..ExpEnv::tiny()
+    };
+
+    // Reference: a storeless, uninterrupted run.
+    let (_, reference) = h2p::run_with_report(&env);
+
+    // A store-backed run must be bit-for-bit the same artifact, and a
+    // second pass over the same store must resolve every cell from disk.
+    let (dir_a, store_a) = temp_store("full-run");
+    let env_a = env.clone().with_store(Arc::clone(&store_a));
+    let (_, json_a) = h2p::run_with_report(&env_a);
+    assert_eq!(
+        json_a, reference,
+        "store-backed run diverged from storeless"
+    );
+    let total_cells = store_a.misses();
+    assert!(total_cells > 0);
+    let (_, json_a2) = h2p::run_with_report(&env_a);
+    assert_eq!(json_a2, reference);
+    assert_eq!(
+        store_a.misses(),
+        total_cells,
+        "second pass recomputed cells"
+    );
+    assert_eq!(store_a.hits(), total_cells, "second pass missed the store");
+
+    // "Kill" a run: schedule a panic in one cell. The grid completes,
+    // reports the failed cell, and the store holds every *other* cell.
+    let (dir_b, store_b) = temp_store("interrupted");
+    let fault = FaultPlan::from_spec("panic=h2p × swim").unwrap();
+    let env_b = env
+        .clone()
+        .with_store(Arc::clone(&store_b))
+        .with_fault(fault);
+    let (_, json_b) = h2p::run_with_report(&env_b);
+    assert!(json_b.contains("\"failed_cells\""));
+    assert!(json_b.contains("h2p × swim"));
+    assert_ne!(json_b, reference);
+
+    // Resume: same store, clean plan. Exactly one cell (the killed one)
+    // recomputes; the artifact heals to byte-identical.
+    let resumed = Arc::new(CellStore::open(&dir_b).unwrap());
+    let env_resume = env.clone().with_store(Arc::clone(&resumed));
+    let (_, json_resumed) = h2p::run_with_report(&env_resume);
+    assert_eq!(
+        json_resumed, reference,
+        "resume did not heal to the uninterrupted artifact"
+    );
+    assert_eq!(
+        resumed.misses(),
+        1,
+        "resume recomputed more than the killed cell"
+    );
+    assert_eq!(resumed.hits(), total_cells - 1);
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
