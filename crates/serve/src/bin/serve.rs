@@ -1,0 +1,120 @@
+//! `serve` — the prediction-as-a-service daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--corpus DIR] [--store DIR] [--threads N]
+//!       [--max-inflight N]
+//! ```
+//!
+//! * `--addr` — bind address (default `127.0.0.1:7878`; port `0` picks
+//!   an ephemeral port, printed at startup).
+//! * `--corpus DIR` — trace corpus to load and integrity-check at
+//!   startup; enables `/v1/replay` and `/v1/tracecmp-cell`.
+//! * `--store DIR` — the cell store to serve from and persist into
+//!   (defaults to the `CELL_STORE` env var; without either, every
+//!   request recomputes).
+//! * `--threads N` — worker threads per request grid.
+//! * `--max-inflight N` — concurrent-request cap; excess connections
+//!   are shed with `503 + Retry-After: 1` (default 8).
+//!
+//! `SCALE` and `EXP_BENCH` are read from the environment exactly like
+//! the `experiments` binary, so a store warmed by
+//! `SCALE=0.1 experiments --store DIR headline` serves
+//! `SCALE=0.1 serve --store DIR` without recomputation.
+//!
+//! `SIGTERM`/`SIGINT` drain gracefully: the listener stops accepting,
+//! in-flight cells finish (and persist), then the process exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use serve::{signal, ServeConfig, Server};
+use sim::experiments::ExpEnv;
+use sim::store::CellStore;
+
+/// Extracts `--flag value` from an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let corpus = take_flag(&mut args, "--corpus")?.map(PathBuf::from);
+    let store_dir = take_flag(&mut args, "--store")?;
+    let threads = take_flag(&mut args, "--threads")?
+        .map(|t| t.parse::<usize>().map_err(|_| format!("bad --threads {t}")))
+        .transpose()?;
+    let max_inflight = take_flag(&mut args, "--max-inflight")?
+        .map(|n| {
+            n.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!("bad --max-inflight {n}"))
+        })
+        .transpose()?
+        .unwrap_or(8);
+    if let Some(stray) = args.first() {
+        return Err(format!(
+            "unrecognized argument '{stray}' (see --help in docs/SERVING.md)"
+        ));
+    }
+
+    let mut env = ExpEnv::from_env();
+    if let Some(t) = threads {
+        env = env.with_threads(t);
+    }
+    if let Some(dir) = store_dir {
+        let store =
+            CellStore::open(&PathBuf::from(&dir)).map_err(|e| format!("--store {dir}: {e}"))?;
+        env = env.with_store(Arc::new(store));
+    }
+
+    let config = ServeConfig {
+        addr,
+        max_inflight,
+        env,
+        corpus,
+    };
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    let state = server.state();
+    eprintln!(
+        "serving on http://{bound} (threads={}, store={}, corpus={}, max-inflight={max_inflight})",
+        state.env.threads,
+        state
+            .env
+            .store
+            .as_ref()
+            .map_or("none".to_string(), |s| s.dir().display().to_string()),
+        state.corpus.as_ref().map_or("none".to_string(), |c| {
+            format!(
+                "{} traces ({} quarantined)",
+                c.manifest.entries.len(),
+                c.quarantined.len()
+            )
+        }),
+    );
+    signal::install();
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("drained, exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

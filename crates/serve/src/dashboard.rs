@@ -1,0 +1,110 @@
+//! The inline HTML dashboard served at `/`.
+//!
+//! A single self-contained page — no external assets, matching the
+//! workspace's zero-dependency constraint — that polls `/metrics` every
+//! two seconds and renders the cache counters, in-flight gauge, latency
+//! histogram, and the recent-work table (per-request misp/Kuops, uPC and
+//! bubble breakdowns). Everything it shows comes from the same
+//! `serve_metrics_v1` document scripts read, so the dashboard can never
+//! disagree with automation.
+
+/// The dashboard page.
+#[must_use]
+pub fn page() -> String {
+    PAGE.to_string()
+}
+
+const PAGE: &str = r#"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>prophet/critic serving</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+         background: #111418; color: #d7dde4; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1.0rem; margin-top: 1.5rem; }
+  .cards { display: flex; flex-wrap: wrap; gap: 0.8rem; }
+  .card { background: #1a1f26; border: 1px solid #2a313b; border-radius: 6px;
+          padding: 0.7rem 1.0rem; min-width: 9rem; }
+  .card .v { font-size: 1.5rem; } .card .k { color: #8b97a5; font-size: 0.75rem; }
+  table { border-collapse: collapse; margin-top: 0.5rem; width: 100%; }
+  th, td { border-bottom: 1px solid #2a313b; padding: 0.25rem 0.6rem;
+           text-align: left; font-size: 0.8rem; }
+  th { color: #8b97a5; font-weight: normal; }
+  .bar { background: #2f6fb3; height: 0.6rem; display: inline-block; }
+  #err { color: #e07a7a; }
+</style>
+</head>
+<body>
+<h1>prophet/critic serving <span id="err"></span></h1>
+<div class="cards" id="cards"></div>
+<h2>request latency</h2>
+<table id="latency"></table>
+<h2>recent work</h2>
+<table id="recent"></table>
+<script>
+function card(k, v) {
+  return '<div class="card"><div class="v">' + v + '</div><div class="k">' + k + '</div></div>';
+}
+function esc(s) {
+  return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
+}
+async function refresh() {
+  try {
+    const m = await (await fetch('/metrics')).json();
+    document.getElementById('err').textContent = '';
+    const r = m.requests, c = m.cells;
+    const hitRate = (c.cache_hits + c.cache_misses) > 0
+      ? (100 * c.cache_hits / (c.cache_hits + c.cache_misses)).toFixed(1) + '%' : '-';
+    document.getElementById('cards').innerHTML =
+      card('requests', r.total) + card('in flight', r.inflight) +
+      card('shed (503)', r.shed) + card('cache hits', c.cache_hits) +
+      card('cache misses', c.cache_misses) + card('hit rate', hitRate) +
+      card('failed cells', c.failed) + card('quarantined traces', m.corpus.quarantined) +
+      card('4xx', r.client_errors) + card('5xx', r.server_errors);
+    const maxN = Math.max(1, ...m.latency.buckets.map(b => b.count));
+    document.getElementById('latency').innerHTML =
+      '<tr><th>&le; ms</th><th>count</th><th></th></tr>' +
+      m.latency.buckets.map(b =>
+        '<tr><td>' + b.le + '</td><td>' + b.count + '</td><td><span class="bar" style="width:' +
+        (200 * b.count / maxN) + 'px"></span></td></tr>').join('');
+    document.getElementById('recent').innerHTML =
+      '<tr><th>endpoint</th><th>subject</th><th>status</th><th>ms</th><th>hit/miss</th>' +
+      '<th>misp/Kuops</th><th>uPC</th><th>top bubble</th></tr>' +
+      m.recent.map(s => {
+        let bubble = '-';
+        if (s.bubbles) {
+          const top = Object.entries(s.bubbles).sort((a, b) => b[1] - a[1])[0];
+          bubble = top[0] + ' (' + top[1].toFixed(0) + ')';
+        }
+        return '<tr><td>' + esc(s.endpoint) + '</td><td>' + esc(s.subject) + '</td><td>' +
+          s.status + '</td><td>' + (s.latency_us / 1000).toFixed(1) + '</td><td>' +
+          s.cells_hit + '/' + s.cells_missed + '</td><td>' +
+          (s.misp_per_kuops !== undefined ? s.misp_per_kuops.toFixed(2) : '-') + '</td><td>' +
+          (s.upc !== undefined ? s.upc.toFixed(2) : '-') + '</td><td>' + bubble + '</td></tr>';
+      }).join('');
+  } catch (e) {
+    document.getElementById('err').textContent = ' (metrics fetch failed: ' + e + ')';
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn page_is_self_contained_html() {
+        let p = super::page();
+        assert!(p.starts_with("<!doctype html>"));
+        assert!(p.contains("/metrics"));
+        // No external asset references: the page must render offline.
+        assert!(
+            !p.contains("http://") && !p.contains("https://"),
+            "external asset"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The TCP accept loop: bounded concurrency, graceful drain, and the
+//! Unix signal hook.
+//!
+//! The loop polls a non-blocking listener (~25 ms cadence) so it can
+//! notice a shutdown request between connections. Each accepted
+//! connection is handled on a scoped worker thread; the scope's join is
+//! the drain — when `SIGTERM`/`SIGINT` (or a test's stop handle) flips
+//! the flag, the loop stops accepting, already-running cells finish, and
+//! `run` returns only after every worker has written its response.
+//!
+//! Admission control is a simple gate: at `max_inflight` concurrent
+//! requests, new connections are shed immediately with
+//! `503 + Retry-After: 1` — the server never queues unbounded work
+//! behind multi-second simulation cells.
+
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sim::experiments::ExpEnv;
+
+use crate::http::{read_request, HttpError, Response};
+use crate::routes::{self, Outcome};
+use crate::state::{CellCounts, CorpusState, ServerState};
+
+/// How the server is configured at startup.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Concurrent requests beyond which new connections are shed
+    /// with `503`.
+    pub max_inflight: u64,
+    /// The experiment environment (scale, threads, cell store).
+    pub env: ExpEnv,
+    /// Corpus directory to load and verify at startup, if any.
+    pub corpus: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A localhost config on an ephemeral port with the given
+    /// environment — what the tests use.
+    #[must_use]
+    pub fn ephemeral(env: ExpEnv) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 8,
+            env,
+            corpus: None,
+        }
+    }
+}
+
+/// A bound server, ready to run.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    max_inflight: u64,
+}
+
+impl Server {
+    /// Binds the listener and loads (and integrity-checks) the corpus.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and corpus manifests that cannot be loaded
+    /// (mapped to `InvalidData`).
+    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+        let corpus = match &config.corpus {
+            None => None,
+            Some(dir) => Some(
+                CorpusState::load(dir)
+                    .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidData, msg))?,
+            ),
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            state: Arc::new(ServerState::new(config.env, corpus)),
+            stop: Arc::new(AtomicBool::new(false)),
+            max_inflight: config.max_inflight.max(1),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has gone away.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (tests read metrics through it).
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that stops the accept loop when set to `true` — the
+    /// programmatic equivalent of `SIGTERM`.
+    #[must_use]
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs until the stop handle or a termination signal flips; drains
+    /// in-flight requests before returning.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors (transient `accept` errors are logged and
+    /// survived).
+    pub fn run(self) -> std::io::Result<()> {
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            loop {
+                if self.stop.load(Ordering::SeqCst) || signal::shutdown_requested() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Shed before spawning: the gate must account for
+                        // the request it admits, so increment happens here
+                        // (not in the worker) to close the accept race.
+                        let inflight = state.metrics.inflight.load(Ordering::SeqCst);
+                        if inflight >= self.max_inflight {
+                            shed(state, stream);
+                            continue;
+                        }
+                        state.metrics.inflight.fetch_add(1, Ordering::SeqCst);
+                        scope.spawn(move || {
+                            handle_connection(state, stream);
+                            state.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => eprintln!("accept error (continuing): {e}"),
+                }
+            }
+            // Scope exit joins every worker: the graceful drain.
+        });
+        Ok(())
+    }
+}
+
+/// Closes a connection without resetting it: writing a response while
+/// unread request bytes sit in the kernel buffer would turn the close
+/// into a TCP RST, destroying the buffered response on the client side
+/// (sheds and early 4xxs answer before consuming the request). Shutting
+/// down the write side and draining briefly makes the close a clean FIN.
+fn linger_close(mut stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        // A hostile client streaming forever must not pin the worker.
+        if drained > 1 << 20 {
+            break;
+        }
+    }
+}
+
+/// Rejects a connection at the admission gate: `503` with `Retry-After`,
+/// without reading the request (the whole point is to not spend time on
+/// it).
+fn shed(state: &ServerState, mut stream: TcpStream) {
+    let start = Instant::now();
+    state.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+    let err = HttpError::new(503, "server at max in-flight requests");
+    let resp = Response::from_error(&err);
+    if let Err(e) = resp.write_to(&mut stream) {
+        eprintln!("write error on shed response: {e}");
+    }
+    linger_close(stream);
+    let outcome = Outcome {
+        response: resp,
+        subject: "(shed)".to_string(),
+        cells: CellCounts::default(),
+        misp_per_kuops: None,
+        upc: None,
+        bubbles: None,
+    };
+    state
+        .metrics
+        .record(outcome.summary("(shed)", start.elapsed()));
+}
+
+/// Serves one connection end to end: parse, route (panic-isolated),
+/// respond, record.
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let start = Instant::now();
+    let (endpoint, outcome) = match read_request(&stream) {
+        Err(e) => (
+            "(parse)".to_string(),
+            Outcome {
+                response: Response::from_error(&e),
+                subject: e.message.clone(),
+                cells: CellCounts::default(),
+                misp_per_kuops: None,
+                upc: None,
+                bubbles: None,
+            },
+        ),
+        Ok(req) => {
+            let outcome =
+                match std::panic::catch_unwind(AssertUnwindSafe(|| routes::handle(state, &req))) {
+                    Ok(outcome) => outcome,
+                    Err(panic) => {
+                        let what = panic_message(&panic);
+                        eprintln!("handler panic on {}: {what}", req.target);
+                        Outcome {
+                            response: Response::from_error(&HttpError::new(
+                                500,
+                                format!("internal error: {what}"),
+                            )),
+                            subject: req.target.clone(),
+                            cells: CellCounts::default(),
+                            misp_per_kuops: None,
+                            upc: None,
+                            bubbles: None,
+                        }
+                    }
+                };
+            (req.target, outcome)
+        }
+    };
+    if let Err(e) = outcome.response.write_to(&mut stream) {
+        eprintln!("write error on {endpoint}: {e}");
+    }
+    linger_close(stream);
+    state
+        .metrics
+        .record(outcome.summary(&endpoint, start.elapsed()));
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Process-termination signal handling.
+///
+/// The only `unsafe` in the workspace: registering `SIGTERM`/`SIGINT`
+/// handlers via the libc `signal` symbol (no crate dependency to wrap
+/// it). The handler body is async-signal-safe — a single atomic store;
+/// the accept loop polls the flag.
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a termination signal has been received (or
+    /// [`request_shutdown`] called).
+    #[must_use]
+    pub fn shutdown_requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag from ordinary code (tests, non-Unix).
+    pub fn request_shutdown() {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    mod hook {
+        use std::sync::atomic::Ordering;
+
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        extern "C" fn on_signal(_signum: i32) {
+            // Async-signal-safe: one atomic store, nothing else.
+            super::SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+
+        pub fn install() {
+            unsafe {
+                signal(SIGTERM, on_signal);
+                signal(SIGINT, on_signal);
+            }
+        }
+    }
+
+    /// Installs `SIGTERM`/`SIGINT` handlers that request a graceful
+    /// drain. No-op on non-Unix platforms.
+    pub fn install() {
+        #[cfg(unix)]
+        hook::install();
+    }
+}

@@ -241,6 +241,100 @@ pub fn cached<R: CellPayload>(env: &ExpEnv, key: &CellKey, compute: impl FnOnce(
     result
 }
 
+/// The store key for one execution-driven **accuracy** cell
+/// (`spec × benchmark` at a uop budget).
+///
+/// This is the single definition shared by the figure grids
+/// ([`run_matrix_checked`]), the `tracecmp` snapshot-execution stage and
+/// the `serve` subsystem — so a store warmed by any of them answers the
+/// others without recomputation.
+#[must_use]
+pub fn accuracy_cell_key(spec: &HybridSpec, bench: &Benchmark, budget: u64) -> CellKey {
+    CellKey::new(
+        "accuracy",
+        &format!("{:?} × {}", spec, bench.name),
+        bench.seed,
+        budget,
+    )
+}
+
+/// The store key for one execution-driven **cycle** cell — the shared
+/// definition for [`cycle_grid_checked`], `tracecmp`'s hybrid timing
+/// stage and `serve` (same contract as [`accuracy_cell_key`]).
+#[must_use]
+pub fn cycle_cell_key(spec: &HybridSpec, bench: &Benchmark, budget: u64) -> CellKey {
+    CellKey::new(
+        "cycle",
+        &format!("{:?} × {}", spec, bench.name),
+        bench.seed,
+        budget,
+    )
+}
+
+/// The store key for one conventional-predictor **trace replay** cell.
+///
+/// The cell string carries the `.bt` content checksum (the manifest's
+/// `bt_fnv1a` for an on-disk corpus; `fnv1a` of the in-memory bytes for
+/// `tracecmp`'s recorded corpus — identical values for the same
+/// seed/budget), so a corrupted or re-recorded trace can never resolve
+/// to a stale result.
+#[must_use]
+pub fn replay_cell_key(
+    predictor: &str,
+    trace: &str,
+    bt_fnv1a: u64,
+    seed: u64,
+    budget: u64,
+) -> CellKey {
+    CellKey::new(
+        "replay",
+        &format!("{predictor} × {trace} bt={bt_fnv1a:#018x}"),
+        seed,
+        budget,
+    )
+}
+
+/// The store key for one conventional-predictor **trace-fed cycle**
+/// cell (the tournament's uPC column); checksummed like
+/// [`replay_cell_key`].
+#[must_use]
+pub fn trace_cycle_cell_key(
+    predictor: &str,
+    trace: &str,
+    bt_fnv1a: u64,
+    seed: u64,
+    budget: u64,
+) -> CellKey {
+    CellKey::new(
+        "cycle-trace",
+        &format!("{predictor} × {trace} bt={bt_fnv1a:#018x}"),
+        seed,
+        budget,
+    )
+}
+
+/// The store key for one `tune` scoring cell: an accuracy cell measured
+/// under a non-standard warm-up fraction. At the workspace-standard 20 %
+/// warm-up this **is** [`accuracy_cell_key`], so tune shares cells with
+/// the figure grids; other warm-ups get their own keyspace.
+#[must_use]
+pub fn tune_cell_key(
+    spec: &HybridSpec,
+    bench: &Benchmark,
+    budget: u64,
+    warmup_uops: u64,
+) -> CellKey {
+    if warmup_uops == budget / 5 {
+        return accuracy_cell_key(spec, bench, budget);
+    }
+    CellKey::new(
+        "accuracy",
+        &format!("{:?} × {} warmup={warmup_uops}", spec, bench.name),
+        bench.seed,
+        budget,
+    )
+}
+
 fn abort_on_failures(what: &str, failures: &[CellFailure]) {
     if let Some(first) = failures.first() {
         panic!(
@@ -280,12 +374,7 @@ pub fn run_matrix_checked(
     let (flat, failures) = try_par_map(&cells, env.threads, label, |i, &(s, p)| {
         let (bench, program) = &programs[p];
         env.fault.panic_if_scheduled(&label(i, &(s, p)));
-        let key = CellKey::new(
-            "accuracy",
-            &format!("{:?} × {}", specs[s], bench.name),
-            bench.seed,
-            env.uop_budget(),
-        );
+        let key = accuracy_cell_key(&specs[s], bench, env.uop_budget());
         cached(env, &key, || {
             let mut hybrid = specs[s].build();
             run_accuracy(program, &mut hybrid, &env.sim_config(bench.seed))
@@ -418,12 +507,7 @@ pub fn cycle_grid_checked(
     let (flat, failures) = try_par_map(&cells, env.threads, label, |i, &(s, b)| {
         env.fault.panic_if_scheduled(&label(i, &(s, b)));
         let bench = &benches[b];
-        let key = CellKey::new(
-            "cycle",
-            &format!("{:?} × {}", specs[s], bench.name),
-            bench.seed,
-            env.uop_budget(),
-        );
+        let key = cycle_cell_key(&specs[s], bench, env.uop_budget());
         cached(env, &key, || {
             let mut hybrid = specs[s].build();
             run_cycles(&programs[b], &mut hybrid, &cycle_cfg(env, bench))

@@ -40,6 +40,13 @@
 //! its pool skips it. Both sections are deterministic across thread
 //! counts, and [`ExpEnv::fault`] can inject corruptions/panics to prove
 //! it (`crates/sim/tests/faultinject.rs`).
+//!
+//! **Checkpoint/resume.** Every tournament cell resolves through the
+//! environment's cell store when one is configured (`--store`/`--resume`):
+//! hybrid cells under the same keys as the figure grids, trace-coupled
+//! cells under keys carrying the trace's `bt_fnv1a` content checksum —
+//! the same values a corpus manifest records, so the `serve` subsystem
+//! answers `tracecmp-cell` requests from the identical cache.
 
 use bptrace::{BtReader, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 use predictors::configs::{self, Budget};
@@ -50,9 +57,14 @@ use replay::{
 };
 use workloads::{Benchmark, Snapshot};
 
+use replay::checksum::fnv1a;
+
 use crate::accuracy::run_accuracy;
 use crate::cycle::{run_cycles, run_cycles_trace, CycleResult};
-use crate::experiments::common::{cycle_cfg, ExpEnv};
+use crate::experiments::common::{
+    accuracy_cell_key, cached, cycle_cell_key, cycle_cfg, replay_cell_key, trace_cycle_cell_key,
+    ExpEnv,
+};
 use crate::metrics::AccuracyResult;
 use crate::runner::{par_map, try_par_map, CellFailure};
 use crate::table::{f2, json_escape, pct, Table};
@@ -98,7 +110,12 @@ pub fn hybrid_lineup() -> Vec<HybridSpec> {
     ]
 }
 
-fn size_label(p: &AnyProphet) -> String {
+/// The tournament's display label for a conventional entrant
+/// (`"16KB gshare"`). Public because trace-coupled store keys embed it:
+/// the `serve` subsystem must build byte-identical labels to share cells
+/// with a `--store` tournament run.
+#[must_use]
+pub fn size_label(p: &AnyProphet) -> String {
     format!("{}KB {}", p.storage_bytes().div_ceil(1024), p.name())
 }
 
@@ -110,6 +127,10 @@ struct RecordedTrace {
     /// trailer, so a truncation at a clean record boundary is only
     /// detectable by comparing against this.
     records: u64,
+    /// Content checksum of `bt` — the same value a corpus manifest
+    /// records as `bt_fnv1a` for this seed/budget, so trace-coupled
+    /// store cells are shared with the serving layer.
+    bt_fnv1a: u64,
 }
 
 /// Checks one recorded trace end-to-end: snapshot decode, trace decode,
@@ -171,11 +192,13 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             Snapshot::new(program.clone(), bench.seed)
                 .write_to(&mut pcl)
                 .expect("in-memory snapshot write cannot fail");
+            let bt_fnv1a = fnv1a(&bt);
             RecordedTrace {
                 bench: bench.clone(),
                 bt,
                 pcl,
                 records,
+                bt_fnv1a,
             }
         });
 
@@ -212,9 +235,19 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let (conv, fails): (Vec<Option<ReplayResult>>, _) =
         try_par_map(&conv_cells, env.threads, conv_label, |i, &(p, t)| {
             env.fault.panic_if_scheduled(&conv_label(i, &(p, t)));
-            let mut predictor = lineup[p].clone();
-            replay_bytes(&recorded[t].bt, &mut predictor, &replay_cfg)
-                .expect("trace passed the integrity gate")
+            let rec = &recorded[t];
+            let key = replay_cell_key(
+                &size_label(&lineup[p]),
+                &rec.bench.name,
+                rec.bt_fnv1a,
+                rec.bench.seed,
+                budget,
+            );
+            cached(env, &key, || {
+                let mut predictor = lineup[p].clone();
+                replay_bytes(&rec.bt, &mut predictor, &replay_cfg)
+                    .expect("trace passed the integrity gate")
+            })
         });
     failures.extend(fails);
 
@@ -229,10 +262,16 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let (hyb, fails): (Vec<Option<AccuracyResult>>, _) =
         try_par_map(&hyb_cells, env.threads, hyb_label, |i, &(s, t)| {
             env.fault.panic_if_scheduled(&hyb_label(i, &(s, t)));
-            let snap =
-                Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
-            let mut hybrid = hybrids[s].build();
-            run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
+            // Same key as the figure grids: the snapshot execution is the
+            // benchmark program at the benchmark seed, which the
+            // cross-check gate proves.
+            let key = accuracy_cell_key(&hybrids[s], &recorded[t].bench, budget);
+            cached(env, &key, || {
+                let snap =
+                    Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+                let mut hybrid = hybrids[s].build();
+                run_accuracy(&snap.program, &mut hybrid, &env.sim_config(snap.seed))
+            })
         });
     failures.extend(fails);
 
@@ -248,14 +287,20 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let (conv_cycles, fails): (Vec<Option<CycleResult>>, _) =
         try_par_map(&conv_cells, env.threads, conv_cycle_label, |i, &(p, t)| {
             env.fault.panic_if_scheduled(&conv_cycle_label(i, &(p, t)));
-            let mut predictor = lineup[p].clone();
-            let mut reader =
-                BtReader::new(recorded[t].bt.as_slice()).expect("trace passed the integrity gate");
-            run_cycles_trace(
-                &mut reader,
-                &mut predictor,
-                &cycle_cfg(env, &recorded[t].bench),
-            )
+            let rec = &recorded[t];
+            let key = trace_cycle_cell_key(
+                &size_label(&lineup[p]),
+                &rec.bench.name,
+                rec.bt_fnv1a,
+                rec.bench.seed,
+                budget,
+            );
+            cached(env, &key, || {
+                let mut predictor = lineup[p].clone();
+                let mut reader =
+                    BtReader::new(rec.bt.as_slice()).expect("trace passed the integrity gate");
+                run_cycles_trace(&mut reader, &mut predictor, &cycle_cfg(env, &rec.bench))
+            })
         });
     failures.extend(fails);
     let hyb_cycle_label = |_: usize, &(s, t): &(usize, usize)| {
@@ -264,14 +309,17 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     let (hyb_cycles, fails): (Vec<Option<CycleResult>>, _) =
         try_par_map(&hyb_cells, env.threads, hyb_cycle_label, |i, &(s, t)| {
             env.fault.panic_if_scheduled(&hyb_cycle_label(i, &(s, t)));
-            let snap =
-                Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
-            let mut hybrid = hybrids[s].build();
-            run_cycles(
-                &snap.program,
-                &mut hybrid,
-                &cycle_cfg(env, &recorded[t].bench),
-            )
+            let key = cycle_cell_key(&hybrids[s], &recorded[t].bench, budget);
+            cached(env, &key, || {
+                let snap =
+                    Snapshot::read_from(recorded[t].pcl.as_slice()).expect("snapshot round-trips");
+                let mut hybrid = hybrids[s].build();
+                run_cycles(
+                    &snap.program,
+                    &mut hybrid,
+                    &cycle_cfg(env, &recorded[t].bench),
+                )
+            })
         });
     failures.extend(fails);
 

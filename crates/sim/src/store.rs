@@ -494,6 +494,104 @@ impl CellPayload for CycleResult {
     }
 }
 
+/// Maps a stored predictor name back to the `&'static str` the
+/// [`predictors::DirectionPredictor`] implementations return. An unknown
+/// name fails the decode (a cache miss, so the cell just recomputes) —
+/// the alternative, leaking a fresh allocation per decode, is wrong for
+/// a long-running server.
+fn intern_predictor_name(name: &str) -> Option<&'static str> {
+    const KNOWN: [&str; 8] = [
+        "bimodal",
+        "gas",
+        "gshare",
+        "tagged-gshare",
+        "2bc-gskew",
+        "local",
+        "perceptron",
+        "yags",
+    ];
+    KNOWN.iter().find(|k| **k == name).copied()
+}
+
+impl CellPayload for replay::ReplayResult {
+    fn to_cell_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "trace={}\n\
+             predictor={}\n\
+             measured_uops={}\n\
+             measured_conditionals={}\n\
+             mispredicts={}\n\
+             replayed_records={}\n\
+             branches={}\n",
+            self.trace,
+            self.predictor,
+            self.measured_uops,
+            self.measured_conditionals,
+            self.mispredicts,
+            self.replayed_records,
+            self.per_branch.len(),
+        );
+        for b in &self.per_branch {
+            out.push_str(&format!(
+                "branch={:#x},{},{},{}\n",
+                b.pc, b.occurrences, b.taken, b.mispredicts
+            ));
+        }
+        out.into_bytes()
+    }
+
+    fn from_cell_bytes(bytes: &[u8]) -> Option<Self> {
+        // Decoded sequentially (not via `FieldMap`): `per_branch` can run
+        // to thousands of lines and a linear-scan map would be quadratic.
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        let mut field = |name: &str| -> Option<String> {
+            lines
+                .next()?
+                .strip_prefix(name)?
+                .strip_prefix('=')
+                .map(String::from)
+        };
+        let trace = field("trace")?;
+        let predictor = intern_predictor_name(&field("predictor")?)?;
+        let measured_uops = field("measured_uops")?.parse().ok()?;
+        let measured_conditionals = field("measured_conditionals")?.parse().ok()?;
+        let mispredicts = field("mispredicts")?.parse().ok()?;
+        let replayed_records = field("replayed_records")?.parse().ok()?;
+        let branches: usize = field("branches")?.parse().ok()?;
+        let mut per_branch = Vec::with_capacity(branches.min(1 << 20));
+        for _ in 0..branches {
+            let line = lines.next()?.strip_prefix("branch=")?;
+            let mut parts = line.split(',');
+            let pc = u64::from_str_radix(parts.next()?.strip_prefix("0x")?, 16).ok()?;
+            let occurrences = parts.next()?.parse().ok()?;
+            let taken = parts.next()?.parse().ok()?;
+            let mispredicts = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            per_branch.push(replay::BranchReplay {
+                pc,
+                occurrences,
+                taken,
+                mispredicts,
+            });
+        }
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            trace,
+            predictor,
+            measured_uops,
+            measured_conditionals,
+            mispredicts,
+            replayed_records,
+            per_branch,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +618,48 @@ mod tests {
             btb_miss_rate: 0.012_345_678_9,
             critiques: CritiqueStats::from_counts([1, 2, 3, 4, 5, 6]),
         }
+    }
+
+    #[test]
+    fn replay_result_round_trips_exactly() {
+        let original = replay::ReplayResult {
+            trace: "gzip".into(),
+            predictor: "2bc-gskew",
+            measured_uops: 960_000,
+            measured_conditionals: 71_000,
+            mispredicts: 3_456,
+            replayed_records: 88_000,
+            per_branch: vec![
+                replay::BranchReplay {
+                    pc: 0x40_1000,
+                    occurrences: 500,
+                    taken: 300,
+                    mispredicts: 40,
+                },
+                replay::BranchReplay {
+                    pc: 0x40_2040,
+                    occurrences: 120,
+                    taken: 7,
+                    mispredicts: 2,
+                },
+            ],
+        };
+        let bytes = original.to_cell_bytes();
+        let back = replay::ReplayResult::from_cell_bytes(&bytes).unwrap();
+        assert_eq!(back, original);
+        // Same static pointer class: the name was interned, not leaked.
+        assert_eq!(back.predictor, "2bc-gskew");
+        // Unknown predictor names fail the decode (a miss, never a leak).
+        let tampered = String::from_utf8(bytes)
+            .unwrap()
+            .replace("2bc-gskew", "mystery");
+        assert!(replay::ReplayResult::from_cell_bytes(tampered.as_bytes()).is_none());
+        // Truncated branch list fails structurally.
+        let mut short = original.clone();
+        short.per_branch.clear();
+        let mut bytes = short.to_cell_bytes();
+        bytes.extend_from_slice(b"branch=0x1,2,3\n");
+        assert!(replay::ReplayResult::from_cell_bytes(&bytes).is_none());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   space (strided future bits), then **local refinement** rounds that
 //!   expand the frontier's neighbours one step per dimension. Every
 //!   candidate batch fans through [`par_map`] with input-ordered
-//!   collection, every simulation is seeded, and the only randomness is
+//!   collection — each scoring cell resolving through the environment's
+//!   incremental cell store when one is configured (`--store`/`--resume`),
+//!   so a killed search resumes and nightly soaks reuse warm cells —
+//!   every simulation is seeded, and the only randomness is
 //!   [`workloads::rng`] under a fixed seed (used to cap oversized
 //!   neighbour sets) — so the outcome is **bit-identical for any thread
 //!   count**, pinned by `crates/sim/tests/tune.rs`.
@@ -52,7 +55,7 @@ use workloads::rng::SmallRng;
 use workloads::{Benchmark, MixProfile, Program};
 
 use crate::accuracy::{run_accuracy, run_accuracy_observed, SimConfig};
-use crate::experiments::common::ExpEnv;
+use crate::experiments::common::{cached, tune_cell_key, ExpEnv};
 use crate::metrics::AccuracyResult;
 use crate::runner::par_map;
 
@@ -504,12 +507,12 @@ fn evaluate(
         .collect();
     let flat = par_map(&cells, env.threads, |_, &(s, w, p)| {
         let (bench, program) = &programs[p];
-        let mut hybrid = specs[s].build();
-        run_accuracy(
-            program,
-            &mut hybrid,
-            &sim_config(env, warmups[w], bench.seed),
-        )
+        let cfg = sim_config(env, warmups[w], bench.seed);
+        let key = tune_cell_key(&specs[s], bench, cfg.max_uops, cfg.warmup_uops);
+        cached(env, &key, || {
+            let mut hybrid = specs[s].build();
+            run_accuracy(program, &mut hybrid, &cfg)
+        })
     });
     let mut it = flat.into_iter();
     (0..specs.len())

@@ -2,10 +2,13 @@
 //! bit-identical for any thread count, and the corpus replay path must
 //! reproduce direct execution on the same seeds.
 
+use std::sync::Arc;
+
 use predictors::DirectionPredictor;
 use replay::{direct_replay, open_trace, record_corpus, replay_reader, ReplayConfig};
 use sim::experiments::tracecmp::{conventional_lineup, run_with_report};
 use sim::experiments::ExpEnv;
+use sim::CellStore;
 
 fn tiny() -> ExpEnv {
     ExpEnv {
@@ -28,6 +31,43 @@ fn tournament_report_is_bit_identical_for_any_thread_count() {
             assert_eq!(t.render(), r.render(), "threads={threads}");
         }
     }
+}
+
+#[test]
+fn tournament_resume_over_a_warm_store_recomputes_nothing() {
+    // The `--store`/`--resume` pin for the tournament: a second run over
+    // the same cell store must answer every replay/accuracy/cycle cell
+    // from disk (zero new computations) and emit a byte-identical report.
+    let dir = std::env::temp_dir().join("sim-tracecmp-store-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(CellStore::open(&dir).unwrap());
+    let env = tiny().with_threads(2).with_store(Arc::clone(&store));
+
+    let (cold_tables, cold_json) = run_with_report(&env);
+    let cold_misses = store.misses();
+    assert!(cold_misses > 0, "cold run must populate the store");
+    assert_eq!(store.hits(), 0, "empty store cannot hit");
+
+    let (warm_tables, warm_json) = run_with_report(&env);
+    assert_eq!(
+        store.misses(),
+        cold_misses,
+        "warm rerun recomputed cells the store already held"
+    );
+    assert_eq!(
+        store.hits(),
+        cold_misses,
+        "every stored cell must be answered from disk"
+    );
+    assert_eq!(
+        warm_json, cold_json,
+        "resumed report must be byte-identical"
+    );
+    assert_eq!(warm_tables.len(), cold_tables.len());
+    for (w, c) in warm_tables.iter().zip(&cold_tables) {
+        assert_eq!(w.render(), c.render());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -2,10 +2,13 @@
 //! search (including the JSON report), staged-search bookkeeping, and the
 //! promoted preset actually beating the untuned default.
 
+use std::sync::Arc;
+
 use prophet_critic::HybridSpec;
 use sim::experiments::common::{pooled_accuracy, ExpEnv};
 use sim::experiments::tune::report_json;
 use sim::tune::{h2p_slices, run_search, untuned_default, TuneOptions, TuneSpace};
+use sim::CellStore;
 
 /// A reduced-scale environment exercising the parallel path.
 fn env(threads: usize) -> ExpEnv {
@@ -48,6 +51,52 @@ fn search_and_report_are_bit_identical_across_thread_counts() {
         assert_eq!(a.runs, b.runs, "{} raw runs diverged", a.spec.label());
         assert_eq!(a.scenarios, b.scenarios);
     }
+}
+
+#[test]
+fn search_resumes_from_a_warm_store_byte_identically() {
+    // Tune's scored cells persist: a rerun of the whole search over the
+    // same cell store must score every candidate from disk — no new
+    // computations — and produce a byte-identical report.
+    let dir = std::env::temp_dir().join("sim-tune-store-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(CellStore::open(&dir).unwrap());
+    let e = ExpEnv {
+        scale: 0.05,
+        ..ExpEnv::tiny()
+    }
+    .with_threads(2)
+    .with_store(Arc::clone(&store));
+
+    let space = TuneSpace::quick();
+    let opts = TuneOptions::default();
+    let run = || {
+        let outcome = run_search(&space, &e, &opts);
+        let winner = outcome.winner().expect("quick space is non-empty").spec;
+        let slices = h2p_slices(&winner, &e.programs(), &e, 200);
+        report_json(&outcome, &slices, &e)
+    };
+
+    let cold_json = run();
+    let cold_misses = store.misses();
+    let cold_hits = store.hits();
+    assert!(cold_misses > 0, "cold search must populate the store");
+
+    let warm_json = run();
+    assert_eq!(
+        store.misses(),
+        cold_misses,
+        "warm search recomputed cells the store already held"
+    );
+    assert!(
+        store.hits() > cold_hits,
+        "warm search must answer its cells from disk"
+    );
+    assert_eq!(
+        warm_json, cold_json,
+        "resumed BENCH_tune.json must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

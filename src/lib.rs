@@ -18,6 +18,9 @@
 //! * [`sim`] — the execution-driven simulators, the experiment harness
 //!   reproducing every table and figure, and the `sim::tune` calibration
 //!   search behind the promoted headline preset.
+//! * [`serve`] — prediction-as-a-service: the std-only HTTP server over
+//!   the experiment engine, caching every answer in the cell store
+//!   (`docs/SERVING.md`).
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
 //! `docs/EXPERIMENTS.md` for the experiment catalog and report schemas.
@@ -50,6 +53,7 @@ pub use frontend;
 pub use predictors;
 pub use prophet_critic;
 pub use replay;
+pub use serve;
 pub use sim;
 pub use uarch;
 pub use workloads;
