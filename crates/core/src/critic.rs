@@ -8,6 +8,21 @@ use predictors::{
 
 use crate::critique::CriticDecision;
 
+/// One element of a batched critic training pass: the branch, the BOR value
+/// its critique consumed, its resolved outcome, and the prophet's original
+/// prediction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CriticTrainInput {
+    /// Branch address.
+    pub pc: Pc,
+    /// The BOR value used by the critique — including wrong-path future bits.
+    pub bor: HistoryBits,
+    /// The branch's resolved outcome.
+    pub outcome: bool,
+    /// The prophet's original prediction (drives filtered allocation).
+    pub prophet_pred: bool,
+}
+
 /// A critic: given a branch, the BOR value (history + future bits) and the
 /// prophet's prediction, it renders a [`CriticDecision`].
 ///
@@ -40,6 +55,17 @@ pub trait Critic {
     fn storage_bytes(&self) -> usize {
         self.storage_bits().div_ceil(8)
     }
+
+    /// Batched commit-time training: [`train`](Self::train) per element, in
+    /// commit order. The hybrid engine defers trainings and flushes them in
+    /// blocks; the default loop is semantically identical to eager
+    /// per-branch training because training never reads state that a
+    /// critique between two commits could have changed.
+    fn train_block(&mut self, inputs: &[CriticTrainInput]) {
+        for input in inputs {
+            self.train(input.pc, input.bor, input.outcome, input.prophet_pred);
+        }
+    }
 }
 
 impl<C: Critic + ?Sized> Critic for Box<C> {
@@ -61,6 +87,10 @@ impl<C: Critic + ?Sized> Critic for Box<C> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn train_block(&mut self, inputs: &[CriticTrainInput]) {
+        (**self).train_block(inputs);
     }
 }
 

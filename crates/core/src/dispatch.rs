@@ -15,11 +15,12 @@
 
 use predictors::{
     BcGskew, Bimodal, DirectionPredictor, GAs, Gshare, HistoryBits, Local, Pc, Perceptron,
-    Prediction, Yags,
+    PredictBlock, PredictInput, Prediction, Yags,
 };
 
 use crate::critic::{
-    Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic, UnfilteredCritic,
+    Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic,
+    UnfilteredCritic,
 };
 use crate::critique::CriticDecision;
 
@@ -83,6 +84,18 @@ impl DirectionPredictor for AnyProphet {
 
     fn name(&self) -> &'static str {
         each_prophet!(self, p => p.name())
+    }
+
+    /// One variant match per *chunk* instead of per branch: the selected
+    /// concrete predictor's fused kernel then runs the whole block inlined.
+    #[inline]
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        each_prophet!(self, p => p.predict_block(inputs))
+    }
+
+    #[inline]
+    fn train_block(&mut self, inputs: &[PredictInput]) {
+        each_prophet!(self, p => p.train_block(inputs))
     }
 }
 
@@ -166,6 +179,12 @@ impl Critic for AnyCritic {
 
     fn name(&self) -> &'static str {
         each_critic!(self, c => c.name())
+    }
+
+    /// One variant match per chunk of deferred commit-time trainings.
+    #[inline]
+    fn train_block(&mut self, inputs: &[CriticTrainInput]) {
+        each_critic!(self, c => c.train_block(inputs))
     }
 }
 

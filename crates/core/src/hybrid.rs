@@ -12,14 +12,17 @@
 //!   disputed branch, re-seeding them with the critic's direction;
 //! * branches resolve and commit in order; commits train both components
 //!   non-speculatively with the exact context each prediction consumed
-//!   (including wrong-path future bits, §3.3);
+//!   (including wrong-path future bits, §3.3). Trainings are queued in
+//!   commit order and drained through the components' batched
+//!   `train_block` kernels just before the next table read — bit-identical
+//!   to eager training, because resolving touches no table state;
 //! * a final mispredict repairs BHR and BOR via checkpoint restore.
 
 use std::collections::VecDeque;
 
-use predictors::{DirectionPredictor, HistoryBits, Pc};
+use predictors::{DirectionPredictor, HistoryBits, Pc, PredictInput};
 
-use crate::critic::Critic;
+use crate::critic::{Critic, CriticTrainInput};
 use crate::critique::{CriticDecision, CritiqueKind, CritiqueStats};
 
 /// A monotonically increasing identifier for an in-flight branch.
@@ -127,6 +130,11 @@ impl std::error::Error for HybridError {}
 /// steady-state prediction never grows the allocation.
 const INFLIGHT_CAPACITY: usize = 64;
 
+/// Deferred commit-time trainings are handed to the components' batched
+/// kernels in chunks of at most this many branches — the same chunk size
+/// the replay engine feeds `predict_block`.
+const TRAIN_CHUNK: usize = 64;
+
 /// One in-flight (predicted, not yet committed) branch.
 #[derive(Copy, Clone, Debug)]
 struct InFlight {
@@ -195,6 +203,12 @@ pub struct ProphetCritic<P, C> {
     inflight: VecDeque<InFlight>,
     next_seq: u64,
     stats: CritiqueStats,
+    /// Commit-time prophet trainings queued since the last prophet read,
+    /// in commit order (drained via `DirectionPredictor::train_block`).
+    pending_prophet: Vec<PredictInput>,
+    /// Commit-time critic trainings queued since the last critic read, in
+    /// commit order (drained via `Critic::train_block`).
+    pending_critic: Vec<CriticTrainInput>,
 }
 
 impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
@@ -231,7 +245,40 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
             inflight: VecDeque::with_capacity(INFLIGHT_CAPACITY),
             next_seq: 0,
             stats: CritiqueStats::new(),
+            pending_prophet: Vec::with_capacity(TRAIN_CHUNK),
+            pending_critic: Vec::with_capacity(TRAIN_CHUNK),
         }
+    }
+
+    /// Drains queued commit-time prophet trainings through the batched
+    /// kernel, in commit order.
+    fn flush_prophet_training(&mut self) {
+        if !self.pending_prophet.is_empty() {
+            self.prophet.train_block(&self.pending_prophet);
+            self.pending_prophet.clear();
+        }
+    }
+
+    /// Drains queued commit-time critic trainings through the batched
+    /// kernel, in commit order.
+    fn flush_critic_training(&mut self) {
+        if !self.pending_critic.is_empty() {
+            self.critic.train_block(&self.pending_critic);
+            self.pending_critic.clear();
+        }
+    }
+
+    /// Applies all queued commit-time trainings immediately.
+    ///
+    /// The engine defers commit-time training and drains it in chunks
+    /// through the components' batched `train_block` kernels, always before
+    /// the next prediction or critique reads table state — so driving the
+    /// normal protocol never observes a difference. Call this only when
+    /// inspecting a component through [`prophet`](Self::prophet) or
+    /// [`critic`](Self::critic) and the latest resolutions must be visible.
+    pub fn flush_training(&mut self) {
+        self.flush_prophet_training();
+        self.flush_critic_training();
     }
 
     /// The configured number of future bits.
@@ -241,12 +288,20 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
     }
 
     /// The prophet component.
+    ///
+    /// Commit-time trainings are deferred; call
+    /// [`flush_training`](Self::flush_training) first to observe the very
+    /// latest resolutions in the tables.
     #[must_use]
     pub fn prophet(&self) -> &P {
         &self.prophet
     }
 
     /// The critic component.
+    ///
+    /// Commit-time trainings are deferred; call
+    /// [`flush_training`](Self::flush_training) first to observe the very
+    /// latest resolutions in the tables.
     #[must_use]
     pub fn critic(&self) -> &C {
         &self.critic
@@ -301,6 +356,11 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
     /// The returned direction is the prophet's; fetch should follow it until
     /// a critique possibly overrides it.
     pub fn predict(&mut self, pc: Pc) -> PredictEvent {
+        // Commits queued since the last prediction must be visible to this
+        // table read — identical timing to eager training, since resolving
+        // itself never reads the tables.
+        self.flush_prophet_training();
+
         let id = BranchId(self.next_seq);
         self.next_seq += 1;
 
@@ -377,6 +437,9 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
     }
 
     fn do_critique(&mut self, idx: usize) -> CritiqueEvent {
+        // The critic's tables are about to be read: apply queued commits.
+        self.flush_critic_training();
+
         let (id, pc, prophet_pred, bor_used, bor_before, bhr_at_predict) = {
             let b = &self.inflight[idx];
             (
@@ -463,9 +526,26 @@ impl<P: DirectionPredictor, C: Critic> ProphetCritic<P, C> {
         // same BOR value that generated its critique — on a prophet
         // mispredict that value contains the wrong-path future bits, which
         // is precisely what lets it recognize the situation next time.
-        self.prophet.update(head.pc, head.bhr_at_predict, outcome);
-        self.critic
-            .train(head.pc, critique.bor_used, outcome, head.prophet_pred);
+        // Trainings queue here and drain through the batched kernels right
+        // before the next table read, so commit bursts (several critiqued
+        // branches resolving back-to-back) amortize the dispatch.
+        self.pending_prophet.push(PredictInput {
+            pc: head.pc,
+            hist: head.bhr_at_predict,
+            taken: outcome,
+        });
+        if self.pending_prophet.len() >= TRAIN_CHUNK {
+            self.flush_prophet_training();
+        }
+        self.pending_critic.push(CriticTrainInput {
+            pc: head.pc,
+            bor: critique.bor_used,
+            outcome,
+            prophet_pred: head.prophet_pred,
+        });
+        if self.pending_critic.len() >= TRAIN_CHUNK {
+            self.flush_critic_training();
+        }
         self.stats.record(kind);
 
         Ok(ResolveEvent {

@@ -69,8 +69,8 @@ mod hybrid;
 
 pub use combos::{BoxedHybrid, CriticKind, DynHybrid, Hybrid, HybridSpec, ProphetKind};
 pub use critic::{
-    AllocationPolicy, Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic,
-    UnfilteredCritic,
+    AllocationPolicy, Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic,
+    TaggedGshareCritic, UnfilteredCritic,
 };
 pub use critique::{CriticDecision, CritiqueKind, CritiqueStats};
 pub use dispatch::{AnyCritic, AnyProphet};

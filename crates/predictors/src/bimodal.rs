@@ -1,6 +1,8 @@
 //! Bimodal predictor: a table of two-bit counters indexed by branch address.
 
-use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
+use crate::{
+    CounterTable, DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction,
+};
 
 /// The bimodal (per-address two-bit counter) predictor.
 ///
@@ -20,7 +22,7 @@ use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
 /// p.update(pc, h, true);
 /// assert!(p.predict(pc, h).taken());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bimodal {
     table: CounterTable,
 }
@@ -50,7 +52,7 @@ impl DirectionPredictor for Bimodal {
     }
 
     fn update(&mut self, pc: Pc, _hist: HistoryBits, taken: bool) {
-        self.table.counter_mut(self.index(pc)).update(taken);
+        self.table.update(self.index(pc), taken);
     }
 
     fn history_len(&self) -> usize {
@@ -63,6 +65,17 @@ impl DirectionPredictor for Bimodal {
 
     fn name(&self) -> &'static str {
         "bimodal"
+    }
+
+    /// Fused kernel: one index computation and one packed-word visit per
+    /// element.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut bits = 0u64;
+        for (i, input) in inputs.iter().enumerate() {
+            let idx = self.index(input.pc);
+            bits |= u64::from(self.table.predict_update(idx, input.taken)) << i;
+        }
+        PredictBlock::from_parts(bits, inputs.len())
     }
 }
 

@@ -167,6 +167,19 @@ impl Default for SatCounter {
     }
 }
 
+/// Saturating update on a raw counter value already masked to `max` —
+/// the arithmetic [`CounterTable`](crate::CounterTable) applies to its
+/// bit-packed fields. Must stay step-for-step identical to
+/// [`SatCounter::update`]; the equivalence test below sweeps every
+/// (width, value, direction) combination.
+pub(crate) fn packed_update(value: u64, max: u64, taken: bool) -> u64 {
+    if taken {
+        (value + 1).min(max)
+    } else {
+        value.saturating_sub(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +268,27 @@ mod tests {
         assert_eq!(c.value(), 1);
         c.reinit(true);
         assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn packed_update_matches_sat_counter_everywhere() {
+        // The packed-word arithmetic must agree with SatCounter::update for
+        // every width, every representable value, in both directions.
+        for bits in 1..=7usize {
+            let max = (1u64 << bits) - 1;
+            for value in 0..=max {
+                for taken in [false, true] {
+                    let mut reference = SatCounter::new(bits, value as u8);
+                    reference.update(taken);
+                    let packed = packed_update(value, max, taken);
+                    assert_eq!(
+                        packed,
+                        u64::from(reference.value()),
+                        "bits={bits} value={value} taken={taken}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

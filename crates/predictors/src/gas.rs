@@ -1,6 +1,8 @@
 //! GAs: two-level adaptive prediction with global history concatenation.
 
-use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
+use crate::{
+    CounterTable, DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction,
+};
 
 /// The GAs two-level adaptive predictor (Yeh/Patt).
 ///
@@ -9,7 +11,7 @@ use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
 /// table entries among many contexts), GAs dedicates a history column per
 /// address group. The paper cites it as the classic *aliased* global-history
 /// scheme that de-aliased predictors (2Bc-gskew, YAGS) improve upon.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GAs {
     table: CounterTable,
     history_len: usize,
@@ -47,7 +49,7 @@ impl DirectionPredictor for GAs {
     }
 
     fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
-        self.table.counter_mut(self.index(pc, hist)).update(taken);
+        self.table.update(self.index(pc, hist), taken);
     }
 
     fn history_len(&self) -> usize {
@@ -60,6 +62,17 @@ impl DirectionPredictor for GAs {
 
     fn name(&self) -> &'static str {
         "gas"
+    }
+
+    /// Fused kernel: one concatenated index per element serves the read and
+    /// the training write.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut bits = 0u64;
+        for (i, input) in inputs.iter().enumerate() {
+            let idx = self.index(input.pc, input.hist);
+            bits |= u64::from(self.table.predict_update(idx, input.taken)) << i;
+        }
+        PredictBlock::from_parts(bits, inputs.len())
     }
 }
 

@@ -2,8 +2,8 @@
 
 use crate::index::{gshare_index, mix2};
 use crate::{
-    CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction, SatCounter, TagLookup,
-    TaggedTable,
+    CounterTable, DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction,
+    SatCounter, TagLookup, TaggedTable,
 };
 
 /// McFarling's gshare predictor: two-bit counters indexed by
@@ -30,7 +30,7 @@ use crate::{
 /// let pred = p.predict(pc, bhr);
 /// assert!(pred.taken()); // after ...NTNT the next is T
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Gshare {
     table: CounterTable,
     history_len: usize,
@@ -70,7 +70,7 @@ impl DirectionPredictor for Gshare {
     }
 
     fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
-        self.table.counter_mut(self.index(pc, hist)).update(taken);
+        self.table.update(self.index(pc, hist), taken);
     }
 
     fn history_len(&self) -> usize {
@@ -83,6 +83,25 @@ impl DirectionPredictor for Gshare {
 
     fn name(&self) -> &'static str {
         "gshare"
+    }
+
+    /// Fused kernel: the index hash is computed once per element, the
+    /// prediction read and training write share one table visit, and the
+    /// directions accumulate in a local bitmask instead of per-element
+    /// [`PredictBlock::push`] calls.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut bits = 0u64;
+        let width = self.table.index_bits();
+        for (i, input) in inputs.iter().enumerate() {
+            let idx = gshare_index(
+                input.pc.addr(),
+                input.hist.recent(self.history_len),
+                self.history_len,
+                width,
+            );
+            bits |= u64::from(self.table.predict_update(idx, input.taken)) << i;
+        }
+        PredictBlock::from_parts(bits, inputs.len())
     }
 }
 
@@ -97,7 +116,7 @@ impl DirectionPredictor for Gshare {
 /// Index and tag are two different XOR hashes of (PC, history) per §4; tags
 /// are 8–10 bits (“our experiments have shown that only 8–10 bit tags are
 /// needed”).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaggedGshare {
     table: TaggedTable<SatCounter>,
     history_len: usize,
@@ -200,6 +219,33 @@ impl DirectionPredictor for TaggedGshare {
 
     fn name(&self) -> &'static str {
         "tagged-gshare"
+    }
+
+    /// Fused kernel: one hash and one LRU-touching set probe per element.
+    ///
+    /// The scalar path peeks (no LRU/clock effect) for the prediction, then
+    /// `lookup`s for training; since `peek` is side-effect-free, reading the
+    /// counter out of the single `lookup` before updating it leaves the
+    /// clock/LRU sequence — and therefore every future victim choice —
+    /// identical.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut out = PredictBlock::new();
+        for input in inputs {
+            let (idx, tag) = self.hash(input.pc, input.hist);
+            match self.table.lookup(idx, tag) {
+                Some(c) => {
+                    out.push(c.is_taken());
+                    c.update(input.taken);
+                }
+                None => {
+                    // Scalar predict on a tag miss defaults to not-taken.
+                    out.push(false);
+                    self.table
+                        .insert(idx, tag, SatCounter::weak_for(2, input.taken));
+                }
+            }
+        }
+        out
     }
 }
 

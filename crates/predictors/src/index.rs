@@ -57,6 +57,16 @@ pub fn skew_g(x: u64, n: usize) -> u64 {
     ((x >> 1) | ((lsb ^ bit1) << (n - 1))) & m
 }
 
+/// The shared PC operand of the [`skew`] family at `width` bits — the
+/// multiplicative scramble and fold every member applies to the branch
+/// address. Factored out so fused kernels can compute it once per element
+/// and combine it with [`skew_h`]/[`skew_g`] directly; [`skew`] itself is
+/// defined in terms of it.
+#[must_use]
+pub fn skew_pc(pc: u64, width: usize) -> u64 {
+    fold((pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15), width)
+}
+
 /// The three skewed indexing functions used by 2Bc-gskew's G0, G1 and META
 /// banks.
 ///
@@ -76,7 +86,7 @@ pub fn skew(which: usize, pc: u64, hist: u64, hist_len: usize, width: usize) -> 
     assert!(which <= 2, "skew function index {which} out of range");
     assert!((2..=31).contains(&width), "skew width {width} out of range");
     let h = fold_bits(hist, hist_len, width);
-    let p = fold((pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15), width);
+    let p = skew_pc(pc, width);
     let v1 = h;
     let v2 = p;
     let out = match which {

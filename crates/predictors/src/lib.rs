@@ -162,6 +162,110 @@ impl Prediction {
     }
 }
 
+/// One element of a batched predictor call: the branch, the history value
+/// its prediction must be made with, and its resolved outcome for the fused
+/// training step.
+///
+/// Batched replay knows every branch's outcome up front (the trace is
+/// non-speculative), so prediction and commit-time training fuse into one
+/// table visit per element.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PredictInput {
+    /// Branch address.
+    pub pc: Pc,
+    /// History register value at prediction time.
+    pub hist: HistoryBits,
+    /// The branch's resolved outcome (trains the predictor).
+    pub taken: bool,
+}
+
+/// The directions produced by one batched call, one bit per element in
+/// input order.
+///
+/// Confidence is not carried — batched consumers (replay, throughput) only
+/// score directions. Callers that need confidence use the scalar
+/// [`DirectionPredictor::predict`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct PredictBlock {
+    bits: u64,
+    len: u8,
+}
+
+impl PredictBlock {
+    /// Maximum number of elements per block.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty block.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { bits: 0, len: 0 }
+    }
+
+    /// Number of directions held.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the block holds no directions.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block already holds [`Self::CAPACITY`] directions.
+    pub fn push(&mut self, taken: bool) {
+        assert!((self.len as usize) < Self::CAPACITY, "PredictBlock full");
+        self.bits |= u64::from(taken) << self.len;
+        self.len += 1;
+    }
+
+    /// Builds a block directly from a direction bitmask and a length, for
+    /// kernels that accumulate their directions in a local `u64` instead of
+    /// calling [`push`](Self::push) per element. Bits at and above `len`
+    /// are cleared so [`bits`](Self::bits) stays canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`Self::CAPACITY`].
+    pub(crate) fn from_parts(bits: u64, len: usize) -> Self {
+        assert!(len <= Self::CAPACITY, "PredictBlock overfull");
+        let mask = if len == Self::CAPACITY {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        Self {
+            bits: bits & mask,
+            len: len as u8,
+        }
+    }
+
+    /// The direction predicted for element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn taken(&self, i: usize) -> bool {
+        assert!(i < self.len(), "index {i} out of range {}", self.len());
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// All predicted directions as a bit-vector: bit `i` is element `i`'s
+    /// direction, and bits at and above [`len`](Self::len) are zero. Batched
+    /// consumers use this to compare a whole block against recorded outcomes
+    /// with one XOR instead of [`Self::taken`] calls per element.
+    #[must_use]
+    pub const fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
 /// A conditional branch direction predictor as a pure function of
 /// `(pc, history)`.
 ///
@@ -194,6 +298,42 @@ pub trait DirectionPredictor {
     fn storage_bytes(&self) -> usize {
         self.storage_bits().div_ceil(8)
     }
+
+    /// Fused batched predict-then-train over up to
+    /// [`PredictBlock::CAPACITY`] branches.
+    ///
+    /// For each element in order: predict with the element's history value,
+    /// then train with its outcome — exactly the scalar
+    /// [`predict`](Self::predict)/[`update`](Self::update) interleaving, so
+    /// the returned directions and the post-call predictor state are
+    /// bit-identical to the scalar path. The default does precisely that;
+    /// structure-of-arrays predictors override it to compute each element's
+    /// table index once instead of twice. `batch_equiv.rs` pins the
+    /// equivalence for every implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() > PredictBlock::CAPACITY`.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut out = PredictBlock::new();
+        for input in inputs {
+            out.push(self.predict(input.pc, input.hist).taken());
+            self.update(input.pc, input.hist, input.taken);
+        }
+        out
+    }
+
+    /// Batched train-only pass: [`update`](Self::update) per element, in
+    /// order, with no predictions produced.
+    ///
+    /// Used where predictions would be discarded (warm-up regions, deferred
+    /// commit-time training). Because `predict` has no side effects,
+    /// skipping it leaves the predictor in exactly the scalar-path state.
+    fn train_block(&mut self, inputs: &[PredictInput]) {
+        for input in inputs {
+            self.update(input.pc, input.hist, input.taken);
+        }
+    }
 }
 
 impl<P: DirectionPredictor + ?Sized> DirectionPredictor for Box<P> {
@@ -215,6 +355,14 @@ impl<P: DirectionPredictor + ?Sized> DirectionPredictor for Box<P> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        (**self).predict_block(inputs)
+    }
+
+    fn train_block(&mut self, inputs: &[PredictInput]) {
+        (**self).train_block(inputs);
     }
 }
 
@@ -254,5 +402,44 @@ mod tests {
         p.update(pc, h, true);
         assert!(p.predict(pc, h).taken());
         assert_eq!(p.name(), "bimodal");
+    }
+
+    #[test]
+    fn predict_block_packs_directions_in_order() {
+        let mut b = PredictBlock::new();
+        assert!(b.is_empty());
+        for i in 0..PredictBlock::CAPACITY {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), PredictBlock::CAPACITY);
+        for i in 0..PredictBlock::CAPACITY {
+            assert_eq!(b.taken(i), i % 3 == 0, "direction {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PredictBlock full")]
+    fn predict_block_rejects_overflow() {
+        let mut b = PredictBlock::new();
+        for _ in 0..=PredictBlock::CAPACITY {
+            b.push(true);
+        }
+    }
+
+    #[test]
+    fn batched_calls_work_through_trait_objects() {
+        // The default batched implementations must be reachable through
+        // `Box<dyn DirectionPredictor>` — dispatch stays object-safe.
+        let mut p: Box<dyn DirectionPredictor> = Box::new(Bimodal::new(64));
+        let inputs: Vec<PredictInput> = (0..8)
+            .map(|i| PredictInput {
+                pc: Pc::new(0x100),
+                hist: HistoryBits::new(0),
+                taken: i % 2 == 0,
+            })
+            .collect();
+        let block = p.predict_block(&inputs);
+        assert_eq!(block.len(), inputs.len());
+        p.train_block(&inputs);
     }
 }

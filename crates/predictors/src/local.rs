@@ -1,7 +1,9 @@
 //! Local (per-address) two-level prediction, PAs / Alpha 21264 style.
 
 use crate::history::mask;
-use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
+use crate::{
+    CounterTable, DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction,
+};
 
 /// A local-history two-level predictor.
 ///
@@ -17,7 +19,7 @@ use crate::{CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction};
 /// ignored. This matches how local components are modelled in accuracy
 /// studies: their first level cannot be checkpoint-repaired cheaply, so they
 /// train at commit.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Local {
     histories: Vec<u64>,
     history_len: usize,
@@ -65,7 +67,7 @@ impl DirectionPredictor for Local {
     }
 
     fn update(&mut self, pc: Pc, _hist: HistoryBits, taken: bool) {
-        self.table.counter_mut(self.l2_index(pc)).update(taken);
+        self.table.update(self.l2_index(pc), taken);
         let slot = self.l1_index(pc);
         self.histories[slot] =
             ((self.histories[slot] << 1) | u64::from(taken)) & mask(self.history_len);
@@ -81,6 +83,21 @@ impl DirectionPredictor for Local {
 
     fn name(&self) -> &'static str {
         "local"
+    }
+
+    /// Fused kernel: the L1 slot and L2 index are derived once per element;
+    /// the L2 index is read *before* this element's history push, exactly as
+    /// the scalar predict-before-update ordering demands.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut bits = 0u64;
+        for (i, input) in inputs.iter().enumerate() {
+            let slot = self.l1_index(input.pc);
+            let l2 = self.l2_index(input.pc);
+            bits |= u64::from(self.table.predict_update(l2, input.taken)) << i;
+            self.histories[slot] =
+                ((self.histories[slot] << 1) | u64::from(input.taken)) & mask(self.history_len);
+        }
+        PredictBlock::from_parts(bits, inputs.len())
     }
 }
 

@@ -1,6 +1,6 @@
 //! The perceptron predictor of Jiménez and Lin.
 
-use crate::{DirectionPredictor, HistoryBits, Pc, Prediction};
+use crate::{DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction};
 
 /// Weight type: 8-bit signed, as budgeted by Table 3 of the paper
 /// (e.g. 2 KB = 113 perceptrons × 18 weights × 1 byte).
@@ -34,7 +34,7 @@ type Weight = i8;
 /// }
 /// assert!(p.predict(pc, bhr).confidence() > 0);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Perceptron {
     weights: Vec<Weight>, // n_perceptrons × (history_len + 1), bias first
     n_perceptrons: usize,
@@ -130,6 +130,31 @@ impl DirectionPredictor for Perceptron {
 
     fn name(&self) -> &'static str {
         "perceptron"
+    }
+
+    /// Fused kernel: the dot product `y` is computed once per element and
+    /// serves both the prediction and the train-or-not decision — the
+    /// scalar path walks the weight row twice (`predict` then `update`).
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut out = PredictBlock::new();
+        for input in inputs {
+            let row = self.row(input.pc);
+            let y = self.output(row, input.hist);
+            let pred = y >= 0;
+            out.push(pred);
+            if pred != input.taken || y.abs() <= self.theta {
+                let t: i32 = if input.taken { 1 } else { -1 };
+                let base = row * (self.history_len + 1);
+                let w = &mut self.weights[base..base + self.history_len + 1];
+                w[0] = w[0].saturating_add(t as i8);
+                for i in 0..self.history_len {
+                    let x: i32 = if input.hist.outcome(i) { 1 } else { -1 };
+                    let delta = (t * x) as i8;
+                    w[i + 1] = w[i + 1].saturating_add(delta);
+                }
+            }
+        }
+        out
     }
 }
 

@@ -1,11 +1,29 @@
-//! Prediction table storage: direct-mapped counter tables and set-associative
-//! tagged tables with LRU replacement.
+//! Prediction table storage: bit-packed direct-mapped counter banks and
+//! structure-of-arrays set-associative tagged tables with LRU replacement.
+//!
+//! Both structures are laid out for the batched kernels in the predictor
+//! implementations: counters are packed many-per-word so the hot tables fit
+//! in L1, and tagged sets are flat parallel arrays instead of
+//! vectors-of-vectors-of-structs. The packing is an implementation detail —
+//! the observable semantics (indexing, saturation, LRU victim choice) are
+//! bit-identical to a plain `Vec<SatCounter>` / array-of-structs layout, and
+//! the tests below pin that equivalence.
 
-use crate::counter::SatCounter;
+use crate::counter::{packed_update, SatCounter};
 use crate::history::mask;
 
 /// A direct-mapped table of saturating counters (the pattern history table of
-/// two-level predictors).
+/// two-level predictors), bit-packed into 64-bit words.
+///
+/// Counters never straddle a word boundary: each word holds the largest
+/// *power of two* of counters that fits (`2^⌊log2(64 / counter_bits)⌋`),
+/// so slot-to-word addressing is a shift and a mask rather than a hardware
+/// division — the unpipelined 64-bit divide would otherwise dominate every
+/// table access. For 1-, 2- and 4-bit counters the power-of-two lane count
+/// equals `⌊64 / counter_bits⌋` exactly; odd widths leave a few unused high
+/// bits per word. A 16K-entry two-bit table therefore occupies 4 KB — small
+/// enough to stay L1-resident under replay — instead of the 32 KB an
+/// unpacked `Vec<SatCounter>` would take.
 ///
 /// # Examples
 ///
@@ -14,15 +32,20 @@ use crate::history::mask;
 ///
 /// let mut t = CounterTable::new(1024, 2);
 /// assert!(!t.counter(5).is_taken());
-/// t.counter_mut(5).update(true);
-/// t.counter_mut(5).update(true);
+/// t.update(5, true);
+/// t.update(5, true);
 /// assert!(t.counter(5).is_taken());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterTable {
-    counters: Vec<SatCounter>,
+    words: Vec<u64>,
+    entries: usize,
     index_mask: u64,
     counter_bits: usize,
+    /// log2 of the counters per 64-bit word.
+    lane_shift: u32,
+    /// `(1 << lane_shift) - 1`: selects a slot's lane within its word.
+    lane_mask: usize,
 }
 
 impl CounterTable {
@@ -39,56 +62,104 @@ impl CounterTable {
             entries.is_power_of_two(),
             "table entries {entries} must be a power of two"
         );
+        // Delegates the width check (1..=7) and yields the reset value.
+        let init = u64::from(SatCounter::weakly_not_taken(counter_bits).value());
+        let lane_shift = (64 / counter_bits).ilog2();
+        let per_word = 1usize << lane_shift;
+        let mut filled = 0u64;
+        for slot in 0..per_word {
+            filled |= init << (slot * counter_bits);
+        }
         Self {
-            counters: vec![SatCounter::weakly_not_taken(counter_bits); entries],
+            words: vec![filled; entries.div_ceil(per_word)],
+            entries,
             index_mask: (entries - 1) as u64,
             counter_bits,
+            lane_shift,
+            lane_mask: per_word - 1,
         }
     }
 
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.entries
     }
 
     /// Whether the table has zero entries (never true by construction).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.entries == 0
     }
 
     /// log2 of the entry count — the index width in bits.
     #[must_use]
     pub fn index_bits(&self) -> usize {
-        self.counters.len().trailing_zeros() as usize
+        self.entries.trailing_zeros() as usize
     }
 
     /// Storage budget in bits (entries × counter width).
     #[must_use]
     pub fn storage_bits(&self) -> usize {
-        self.counters.len() * self.counter_bits
+        self.entries * self.counter_bits
+    }
+
+    /// The packed slot for `index`, masked to the table size.
+    fn slot_of(&self, index: u64) -> usize {
+        (index & self.index_mask) as usize
+    }
+
+    /// Splits a slot into its word index and in-word bit shift — pure
+    /// shift-and-mask thanks to the power-of-two lane count.
+    fn word_shift_of(&self, slot: usize) -> (usize, usize) {
+        (
+            slot >> self.lane_shift,
+            (slot & self.lane_mask) * self.counter_bits,
+        )
     }
 
     /// The counter at `index` (masked to the table size).
     #[must_use]
     pub fn counter(&self, index: u64) -> SatCounter {
-        self.counters[(index & self.index_mask) as usize]
+        let (word, shift) = self.word_shift_of(self.slot_of(index));
+        let raw = (self.words[word] >> shift) & mask(self.counter_bits);
+        SatCounter::new(self.counter_bits, raw as u8)
     }
 
-    /// Mutable access to the counter at `index` (masked to the table size).
-    pub fn counter_mut(&mut self, index: u64) -> &mut SatCounter {
-        &mut self.counters[(index & self.index_mask) as usize]
+    /// Moves the counter at `index` toward `taken` with saturation —
+    /// equivalent to `SatCounter::update` on the packed value.
+    pub fn update(&mut self, index: u64, taken: bool) {
+        let (word, shift) = self.word_shift_of(self.slot_of(index));
+        let field = mask(self.counter_bits);
+        let word = &mut self.words[word];
+        let value = (*word >> shift) & field;
+        let next = packed_update(value, field, taken);
+        *word = (*word & !(field << shift)) | (next << shift);
     }
-}
 
-/// One way of a set in a [`TaggedTable`].
-#[derive(Clone, Debug)]
-struct Way<T> {
-    valid: bool,
-    tag: u64,
-    lru: u32,
-    data: T,
+    /// The direction the counter at `index` currently predicts, without
+    /// materializing a [`SatCounter`].
+    #[must_use]
+    pub fn taken(&self, index: u64) -> bool {
+        let (word, shift) = self.word_shift_of(self.slot_of(index));
+        let raw = (self.words[word] >> shift) & mask(self.counter_bits);
+        raw >= 1 << (self.counter_bits - 1)
+    }
+
+    /// Fused predict-then-train: returns the pre-update direction at
+    /// `index` and moves the counter toward `taken`, with one addressing
+    /// computation and one word visit. Step-for-step identical to
+    /// `counter(index).is_taken()` followed by `update(index, taken)` —
+    /// the batched kernels' single-visit building block.
+    pub fn predict_update(&mut self, index: u64, taken: bool) -> bool {
+        let (word, shift) = self.word_shift_of(self.slot_of(index));
+        let field = mask(self.counter_bits);
+        let word = &mut self.words[word];
+        let value = (*word >> shift) & field;
+        let next = packed_update(value, field, taken);
+        *word = (*word & !(field << shift)) | (next << shift);
+        value >= 1 << (self.counter_bits - 1)
+    }
 }
 
 /// The result of a tagged lookup.
@@ -105,9 +176,19 @@ pub enum TagLookup {
 /// This is the structure behind the tagged gshare critic (“similar to an
 /// N-way associative cache, with each data item being a two-bit counter”,
 /// §6), the filter tag table of the filtered perceptron, and the BTB.
-#[derive(Clone, Debug)]
+///
+/// The ways are stored structure-of-arrays: four flat parallel vectors
+/// (valid / tag / LRU stamp / payload) indexed `set * ways + way`, so a set
+/// probe touches contiguous memory per field instead of hopping across
+/// per-way structs. Way order within a set — which decides the victim among
+/// equally-stale candidates — is the array order, exactly as in the
+/// array-of-structs layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaggedTable<T> {
-    sets: Vec<Vec<Way<T>>>,
+    valid: Vec<bool>,
+    tags: Vec<u64>,
+    lru: Vec<u32>,
+    data: Vec<T>,
     ways: usize,
     tag_bits: usize,
     clock: u32,
@@ -130,14 +211,12 @@ impl<T: Clone> TaggedTable<T> {
             (1..=32).contains(&tag_bits),
             "tag width {tag_bits} out of range"
         );
-        let way = Way {
-            valid: false,
-            tag: 0,
-            lru: 0,
-            data: fill,
-        };
+        let slots = sets * ways;
         Self {
-            sets: vec![vec![way; ways]; sets],
+            valid: vec![false; slots],
+            tags: vec![0; slots],
+            lru: vec![0; slots],
+            data: vec![fill; slots],
             ways,
             tag_bits,
             clock: 0,
@@ -148,7 +227,7 @@ impl<T: Clone> TaggedTable<T> {
     /// Number of sets.
     #[must_use]
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.valid.len() / self.ways
     }
 
     /// Associativity.
@@ -160,7 +239,7 @@ impl<T: Clone> TaggedTable<T> {
     /// log2 of the set count — the index width in bits.
     #[must_use]
     pub fn index_bits(&self) -> usize {
-        self.sets.len().trailing_zeros() as usize
+        self.sets().trailing_zeros() as usize
     }
 
     /// Tag width in bits.
@@ -172,15 +251,22 @@ impl<T: Clone> TaggedTable<T> {
     /// Total entry capacity (sets × ways).
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.valid.len()
     }
 
-    fn set_of(&self, index: u64) -> usize {
-        (index & self.set_mask) as usize
+    /// The first slot of the set selected by `index`.
+    fn base_of(&self, index: u64) -> usize {
+        (index & self.set_mask) as usize * self.ways
     }
 
     fn masked_tag(&self, tag: u64) -> u64 {
         tag & mask(self.tag_bits)
+    }
+
+    /// The slot holding `tag` in the set starting at `base`, if any —
+    /// scanning in way order, as the victim search does.
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        (base..base + self.ways).find(|&s| self.valid[s] && self.tags[s] == tag)
     }
 
     /// Looks up `tag` in the set selected by `index` without touching LRU
@@ -188,26 +274,19 @@ impl<T: Clone> TaggedTable<T> {
     #[must_use]
     pub fn peek(&self, index: u64, tag: u64) -> Option<&T> {
         let tag = self.masked_tag(tag);
-        self.sets[self.set_of(index)]
-            .iter()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| &w.data)
+        self.find(self.base_of(index), tag).map(|s| &self.data[s])
     }
 
     /// Looks up `tag` in the set selected by `index`, updating LRU state on a
     /// hit.
     pub fn lookup(&mut self, index: u64, tag: u64) -> Option<&mut T> {
         let tag = self.masked_tag(tag);
-        let set = self.set_of(index);
+        let base = self.base_of(index);
         self.clock = self.clock.wrapping_add(1);
-        let clock = self.clock;
-        self.sets[set]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| {
-                w.lru = clock;
-                &mut w.data
-            })
+        self.find(base, tag).map(|s| {
+            self.lru[s] = self.clock;
+            &mut self.data[s]
+        })
     }
 
     /// Inserts `data` under `tag`, evicting the LRU way if the set is full.
@@ -216,45 +295,44 @@ impl<T: Clone> TaggedTable<T> {
     /// replaced), [`TagLookup::Miss`] if a way was allocated.
     pub fn insert(&mut self, index: u64, tag: u64, data: T) -> TagLookup {
         let tag = self.masked_tag(tag);
-        let set = self.set_of(index);
+        let base = self.base_of(index);
         self.clock = self.clock.wrapping_add(1);
-        let clock = self.clock;
-        let ways = &mut self.sets[set];
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
-            w.data = data;
-            w.lru = clock;
+        if let Some(s) = self.find(base, tag) {
+            self.data[s] = data;
+            self.lru[s] = self.clock;
             return TagLookup::Hit;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| {
-                if w.valid {
-                    (1u64, u64::from(w.lru))
+        // Victim: first invalid way in way order, else the least recently
+        // used one (first such way on an LRU-stamp tie).
+        let victim = (base..base + self.ways)
+            .min_by_key(|&s| {
+                if self.valid[s] {
+                    (1u64, u64::from(self.lru[s]))
                 } else {
                     (0, 0)
                 }
             })
             .expect("set has at least one way");
-        victim.valid = true;
-        victim.tag = tag;
-        victim.data = data;
-        victim.lru = clock;
+        self.valid[victim] = true;
+        self.tags[victim] = tag;
+        self.data[victim] = data;
+        self.lru[victim] = self.clock;
         TagLookup::Miss
     }
 
     /// Number of valid entries currently held.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.valid.iter().filter(|v| **v).count()
     }
 
     /// Iterates over all valid `(set, tag, data)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &T)> {
-        self.sets.iter().enumerate().flat_map(|(s, ways)| {
-            ways.iter()
-                .filter(|w| w.valid)
-                .map(move |w| (s, w.tag, &w.data))
-        })
+        self.valid
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v)
+            .map(|(s, _)| (s / self.ways, self.tags[s], &self.data[s]))
     }
 }
 
@@ -265,8 +343,8 @@ mod tests {
     #[test]
     fn counter_table_indexes_with_mask() {
         let mut t = CounterTable::new(8, 2);
-        t.counter_mut(3).update(true);
-        t.counter_mut(3).update(true);
+        t.update(3, true);
+        t.update(3, true);
         // Index 11 aliases to 3 in an 8-entry table.
         assert!(t.counter(11).is_taken());
         assert_eq!(t.index_bits(), 3);
@@ -277,6 +355,134 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn counter_table_rejects_non_power_of_two() {
         let _ = CounterTable::new(100, 2);
+    }
+
+    #[test]
+    fn packed_counters_are_independent_within_a_word() {
+        // 32 two-bit counters share each word; training one slot must not
+        // leak into its packed neighbours.
+        let mut t = CounterTable::new(64, 2);
+        t.update(7, true);
+        t.update(7, true);
+        t.update(7, true);
+        for i in 0..64u64 {
+            if i == 7 {
+                assert_eq!(t.counter(i).value(), 3);
+            } else {
+                assert_eq!(t.counter(i).value(), 1, "slot {i} corrupted");
+            }
+        }
+    }
+
+    #[test]
+    fn word_boundary_neighbours_do_not_alias() {
+        // With 3-bit counters 16 fit per word (power-of-two lanes, the top
+        // 16 bits unused); slots 15 and 16 are the last of word 0 and the
+        // first of word 1.
+        let mut t = CounterTable::new(64, 3);
+        for _ in 0..7 {
+            t.update(15, true);
+        }
+        for _ in 0..3 {
+            t.update(16, false);
+        }
+        assert_eq!(t.counter(15).value(), 7);
+        assert_eq!(t.counter(16).value(), 0);
+        assert_eq!(
+            t.counter(14).value(),
+            3,
+            "weakly-not-taken reset for 3 bits"
+        );
+        assert_eq!(t.counter(17).value(), 3);
+    }
+
+    #[test]
+    fn saturation_at_both_rails_in_packed_storage() {
+        let mut t = CounterTable::new(8, 2);
+        for _ in 0..10 {
+            t.update(0, true);
+        }
+        assert_eq!(t.counter(0).value(), 3);
+        assert!(t.counter(0).is_strong());
+        for _ in 0..10 {
+            t.update(0, false);
+        }
+        assert_eq!(t.counter(0).value(), 0);
+        assert!(t.counter(0).is_strong());
+    }
+
+    #[test]
+    fn packed_table_matches_unpacked_reference_per_slot() {
+        // Drive the packed table and a plain Vec<SatCounter> with the same
+        // deterministic stream; every slot must agree afterwards.
+        for bits in 1..=7usize {
+            let entries = 128;
+            let mut packed = CounterTable::new(entries, bits);
+            let mut reference = vec![SatCounter::weakly_not_taken(bits); entries];
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..4096 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let index = state >> 32; // exercises the index mask too
+                let taken = state & 1 == 1;
+                packed.update(index, taken);
+                reference[(index as usize) % entries].update(taken);
+            }
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    packed.counter(i as u64),
+                    *want,
+                    "{bits}-bit slot {i} diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_predict_update_matches_split_read_then_train() {
+        // predict_update must be indistinguishable from counter().is_taken()
+        // followed by update(), for every width, over a deterministic sweep.
+        for bits in 1..=7usize {
+            let mut fused = CounterTable::new(64, bits);
+            let mut split = CounterTable::new(64, bits);
+            let mut state = 0x243f_6a88_85a3_08d3u64;
+            for _ in 0..2048 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let index = state >> 40;
+                let taken = state & 2 == 2;
+                let want = split.counter(index).is_taken();
+                split.update(index, taken);
+                assert_eq!(fused.taken(index), want, "{bits}-bit read drifted");
+                assert_eq!(
+                    fused.predict_update(index, taken),
+                    want,
+                    "{bits}-bit fused direction drifted"
+                );
+            }
+            assert_eq!(fused, split, "{bits}-bit tables diverged after sweep");
+        }
+    }
+
+    #[test]
+    fn full_index_space_sweep_at_smallest_table3_budget() {
+        // The smallest Table-3 gshare (2 KB budget) has 8K two-bit entries.
+        // Touch every index once and verify full isolation, then again via
+        // aliased indices above the mask.
+        let entries = 8 * 1024;
+        let mut t = CounterTable::new(entries, 2);
+        for i in 0..entries as u64 {
+            t.update(i, i % 3 == 0);
+        }
+        for i in 0..entries as u64 {
+            let want = if i % 3 == 0 { 2 } else { 0 };
+            assert_eq!(t.counter(i).value(), want, "slot {i}");
+        }
+        // An index with bits above the mask must land on its alias.
+        t.update(entries as u64 + 5, true);
+        assert_eq!(t.counter(5).value(), t.counter(entries as u64 + 5).value());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use crate::index::{gshare_index, mix2};
 use crate::{
-    CounterTable, DirectionPredictor, HistoryBits, Pc, Prediction, SatCounter, TaggedTable,
+    CounterTable, DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput, Prediction,
+    SatCounter, TaggedTable,
 };
 
 /// The YAGS predictor.
@@ -13,7 +14,7 @@ use crate::{
 /// contexts where a bias-taken branch went not-taken would be recorded in the
 /// NT-cache and vice versa. On a lookup, the cache *opposite* the bias is
 /// probed; a tag hit overrides the bias.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Yags {
     choice: CounterTable,
     taken_cache: TaggedTable<SatCounter>,
@@ -123,7 +124,7 @@ impl DirectionPredictor for Yags {
         // stays meaningful for the branch's other contexts.
         let cache_was_correct_exception = prior == Some(taken) && taken != bias;
         if !cache_was_correct_exception {
-            self.choice.counter_mut(ci).update(taken);
+            self.choice.update(ci, taken);
         }
     }
 
@@ -140,6 +141,39 @@ impl DirectionPredictor for Yags {
 
     fn name(&self) -> &'static str {
         "yags"
+    }
+
+    /// Fused kernel: choice index, bias and the cache hash are computed once
+    /// per element; the exception cache's pre-update direction serves both
+    /// as the prediction and as the `prior` the choice-update policy needs.
+    fn predict_block(&mut self, inputs: &[PredictInput]) -> PredictBlock {
+        let mut out = PredictBlock::new();
+        for input in inputs {
+            let ci = self.choice_index(input.pc);
+            let bias = self.choice.counter(ci).is_taken();
+            let (idx, tag) = self.cache_hash(input.pc, input.hist);
+            let taken = input.taken;
+
+            let cache = if bias {
+                &mut self.not_taken_cache
+            } else {
+                &mut self.taken_cache
+            };
+            let prior = cache.peek(idx, tag).map(SatCounter::is_taken);
+            out.push(prior.unwrap_or(bias));
+
+            if let Some(c) = cache.lookup(idx, tag) {
+                c.update(taken);
+            } else if taken != bias {
+                cache.insert(idx, tag, SatCounter::weak_for(2, taken));
+            }
+
+            let cache_was_correct_exception = prior == Some(taken) && taken != bias;
+            if !cache_was_correct_exception {
+                self.choice.update(ci, taken);
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,227 @@
+//! Differential property suite for the batched kernels.
+//!
+//! Every predictor's `predict_block`/`train_block` must be
+//! prediction-for-prediction and state-for-state identical to the scalar
+//! `predict`/`update` path — for random chunk sizes 1..=64, with the global
+//! history evolving *inside* chunks (each element's history value already
+//! contains the outcomes of the elements before it). The BENCH artifacts and
+//! every cached `sim::store` cell depend on prediction streams, so this
+//! equivalence is the gate on the whole structure-of-arrays layer.
+
+use predictors::{
+    BcGskew, Bimodal, DirectionPredictor, GAs, Gshare, HistoryBits, Local, Pc, PredictInput,
+    Prediction, TaggedGshare, Yags,
+};
+use predictors::{Perceptron, PredictBlock};
+use workloads::rng::SmallRng;
+
+/// Builds a branch stream with evolving global history: a pool of aliasing
+/// branch addresses with mixed behaviours (biased, patterned, noisy), where
+/// each element's history value captures all earlier outcomes — so chunk
+/// boundaries fall mid-pattern and mid-history.
+fn stream(hist_len: usize, n: usize, seed: u64) -> Vec<PredictInput> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hist = HistoryBits::new(hist_len);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let which = rng.gen_range(0usize..24);
+        let pc = Pc::new(0x40_0000 + (which as u64) * 4);
+        let taken = match which % 3 {
+            0 => which.is_multiple_of(2),             // statically biased
+            1 => (i / (which + 1)).is_multiple_of(2), // loop-like pattern
+            _ => rng.gen_bool(0.5),                   // noise
+        };
+        out.push(PredictInput { pc, hist, taken });
+        hist.push(taken);
+    }
+    out
+}
+
+/// Splits `inputs` into chunks of random sizes 1..=64.
+fn random_chunks(inputs: &[PredictInput], seed: u64) -> Vec<&[PredictInput]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chunks = Vec::new();
+    let mut rest = inputs;
+    while !rest.is_empty() {
+        let take = rng.gen_range(1usize..=64).min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks
+}
+
+/// The scalar reference: predict-then-update per element.
+fn scalar_run<P: DirectionPredictor>(p: &mut P, inputs: &[PredictInput]) -> Vec<bool> {
+    inputs
+        .iter()
+        .map(|input| {
+            let pred = p.predict(input.pc, input.hist).taken();
+            p.update(input.pc, input.hist, input.taken);
+            pred
+        })
+        .collect()
+}
+
+/// Asserts batched == scalar: directions element-for-element, then the full
+/// predictor state (via `PartialEq` over every table word, weight, tag and
+/// LRU stamp), for both `predict_block` and `train_block`.
+fn assert_batch_equiv<P>(make: impl Fn() -> P, seed: u64)
+where
+    P: DirectionPredictor + PartialEq + std::fmt::Debug,
+{
+    let mut scalar = make();
+    let hist_len = scalar.history_len().max(1);
+    let inputs = stream(hist_len, 4096, seed);
+    let scalar_preds = scalar_run(&mut scalar, &inputs);
+
+    // predict_block over random chunk sizes.
+    let mut batched = make();
+    let mut batched_preds = Vec::with_capacity(inputs.len());
+    for chunk in random_chunks(&inputs, seed ^ 0x000c_4a17) {
+        let block = batched.predict_block(chunk);
+        assert_eq!(block.len(), chunk.len());
+        for i in 0..block.len() {
+            batched_preds.push(block.taken(i));
+        }
+    }
+    assert_eq!(
+        batched_preds,
+        scalar_preds,
+        "{}: batched directions diverged from scalar",
+        scalar.name()
+    );
+    assert_eq!(
+        batched,
+        scalar,
+        "{}: predictor state diverged after predict_block",
+        scalar.name()
+    );
+
+    // train_block must land in the same state (predict has no side effects,
+    // so a train-only pass tracks the scalar state exactly).
+    let mut trained = make();
+    for chunk in random_chunks(&inputs, seed ^ 0x7_ea1) {
+        trained.train_block(chunk);
+    }
+    assert_eq!(
+        trained,
+        scalar,
+        "{}: predictor state diverged after train_block",
+        scalar.name()
+    );
+
+    // Interleaving the two batched entry points mid-stream must also track
+    // the scalar state (replay alternates them around warm-up boundaries).
+    let mut mixed = make();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3_b0b);
+    for chunk in random_chunks(&inputs, seed ^ 0x3_b0b) {
+        if rng.gen_bool(0.5) {
+            let _ = mixed.predict_block(chunk);
+        } else {
+            mixed.train_block(chunk);
+        }
+    }
+    assert_eq!(
+        mixed,
+        scalar,
+        "{}: predictor state diverged after mixed predict/train blocks",
+        scalar.name()
+    );
+}
+
+#[test]
+fn bimodal_batched_equals_scalar() {
+    assert_batch_equiv(|| Bimodal::new(1024), 0xb1);
+}
+
+#[test]
+fn gshare_batched_equals_scalar() {
+    assert_batch_equiv(|| Gshare::new(4096, 12), 0x95);
+}
+
+#[test]
+fn gshare_smallest_table3_budget_batched_equals_scalar() {
+    // The 2 KB Table-3 gshare: 8K entries, 13-bit history — the packed
+    // banks' smallest production configuration.
+    assert_batch_equiv(|| Gshare::new(8 * 1024, 13), 0x2b);
+}
+
+#[test]
+fn gas_batched_equals_scalar() {
+    assert_batch_equiv(|| GAs::new(4096, 6), 0x6a);
+}
+
+#[test]
+fn local_batched_equals_scalar() {
+    assert_batch_equiv(|| Local::new(512, 10, 4096), 0x10c);
+}
+
+#[test]
+fn bc_gskew_batched_equals_scalar() {
+    assert_batch_equiv(|| BcGskew::new(2048, 11), 0x65);
+}
+
+#[test]
+fn perceptron_batched_equals_scalar() {
+    assert_batch_equiv(|| Perceptron::new(113, 17), 0x9e);
+}
+
+#[test]
+fn yags_batched_equals_scalar() {
+    assert_batch_equiv(|| Yags::new(1024, 128, 2, 8, 13), 0x7a);
+}
+
+#[test]
+fn tagged_gshare_batched_equals_scalar() {
+    // Exercises the fused LRU/clock sequence: hits and misses, allocation,
+    // eviction — all must leave the clock and stamps bit-identical.
+    assert_batch_equiv(|| TaggedGshare::new(256, 6, 9, 18), 0x46);
+}
+
+/// A predictor that implements only the scalar interface — it exercises the
+/// trait's *default* batched implementations, which every non-SoA
+/// implementation (and `Box<dyn DirectionPredictor>`) falls back on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ScalarOnly(Gshare);
+
+impl DirectionPredictor for ScalarOnly {
+    fn predict(&self, pc: Pc, hist: HistoryBits) -> Prediction {
+        self.0.predict(pc, hist)
+    }
+    fn update(&mut self, pc: Pc, hist: HistoryBits, taken: bool) {
+        self.0.update(pc, hist, taken);
+    }
+    fn history_len(&self) -> usize {
+        self.0.history_len()
+    }
+    fn storage_bits(&self) -> usize {
+        self.0.storage_bits()
+    }
+    fn name(&self) -> &'static str {
+        "scalar-only"
+    }
+}
+
+#[test]
+fn default_batched_implementations_equal_scalar() {
+    assert_batch_equiv(|| ScalarOnly(Gshare::new(2048, 10)), 0xde);
+}
+
+#[test]
+fn chunk_capacity_boundary_is_exact() {
+    // Full 64-element blocks — the replay engine's steady-state chunk size.
+    let mut scalar = Gshare::new(4096, 12);
+    let inputs = stream(12, 64 * 32, 0xca);
+    let scalar_preds = scalar_run(&mut scalar, &inputs);
+    let mut batched = Gshare::new(4096, 12);
+    let mut got = Vec::new();
+    for chunk in inputs.chunks(PredictBlock::CAPACITY) {
+        let block = batched.predict_block(chunk);
+        for i in 0..block.len() {
+            got.push(block.taken(i));
+        }
+    }
+    assert_eq!(got, scalar_preds);
+    assert_eq!(batched, scalar);
+}

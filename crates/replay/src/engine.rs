@@ -7,6 +7,17 @@
 //! with that outcome — in-order, non-speculative, the standard
 //! methodology of trace-driven championship harnesses.
 //!
+//! The streaming path hands the predictor **64-branch chunks** through the
+//! batched [`DirectionPredictor::predict_block`] kernels rather than one
+//! call per branch: because replay history evolves on *recorded* outcomes
+//! only, each conditional's history value is known at buffering time, so a
+//! whole chunk can be predicted and trained by one fused structure-of-arrays
+//! kernel call. The per-record scalar path ([`ReplaySession::step`]) is kept
+//! as the reference implementation — [`direct_replay`] still uses it, and
+//! the batched kernels are pinned bit-identical to it by the
+//! `batch_equiv` differential suite plus the corpus-vs-direct round-trip
+//! tests below.
+//!
 //! Warm-up mirrors the execution-driven simulator (`sim::accuracy`):
 //! statistics collection starts only after [`ReplayConfig::warmup_uops`]
 //! recorded micro-ops have passed (default: 20 % of the budget), and the
@@ -25,7 +36,7 @@ use std::collections::HashMap;
 use std::io::Read;
 
 use bptrace::{BranchRecord, BtReader};
-use predictors::{DirectionPredictor, HistoryBits, Pc};
+use predictors::{DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput};
 use workloads::{Program, Walker};
 
 use crate::error::Result;
@@ -142,6 +153,191 @@ impl ReplayResult {
     }
 }
 
+/// Open-addressed per-static-branch accumulator for the batched path:
+/// power-of-two capacity, multiplicative hashing, linear probing, and a
+/// small direct-mapped memo of recently touched slots. Loop bodies cycle
+/// through a handful of static branches, so keying the memo by low PC
+/// bits catches nearly every repeat without hashing or probing.
+///
+/// The hot increment is a *single* 64-bit read-modify-write:
+/// `occurrences` lives in the low half and `taken` in the high half of
+/// one packed word, and the (rare) mispredict counter sits in a separate
+/// array touched only when a chunk element actually missed. A loop branch
+/// repeating inside a chunk therefore costs one store-to-load forward per
+/// occurrence instead of three. The 32-bit halves cap per-static-branch
+/// occurrences per trace at ~4.29 billion — orders of magnitude above any
+/// replay budget this workspace runs, and the scalar reference would take
+/// hours before the cap could matter.
+///
+/// Purely an accumulation detail — [`ReplaySession::finish`] folds it
+/// into the same per-branch profile the scalar reference builds through a
+/// plain `HashMap`, and the deterministic hardest-first sort erases any
+/// iteration-order difference.
+struct PcStats {
+    /// Probe key per slot (the branch PC). Kept apart from the counters so
+    /// the memo-validation and probe loads stay in a dense, L1-resident
+    /// array.
+    keys: Vec<u64>,
+    /// Occupancy bitset, one bit per slot (vacancy cannot be derived from
+    /// `keys` alone without reserving a sentinel PC value).
+    occ: Vec<u64>,
+    /// `occurrences + (taken << 32)`, packed so the hot path is one RMW.
+    counts: Vec<u64>,
+    /// Mispredict counts, written only on a mispredicted element.
+    miss: Vec<u64>,
+    mask: usize,
+    len: usize,
+    memo: [usize; Self::MEMO],
+}
+
+impl PcStats {
+    /// Memo entries; a power of two, sized to cover typical loop bodies.
+    const MEMO: usize = 16;
+
+    /// Initial slot count (a power of two).
+    const INITIAL: usize = 1024;
+
+    fn new() -> Self {
+        Self {
+            keys: vec![0; Self::INITIAL],
+            occ: vec![0; Self::INITIAL / 64],
+            counts: vec![0; Self::INITIAL],
+            miss: vec![0; Self::INITIAL],
+            mask: Self::INITIAL - 1,
+            len: 0,
+            memo: [0; Self::MEMO],
+        }
+    }
+
+    fn hash(pc: u64) -> usize {
+        (pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    #[inline(always)]
+    fn occupied(&self, i: usize) -> bool {
+        self.occ[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Folds a run of measured occurrences of `pc` into its slot:
+    /// `packed` is the pre-summed `occurrences + (taken << 32)` increment
+    /// in the `counts` encoding, `mispredicts` the run's miss count.
+    #[inline(always)]
+    fn add(&mut self, pc: u64, packed: u64, mispredicts: u64) {
+        // `>> 2` before the memo key: branch addresses are effectively
+        // 4-byte aligned, so the lowest bits carry no entropy.
+        let key = ((pc >> 2) as usize) % Self::MEMO;
+        let mut i = self.memo[key];
+        if self.keys[i] != pc || !self.occupied(i) {
+            if (self.len + 1) * 2 > self.keys.len() {
+                self.grow();
+            }
+            i = Self::hash(pc) & self.mask;
+            while self.occupied(i) && self.keys[i] != pc {
+                i = (i + 1) & self.mask;
+            }
+            if !self.occupied(i) {
+                self.occ[i / 64] |= 1 << (i % 64);
+                self.keys[i] = pc;
+                self.len += 1;
+            }
+            self.memo[key] = i;
+        }
+        self.counts[i] += packed;
+        if mispredicts != 0 {
+            self.miss[i] += mispredicts;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_occ = std::mem::replace(&mut self.occ, vec![0; cap / 64]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; cap]);
+        let old_miss = std::mem::replace(&mut self.miss, vec![0; cap]);
+        self.mask = cap - 1;
+        self.memo = [0; Self::MEMO];
+        for (s, k) in old_keys.into_iter().enumerate() {
+            if old_occ[s / 64] >> (s % 64) & 1 == 0 {
+                continue;
+            }
+            let mut i = Self::hash(k) & self.mask;
+            while self.occupied(i) {
+                i = (i + 1) & self.mask;
+            }
+            self.occ[i / 64] |= 1 << (i % 64);
+            self.keys[i] = k;
+            self.counts[i] = old_counts[s];
+            self.miss[i] = old_miss[s];
+        }
+    }
+
+    fn drain(self) -> impl Iterator<Item = BranchReplay> {
+        let occ = self.occ;
+        let counts = self.counts;
+        let miss = self.miss;
+        self.keys
+            .into_iter()
+            .enumerate()
+            .filter(move |(i, _)| occ[i / 64] >> (i % 64) & 1 == 1)
+            .map(move |(i, pc)| BranchReplay {
+                pc,
+                occurrences: counts[i] & 0xFFFF_FFFF,
+                taken: counts[i] >> 32,
+                mispredicts: miss[i],
+            })
+    }
+}
+
+/// One batch in flight toward the fused kernels: the prediction inputs
+/// plus per-element accounting packed into bit masks (bit `i` belongs to
+/// element `i`), so a flush folds whole-chunk totals with mask arithmetic
+/// instead of a branch per element.
+struct Chunk {
+    /// Fixed-capacity input buffer — a plain array, so the hot push is a
+    /// bounds-checked store with no heap indirection or capacity branch.
+    inputs: [PredictInput; PredictBlock::CAPACITY],
+    /// Elements currently buffered.
+    len: usize,
+    /// Recorded outcomes, one bit per element.
+    taken: u64,
+    /// Which elements fell inside the measured region.
+    measuring: u64,
+    /// Total micro-ops of the measured elements (only the sum is ever
+    /// needed once a chunk's statistics are folded).
+    measured_uops: u64,
+}
+
+impl Chunk {
+    fn new() -> Self {
+        Self {
+            inputs: [PredictInput {
+                pc: Pc::new(0),
+                hist: HistoryBits::new(0),
+                taken: false,
+            }; PredictBlock::CAPACITY],
+            len: 0,
+            taken: 0,
+            measuring: 0,
+            measured_uops: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == PredictBlock::CAPACITY
+    }
+
+    fn filled(&self) -> &[PredictInput] {
+        &self.inputs[..self.len]
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.taken = 0;
+        self.measuring = 0;
+        self.measured_uops = 0;
+    }
+}
+
 /// Running replay state shared by the streaming and direct paths, so the
 /// corpus replay and the direct-execution reference cannot drift apart.
 struct ReplaySession {
@@ -152,7 +348,11 @@ struct ReplaySession {
     measured_uops: u64,
     measured_conditionals: u64,
     mispredicts: u64,
+    /// Per-pc profile of the scalar reference path (the straightforward
+    /// structure; `step` is the semantics spec, not the fast path).
     per_pc: HashMap<u64, BranchReplay>,
+    /// Per-pc profile of the batched path's measured branches.
+    batched_pc: PcStats,
 }
 
 impl ReplaySession {
@@ -166,6 +366,7 @@ impl ReplaySession {
             measured_conditionals: 0,
             mispredicts: 0,
             per_pc: HashMap::new(),
+            batched_pc: PcStats::new(),
         }
     }
 
@@ -205,8 +406,104 @@ impl ReplaySession {
         true
     }
 
+    /// Batched counterpart of [`step`](Self::step): performs the budget
+    /// check and uop/record accounting, and *buffers* a conditional (with
+    /// its history value, which depends only on recorded outcomes) instead
+    /// of predicting it. Returns `false` once the budget is exhausted.
+    #[inline(always)]
+    fn buffer(&mut self, rec: &BranchRecord, chunk: &mut Chunk) -> bool {
+        if self.total_uops >= self.config.max_uops {
+            return false;
+        }
+        let measuring = self.total_uops >= self.config.warmup_uops;
+        self.total_uops += u64::from(rec.uops_since_prev);
+        self.records += 1;
+        if rec.kind.is_conditional() {
+            let i = chunk.len;
+            chunk.inputs[i] = PredictInput {
+                pc: Pc::new(rec.pc),
+                hist: self.hist,
+                taken: rec.taken,
+            };
+            chunk.len = i + 1;
+            chunk.taken |= u64::from(rec.taken) << i;
+            if measuring {
+                chunk.measuring |= 1 << i;
+                chunk.measured_uops += u64::from(rec.uops_since_prev);
+            }
+            self.hist.push(rec.taken);
+        } else if measuring {
+            self.measured_uops += u64::from(rec.uops_since_prev);
+        }
+        true
+    }
+
+    /// Runs one buffered chunk through the fused predict+train kernel and
+    /// folds its statistics: the chunk totals fall out of one XOR against
+    /// the recorded-outcome mask plus popcounts, and the per-pc profile
+    /// walks only the measured elements' set bits. (Bits of
+    /// [`PredictBlock::bits`] and of the chunk masks above the chunk
+    /// length are all zero, so no length mask is needed.)
+    ///
+    /// The walk coalesces *runs* of the same static branch into one
+    /// accumulator visit: a tight loop whose body holds a single
+    /// conditional fills whole chunks with one PC, and folding the run in
+    /// registers replaces its chain of dependent read-modify-writes on
+    /// one slot with a single one.
+    fn flush_chunk<P: DirectionPredictor>(&mut self, predictor: &mut P, chunk: &Chunk) {
+        if chunk.len == 0 {
+            return;
+        }
+        let block = predictor.predict_block(chunk.filled());
+        let miss = block.bits() ^ chunk.taken;
+        self.measured_uops += chunk.measured_uops;
+        self.measured_conditionals += u64::from(chunk.measuring.count_ones());
+        self.mispredicts += u64::from((miss & chunk.measuring).count_ones());
+        let mut m = chunk.measuring;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            m &= m - 1;
+            let pc = chunk.inputs[i as usize].pc.addr();
+            // One occurrence is `1 + (taken << 32)` in the accumulator's
+            // packed encoding; mispredicts accumulate separately.
+            let mut packed = 1 + (((chunk.taken >> i) & 1) << 32);
+            let mut misses = (miss >> i) & 1;
+            while m != 0 {
+                let j = m.trailing_zeros();
+                if chunk.inputs[j as usize].pc.addr() != pc {
+                    break;
+                }
+                m &= m - 1;
+                packed += 1 + (((chunk.taken >> j) & 1) << 32);
+                misses += (miss >> j) & 1;
+            }
+            self.batched_pc.add(pc, packed, misses);
+        }
+    }
+
     fn finish(self, trace: String, predictor: &'static str) -> ReplayResult {
-        let mut per_branch: Vec<BranchReplay> = self.per_pc.into_values().collect();
+        // One of the two per-pc structures is empty for any given session:
+        // take the batched accumulator's entries directly when the scalar
+        // map was never touched (the deterministic sort below erases any
+        // iteration-order difference), and fold otherwise so both paths
+        // always report through identical downstream arithmetic.
+        let mut per_branch: Vec<BranchReplay> = if self.per_pc.is_empty() {
+            self.batched_pc.drain().collect()
+        } else {
+            let mut per_pc = self.per_pc;
+            for b in self.batched_pc.drain() {
+                let entry = per_pc.entry(b.pc).or_insert(BranchReplay {
+                    pc: b.pc,
+                    occurrences: 0,
+                    taken: 0,
+                    mispredicts: 0,
+                });
+                entry.occurrences += b.occurrences;
+                entry.taken += b.taken;
+                entry.mispredicts += b.mispredicts;
+            }
+            per_pc.into_values().collect()
+        };
         per_branch.sort_unstable_by(|a, b| b.mispredicts.cmp(&a.mispredicts).then(a.pc.cmp(&b.pc)));
         ReplayResult {
             trace,
@@ -256,12 +553,78 @@ pub fn replay_reader<R: Read, P: DirectionPredictor>(
     config: &ReplayConfig,
 ) -> Result<ReplayResult> {
     let mut session = ReplaySession::new(predictor, *config);
+    let mut chunk = Chunk::new();
     while let Some(rec) = reader.next_record()? {
-        if !session.step(&rec, predictor) {
+        if !session.buffer(&rec, &mut chunk) {
+            break;
+        }
+        if chunk.is_full() {
+            session.flush_chunk(predictor, &chunk);
+            chunk.clear();
+        }
+    }
+    session.flush_chunk(predictor, &chunk);
+    Ok(session.finish(reader.name().to_string(), predictor.name()))
+}
+
+/// Replays pre-decoded records through the batched 64-branch kernels —
+/// the same engine [`replay_reader`] drives, minus trace decoding, so
+/// throughput measurements isolate predictor-table time.
+#[must_use]
+pub fn replay_records<P: DirectionPredictor>(
+    trace: &str,
+    records: &[BranchRecord],
+    predictor: &mut P,
+    config: &ReplayConfig,
+) -> ReplayResult {
+    let mut session = ReplaySession::new(predictor, *config);
+    let mut chunk = Chunk::new();
+    for rec in records {
+        if !session.buffer(rec, &mut chunk) {
+            break;
+        }
+        if chunk.is_full() {
+            session.flush_chunk(predictor, &chunk);
+            chunk.clear();
+        }
+    }
+    session.flush_chunk(predictor, &chunk);
+    session.finish(trace.to_string(), predictor.name())
+}
+
+/// Replays pre-decoded records through the scalar reference path (one
+/// `predict`/`update` pair per branch). Must produce results identical to
+/// [`replay_records`] for any predictor — the throughput experiment
+/// asserts exactly that while timing both.
+#[must_use]
+pub fn replay_records_scalar<P: DirectionPredictor>(
+    trace: &str,
+    records: &[BranchRecord],
+    predictor: &mut P,
+    config: &ReplayConfig,
+) -> ReplayResult {
+    let mut session = ReplaySession::new(predictor, *config);
+    for rec in records {
+        if !session.step(rec, predictor) {
             break;
         }
     }
-    Ok(session.finish(reader.name().to_string(), predictor.name()))
+    session.finish(trace.to_string(), predictor.name())
+}
+
+/// Decodes a `.bt` image into its trace name and record list, for replay
+/// entry points that separate decode time from predictor time.
+///
+/// # Errors
+///
+/// Trace-format errors from the reader (corruption, truncation, I/O).
+pub fn decode_records(bytes: &[u8]) -> Result<(String, Vec<BranchRecord>)> {
+    let mut reader = BtReader::new(bytes)?;
+    let mut records = Vec::new();
+    while let Some(rec) = reader.next_record()? {
+        records.push(rec);
+    }
+    Ok((reader.name().to_string(), records))
 }
 
 /// Convenience wrapper over [`replay_reader`] for an in-memory `.bt`
@@ -361,6 +724,26 @@ mod tests {
             replay_bytes(&bytes, &mut p, &cfg).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_streaming_replay_equals_scalar_reference() {
+        // The streaming path feeds 64-branch chunks to the fused kernels;
+        // the scalar reference predicts one branch at a time. Every counter
+        // and per-branch profile must agree, including across the warm-up
+        // boundary (which falls mid-chunk).
+        let (bytes, _) = recorded("crafty", 70_000);
+        let (name, records) = decode_records(&bytes).unwrap();
+        let cfg = ReplayConfig::with_budget(70_000);
+        let mut a = configs::bc_gskew(Budget::K8);
+        let batched = replay_records(&name, &records, &mut a, &cfg);
+        let mut b = configs::bc_gskew(Budget::K8);
+        let scalar = replay_records_scalar(&name, &records, &mut b, &cfg);
+        assert_eq!(batched, scalar);
+
+        let mut c = configs::bc_gskew(Budget::K8);
+        let streamed = replay_bytes(&bytes, &mut c, &cfg).unwrap();
+        assert_eq!(streamed, scalar);
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub use corpus::{
     verify_corpus, verify_corpus_report, verify_entry, QuarantineEntry, VerifyReport,
 };
 pub use engine::{
-    direct_replay, replay_bytes, replay_reader, BranchReplay, ReplayConfig, ReplayResult,
+    decode_records, direct_replay, replay_bytes, replay_reader, replay_records,
+    replay_records_scalar, BranchReplay, ReplayConfig, ReplayResult,
 };
 pub use error::{ReplayError, Result};
 pub use fault::FaultPlan;

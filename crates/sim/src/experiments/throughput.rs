@@ -1,0 +1,254 @@
+//! Replay throughput: batched structure-of-arrays kernels vs the scalar
+//! reference path, per conventional predictor.
+//!
+//! The experiment records the environment's benchmark corpus once,
+//! decodes every trace once, and then replays each predictor of the
+//! tournament lineup over the full record set twice — through
+//! [`replay::replay_records_scalar`] (one `predict`/`update` pair per
+//! branch) and through [`replay::replay_records`] (64-branch chunks into
+//! the fused `predict_block` kernels). Every pass doubles as a
+//! differential gate: the two paths must produce identical
+//! [`replay::ReplayResult`]s, field for field, or the experiment panics —
+//! no throughput number is ever reported for a kernel that drifted.
+//!
+//! Timing is strictly single-core (the ROADMAP's "fast as the hardware
+//! allows" axis is per-core kernel speed; grid scaling is measured
+//! elsewhere): each path runs `REPS` times over the whole corpus and the
+//! fastest pass wins, which suppresses scheduler noise without averaging
+//! away cache effects.
+//!
+//! `BENCH_throughput.json` separates **result metrics** from
+//! **environment**: `mispredicts`/`misp_per_kuops` are deterministic and
+//! participate in `bench_diff` regression gating; the rate fields
+//! (`scalar_preds_per_sec`, `batched_preds_per_sec`, `speedup`) are
+//! wall-clock-dependent and deliberately named so `bench_diff` never
+//! diffs them.
+
+use std::time::Instant;
+
+use predictors::DirectionPredictor;
+use prophet_critic::AnyProphet;
+use replay::{decode_records, record_trace, replay_records, replay_records_scalar, ReplayConfig};
+
+use crate::experiments::common::ExpEnv;
+use crate::experiments::tracecmp::{conventional_lineup, size_label};
+use crate::runner::par_map;
+use crate::table::{f2, json_escape, Table};
+
+/// Default path of the machine-readable throughput report.
+pub const JSON_PATH: &str = "BENCH_throughput.json";
+
+/// Timed passes per (predictor, path); the fastest wins.
+const REPS: usize = 3;
+
+/// One predictor's measured row.
+struct Row {
+    label: String,
+    /// Conditional predictions per full-corpus pass (identical for both
+    /// paths by construction).
+    predictions: u64,
+    mispredicts: u64,
+    misp_per_kuops: f64,
+    scalar_preds_per_sec: f64,
+    batched_preds_per_sec: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.scalar_preds_per_sec == 0.0 {
+            0.0
+        } else {
+            self.batched_preds_per_sec / self.scalar_preds_per_sec
+        }
+    }
+}
+
+/// Times one full-corpus pass; returns elapsed seconds.
+fn timed_pass<F: FnMut()>(mut pass: F) -> f64 {
+    let start = Instant::now();
+    pass();
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures one predictor over the decoded corpus: differential gate
+/// first, then `REPS` timed passes per path.
+fn measure(
+    predictor: &AnyProphet,
+    corpus: &[(String, Vec<bptrace::BranchRecord>)],
+    cfg: &ReplayConfig,
+) -> Row {
+    // ---- Differential gate: batched == scalar on every trace, or die.
+    let mut predictions = 0u64;
+    let mut mispredicts = 0u64;
+    let mut uops = 0u64;
+    for (name, records) in corpus {
+        let mut a = predictor.clone();
+        let batched = replay_records(name, records, &mut a, cfg);
+        let mut b = predictor.clone();
+        let scalar = replay_records_scalar(name, records, &mut b, cfg);
+        assert_eq!(
+            batched,
+            scalar,
+            "{}: batched kernels drifted from the scalar reference on {name}",
+            predictor.name()
+        );
+        predictions += batched.measured_conditionals;
+        mispredicts += batched.mispredicts;
+        uops += batched.measured_uops;
+    }
+
+    // ---- Timed passes, fastest-of-REPS per path, single core.
+    let mut scalar_best = f64::INFINITY;
+    let mut batched_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let secs = timed_pass(|| {
+            for (name, records) in corpus {
+                let mut p = predictor.clone();
+                let _ = replay_records_scalar(name, records, &mut p, cfg);
+            }
+        });
+        scalar_best = scalar_best.min(secs);
+        let secs = timed_pass(|| {
+            for (name, records) in corpus {
+                let mut p = predictor.clone();
+                let _ = replay_records(name, records, &mut p, cfg);
+            }
+        });
+        batched_best = batched_best.min(secs);
+    }
+
+    Row {
+        label: size_label(predictor),
+        predictions,
+        mispredicts,
+        misp_per_kuops: if uops == 0 {
+            0.0
+        } else {
+            mispredicts as f64 * 1000.0 / uops as f64
+        },
+        scalar_preds_per_sec: predictions as f64 / scalar_best.max(1e-12),
+        batched_preds_per_sec: predictions as f64 / batched_best.max(1e-12),
+    }
+}
+
+/// Runs the throughput comparison and also returns the machine-readable
+/// JSON report.
+#[must_use]
+pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
+    let programs = env.programs();
+    let budget = env.uop_budget();
+    // No warm-up exclusion: a throughput denominator should count every
+    // prediction the kernel performs, and the differential gate is
+    // stricter when the whole stream is measured.
+    let cfg = ReplayConfig {
+        max_uops: budget,
+        warmup_uops: 0,
+    };
+
+    // Record and decode the corpus once, in parallel; timing below is
+    // strictly sequential so rates are single-core.
+    let corpus: Vec<(String, Vec<bptrace::BranchRecord>)> =
+        par_map(&programs, env.threads, |_, (bench, program)| {
+            let mut bt = Vec::new();
+            record_trace(program, bench.seed, budget, &mut bt)
+                .expect("in-memory recording cannot fail");
+            decode_records(&bt).expect("freshly recorded trace decodes")
+        });
+
+    let lineup = conventional_lineup();
+    let rows: Vec<Row> = lineup.iter().map(|p| measure(p, &corpus, &cfg)).collect();
+
+    let mut table = Table::new(
+        "Replay throughput — batched SoA kernels vs scalar reference (single core)",
+        &[
+            "predictor",
+            "predictions",
+            "misp/Kuops",
+            "scalar Mpred/s",
+            "batched Mpred/s",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.label.clone(),
+            r.predictions.to_string(),
+            f2(r.misp_per_kuops),
+            f2(r.scalar_preds_per_sec / 1e6),
+            f2(r.batched_preds_per_sec / 1e6),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    table.note(format!(
+        "{} traces, {budget} uops each, no warm-up exclusion; fastest of {REPS} passes per path",
+        corpus.len()
+    ));
+    table.note(
+        "every pass is gated: batched and scalar ReplayResults must be identical \
+         field-for-field before any rate is reported",
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_throughput_v1\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", env.scale));
+    json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
+    json.push_str(&format!("  \"uop_budget\": {budget},\n"));
+    json.push_str(&format!("  \"traces\": {},\n", corpus.len()));
+    json.push_str("  \"predictors\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"configuration\": \"{}\", \"predictions\": {}, \"mispredicts\": {}, \
+             \"misp_per_kuops\": {:.4}, \"scalar_preds_per_sec\": {:.0}, \
+             \"batched_preds_per_sec\": {:.0}, \"speedup\": {:.3}}}{comma}\n",
+            json_escape(&r.label),
+            r.predictions,
+            r.mispredicts,
+            r.misp_per_kuops,
+            r.scalar_preds_per_sec,
+            r.batched_preds_per_sec,
+            r.speedup(),
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    (vec![table], json)
+}
+
+/// Runs the throughput comparison and writes [`JSON_PATH`].
+#[must_use]
+pub fn run(env: &ExpEnv) -> Vec<Table> {
+    let (tables, json) = run_with_report(env);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => eprintln!("# wrote {JSON_PATH}"),
+        Err(err) => eprintln!("# could not write {JSON_PATH}: {err}"),
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_report_covers_the_lineup_and_gates_equivalence() {
+        let env = ExpEnv {
+            scale: 0.02,
+            ..ExpEnv::tiny()
+        };
+        let (tables, json) = run_with_report(&env);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), conventional_lineup().len());
+        assert!(json.contains("\"schema\": \"bench_throughput_v1\""));
+        // Every row carries predictions and strictly positive rates.
+        for row in &tables[0].rows {
+            let predictions: u64 = row[1].parse().unwrap();
+            assert!(predictions > 0, "{row:?}");
+            let scalar: f64 = row[3].parse().unwrap();
+            let batched: f64 = row[4].parse().unwrap();
+            assert!(scalar > 0.0 && batched > 0.0, "{row:?}");
+        }
+    }
+}
