@@ -97,6 +97,11 @@ impl DirectionPredictor for AnyProphet {
     fn train_block(&mut self, inputs: &[PredictInput]) {
         each_prophet!(self, p => p.train_block(inputs))
     }
+
+    #[inline]
+    fn replay_block(&mut self, pcs: &[Pc], outcomes: u64, start: HistoryBits) -> PredictBlock {
+        each_prophet!(self, p => p.replay_block(pcs, outcomes, start))
+    }
 }
 
 macro_rules! prophet_from {

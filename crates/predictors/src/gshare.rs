@@ -103,6 +103,29 @@ impl DirectionPredictor for Gshare {
         }
         PredictBlock::from_parts(bits, inputs.len())
     }
+
+    /// Register-history kernel: the per-element history values are
+    /// reconstructed from `start` and the outcome mask in a local register —
+    /// replay hands over no per-element [`HistoryBits`] snapshots at all.
+    ///
+    /// The register shifts at the *effective* length
+    /// `min(history_len, start.len())`: bits the caller's register never
+    /// retained read as zero, exactly as [`HistoryBits::recent`] reports
+    /// them on the scalar path.
+    fn replay_block(&mut self, pcs: &[Pc], outcomes: u64, start: HistoryBits) -> PredictBlock {
+        let mut bits = 0u64;
+        let width = self.table.index_bits();
+        let eff = self.history_len.min(start.len());
+        let m = crate::mask(eff);
+        let mut h = start.recent(eff);
+        for (i, &pc) in pcs.iter().enumerate() {
+            let taken = (outcomes >> i) & 1 == 1;
+            let idx = gshare_index(pc.addr(), h, self.history_len, width);
+            bits |= u64::from(self.table.predict_update(idx, taken)) << i;
+            h = ((h << 1) | u64::from(taken)) & m;
+        }
+        PredictBlock::from_parts(bits, pcs.len())
+    }
 }
 
 /// Tagged gshare: a set-associative, tagged table of two-bit counters.

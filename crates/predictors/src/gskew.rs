@@ -283,6 +283,40 @@ impl DirectionPredictor for BcGskew {
         }
         PredictBlock::from_parts(bits, inputs.len())
     }
+
+    /// Register-history kernel: both the short (`g0`) and long history
+    /// values derive from one running register reconstructed from `start`
+    /// and the outcome mask, shifted at the effective length
+    /// `min(history_len, start.len())` so dropped bits read as zero exactly
+    /// like [`HistoryBits::recent`] on the scalar path.
+    fn replay_block(&mut self, pcs: &[Pc], outcomes: u64, start: HistoryBits) -> PredictBlock {
+        let mut bits = 0u64;
+        let width = self.bim.index_bits();
+        let g0_len = self.g0_history_len();
+        let m = mask(width);
+        let eff = self.history_len.min(start.len());
+        let hm = mask(eff);
+        let mut h = start.recent(eff);
+        for (i, &pc) in pcs.iter().enumerate() {
+            let taken = (outcomes >> i) & 1 == 1;
+            let addr = pc.addr();
+            let hs = fold_bits(h & mask(g0_len), g0_len, width);
+            let hl = fold_bits(h, self.history_len, width);
+            let p = self.pc_memo.skew_pc_at(addr, width);
+            let gp = skew_g(p, width);
+            let banks = (
+                addr >> 2,
+                (skew_h(hs, width) ^ gp ^ p) & m,
+                (skew_h(hl, width) ^ gp ^ hl) & m,
+                (skew_g(hl, width) ^ skew_h(p, width) ^ p) & m,
+            );
+            let v = self.votes_at_raw(banks);
+            bits |= u64::from(Self::final_of(v)) << i;
+            self.train_at(v, banks, taken);
+            h = ((h << 1) | u64::from(taken)) & hm;
+        }
+        PredictBlock::from_parts(bits, pcs.len())
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,21 @@ impl DirectionPredictor for Local {
         }
         PredictBlock::from_parts(bits, inputs.len())
     }
+
+    /// Replay kernel: `Local` ignores the caller's global history entirely,
+    /// so the chunk's addresses and outcome mask are all it needs.
+    fn replay_block(&mut self, pcs: &[Pc], outcomes: u64, _start: HistoryBits) -> PredictBlock {
+        let mut bits = 0u64;
+        for (i, &pc) in pcs.iter().enumerate() {
+            let taken = (outcomes >> i) & 1 == 1;
+            let slot = self.l1_index(pc);
+            let l2 = self.l2_index(pc);
+            bits |= u64::from(self.table.predict_update(l2, taken)) << i;
+            self.histories[slot] =
+                ((self.histories[slot] << 1) | u64::from(taken)) & mask(self.history_len);
+        }
+        PredictBlock::from_parts(bits, pcs.len())
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Differential property suite for the batched kernels.
 //!
-//! Every predictor's `predict_block`/`train_block` must be
+//! Every predictor's `predict_block`/`train_block`/`replay_block` must be
 //! prediction-for-prediction and state-for-state identical to the scalar
 //! `predict`/`update` path — for random chunk sizes 1..=64, with the global
 //! history evolving *inside* chunks (each element's history value already
@@ -108,6 +108,36 @@ where
         trained,
         scalar,
         "{}: predictor state diverged after train_block",
+        scalar.name()
+    );
+
+    // replay_block reconstructs per-element histories from the chunk's
+    // start register and outcome mask — it must match the scalar path (and
+    // therefore predict_block) exactly, directions and state.
+    let mut replayed = make();
+    let mut replay_preds = Vec::with_capacity(inputs.len());
+    for chunk in random_chunks(&inputs, seed ^ 0x000b_10c4) {
+        let pcs: Vec<Pc> = chunk.iter().map(|input| input.pc).collect();
+        let mut outcomes = 0u64;
+        for (i, input) in chunk.iter().enumerate() {
+            outcomes |= u64::from(input.taken) << i;
+        }
+        let block = replayed.replay_block(&pcs, outcomes, chunk[0].hist);
+        assert_eq!(block.len(), chunk.len());
+        for i in 0..block.len() {
+            replay_preds.push(block.taken(i));
+        }
+    }
+    assert_eq!(
+        replay_preds,
+        scalar_preds,
+        "{}: replay_block directions diverged from scalar",
+        scalar.name()
+    );
+    assert_eq!(
+        replayed,
+        scalar,
+        "{}: predictor state diverged after replay_block",
         scalar.name()
     );
 

@@ -21,15 +21,74 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
-use bptrace::{BranchProfile, BtReader, BtWriter};
+use bptrace::{BranchProfile, BranchRecord, BtBlockReader, BtBlockWriter, BtReader, BtWriter};
+use predictors::DirectionPredictor;
 use workloads::{Benchmark, Program, Snapshot, Walker};
 
 use crate::checksum::{hash_file, HashingWriter};
+use crate::engine::{replay_blocks, replay_reader, ReplayConfig, ReplayResult};
 use crate::error::{ReplayError, Result};
 use crate::manifest::{Manifest, TraceEntry};
 
+/// The minimal writer surface shared by the v1 record-stream and v2
+/// block-compressed trace writers, so one recording walk serves both.
+trait TraceSink {
+    fn put(&mut self, rec: &BranchRecord) -> bptrace::Result<()>;
+    fn count(&self) -> u64;
+    fn close(self) -> bptrace::Result<()>;
+}
+
+impl<W: Write> TraceSink for BtWriter<W> {
+    fn put(&mut self, rec: &BranchRecord) -> bptrace::Result<()> {
+        self.write(rec)
+    }
+    fn count(&self) -> u64 {
+        self.records()
+    }
+    fn close(self) -> bptrace::Result<()> {
+        self.finish().map(|_| ())
+    }
+}
+
+impl<W: Write> TraceSink for BtBlockWriter<W> {
+    fn put(&mut self, rec: &BranchRecord) -> bptrace::Result<()> {
+        self.write(rec)
+    }
+    fn count(&self) -> u64 {
+        self.records()
+    }
+    fn close(self) -> bptrace::Result<()> {
+        self.finish().map(|_| ())
+    }
+}
+
+/// The correct-path walk behind [`record_trace`]/[`record_trace_v1`]:
+/// format-agnostic, so both writers record the identical record stream.
+fn record_walk<S: TraceSink>(
+    program: &Program,
+    seed: u64,
+    max_uops: u64,
+    mut writer: S,
+) -> Result<(u64, BranchProfile)> {
+    let mut walker = Walker::with_seed(program, seed);
+    let mut profile = BranchProfile::new();
+    let mut uops: u64 = 0;
+    while uops < max_uops {
+        let ev = walker.next_branch();
+        let rec = ev.to_record();
+        writer.put(&rec)?;
+        profile.observe(&rec);
+        uops += ev.uops;
+        walker.follow(ev.outcome);
+    }
+    let records = writer.count();
+    writer.close()?;
+    Ok((records, profile))
+}
+
 /// Walks `program`'s correct path until `max_uops` micro-ops are covered,
-/// streaming one [`BranchRecord`](bptrace::BranchRecord) per conditional branch into `out`.
+/// streaming one [`BranchRecord`] per conditional branch into `out` in
+/// the block-compressed v2 format (the recording default).
 ///
 /// Returns the record count and the per-static-branch profile (whose
 /// [`BranchProfile::stats`] is the manifest summary). The record stream is
@@ -46,37 +105,67 @@ pub fn record_trace<W: Write>(
     max_uops: u64,
     out: W,
 ) -> Result<(u64, BranchProfile)> {
-    let mut walker = Walker::with_seed(program, seed);
-    let mut writer = BtWriter::new(out, program.name())?;
-    let mut profile = BranchProfile::new();
-    let mut uops: u64 = 0;
-    while uops < max_uops {
-        let ev = walker.next_branch();
-        let rec = ev.to_record();
-        writer.write(&rec)?;
-        profile.observe(&rec);
-        uops += ev.uops;
-        walker.follow(ev.outcome);
-    }
-    let records = writer.records();
-    writer.finish()?;
-    Ok((records, profile))
+    let writer = BtBlockWriter::new(out, program.name())?;
+    record_walk(program, seed, max_uops, writer)
 }
 
-/// Records one benchmark into `dir`: writes `<name>.bt` and `<name>.pcl`
-/// (checksummed as they stream out) and returns the manifest entry.
+/// [`record_trace`] in the legacy v1 record-stream format — the
+/// migration baseline (`traces migrate` rewrites such traces to v2) and
+/// the reference image for the v1-vs-v2 differential tests.
+///
+/// # Errors
+///
+/// Propagates trace-format/I/O errors from the writer.
+pub fn record_trace_v1<W: Write>(
+    program: &Program,
+    seed: u64,
+    max_uops: u64,
+    out: W,
+) -> Result<(u64, BranchProfile)> {
+    let writer = BtWriter::new(out, program.name())?;
+    record_walk(program, seed, max_uops, writer)
+}
+
+/// Records one benchmark into `dir`: writes `<name>.bt` (in the v2
+/// block-compressed format) and `<name>.pcl` (checksummed as they stream
+/// out) and returns the manifest entry.
 ///
 /// # Errors
 ///
 /// Propagates trace-format and I/O errors.
 pub fn record_benchmark(dir: &Path, bench: &Benchmark, uop_budget: u64) -> Result<TraceEntry> {
+    record_benchmark_with(dir, bench, uop_budget, bptrace::BT_VERSION)
+}
+
+/// [`record_benchmark`] with an explicit trace format version
+/// ([`bptrace::BT_VERSION`] or [`bptrace::BT_VERSION_V1`]) — the CLI's
+/// `record --format` plumbing and the migration tests' v1 baseline.
+///
+/// # Errors
+///
+/// Propagates trace-format and I/O errors; rejects unknown versions.
+pub fn record_benchmark_with(
+    dir: &Path,
+    bench: &Benchmark,
+    uop_budget: u64,
+    bt_version: u16,
+) -> Result<TraceEntry> {
     let program = bench.program();
 
     let bt_file = format!("{}.bt", bench.name);
     // The hashing layer sits outside the buffer so it sees the final byte
     // stream exactly as it lands on disk.
     let mut bt = HashingWriter::new(BufWriter::new(std::fs::File::create(dir.join(&bt_file))?));
-    let (records, profile) = record_trace(&program, bench.seed, uop_budget, &mut bt)?;
+    let (records, profile) = match bt_version {
+        bptrace::BT_VERSION_V1 => record_trace_v1(&program, bench.seed, uop_budget, &mut bt)?,
+        bptrace::BT_VERSION => record_trace(&program, bench.seed, uop_budget, &mut bt)?,
+        v => {
+            return Err(ReplayError::Corpus {
+                trace: bench.name.clone(),
+                reason: format!("unknown .bt format version {v}"),
+            })
+        }
+    };
     bt.flush()?;
     let (bt_bytes, bt_fnv1a) = (bt.written(), bt.hash());
 
@@ -94,6 +183,7 @@ pub fn record_benchmark(dir: &Path, bench: &Benchmark, uop_budget: u64) -> Resul
         bt_file,
         bt_bytes,
         bt_fnv1a,
+        bt_version,
         pcl_file,
         pcl_bytes,
         pcl_fnv1a,
@@ -139,6 +229,111 @@ pub fn load_snapshot(dir: &Path, entry: &TraceEntry) -> Result<Snapshot> {
 pub fn open_trace(dir: &Path, entry: &TraceEntry) -> Result<BtReader<BufReader<std::fs::File>>> {
     let file = std::fs::File::open(dir.join(&entry.bt_file))?;
     Ok(BtReader::new(BufReader::new(file))?)
+}
+
+/// Rewrites one corpus entry's `.bt` trace from the v1 record stream to
+/// the v2 block-compressed format, in a bounded-memory stream (one block
+/// buffered at a time, never the whole trace).
+///
+/// The rewrite is gated before it replaces anything: the new file is
+/// written to `<bt_file>.v2tmp`, re-read with the scalar reference
+/// reader, and compared record-for-record against the original; only a
+/// bit-identical record stream is renamed over the v1 file. Returns the
+/// updated manifest entry (new byte length, checksum, `bt_version=2`;
+/// record count and stats unchanged). An entry already at v2 is returned
+/// unchanged without touching disk.
+///
+/// # Errors
+///
+/// Trace-format/I/O errors, or [`ReplayError::Corpus`] if the re-decoded
+/// stream diverges from the original (the temp file is removed and the
+/// v1 trace left in place).
+pub fn migrate_entry(dir: &Path, entry: &TraceEntry) -> Result<TraceEntry> {
+    if entry.bt_version == bptrace::BT_VERSION {
+        return Ok(entry.clone());
+    }
+    let src = dir.join(&entry.bt_file);
+    let tmp = dir.join(format!("{}.v2tmp", entry.bt_file));
+    let fail = |reason: String| {
+        let _ = std::fs::remove_file(&tmp);
+        Err(ReplayError::Corpus {
+            trace: entry.name.clone(),
+            reason,
+        })
+    };
+
+    let mut reader = BtReader::new(BufReader::new(std::fs::File::open(&src)?))?;
+    let mut out = HashingWriter::new(BufWriter::new(std::fs::File::create(&tmp)?));
+    let mut writer = BtBlockWriter::new(&mut out, reader.name())?;
+    while let Some(rec) = reader.next_record()? {
+        writer.write(&rec)?;
+    }
+    let records = writer.records();
+    writer.finish()?;
+    out.flush()?;
+    let (bt_bytes, bt_fnv1a) = (out.written(), out.hash());
+    if records != entry.records {
+        return fail(format!(
+            "migration wrote {records} records, manifest says {}",
+            entry.records
+        ));
+    }
+
+    // Lockstep gate: the rewritten stream must decode bit-identically to
+    // the original before it may replace it.
+    let mut old = BtReader::new(BufReader::new(std::fs::File::open(&src)?))?;
+    let mut new = BtReader::new(BufReader::new(std::fs::File::open(&tmp)?))?;
+    let mut index: u64 = 0;
+    loop {
+        match (old.next_record()?, new.next_record()?) {
+            (None, None) => break,
+            (Some(a), Some(b)) if a == b => index += 1,
+            (a, b) => {
+                return fail(format!(
+                    "migrated stream diverges at record {index}: v1 {a:?} vs v2 {b:?}"
+                ))
+            }
+        }
+    }
+
+    std::fs::rename(&tmp, &src)?;
+    Ok(TraceEntry {
+        bt_bytes,
+        bt_fnv1a,
+        bt_version: bptrace::BT_VERSION,
+        ..entry.clone()
+    })
+}
+
+/// Replays one corpus entry's trace straight off disk through
+/// `predictor`, negotiating the format version from the file header: v2
+/// traces stream through the chunked block decoder, v1 traces through
+/// the scalar record reader. Memory stays bounded either way — the trace
+/// is never materialized.
+///
+/// # Errors
+///
+/// Trace-format/I/O errors from the reader.
+pub fn replay_entry<P: DirectionPredictor>(
+    dir: &Path,
+    entry: &TraceEntry,
+    predictor: &mut P,
+    config: &ReplayConfig,
+) -> Result<ReplayResult> {
+    use std::io::{Read as _, Seek, SeekFrom};
+    let mut file = std::fs::File::open(dir.join(&entry.bt_file))?;
+    let mut head = [0u8; 6];
+    let is_v2 = file.read_exact(&mut head).is_ok()
+        && bptrace::sniff_version(&head) == Some(bptrace::BT_VERSION);
+    file.seek(SeekFrom::Start(0))?;
+    let reader = BufReader::new(file);
+    if is_v2 {
+        let mut blocks = BtBlockReader::new(reader)?;
+        replay_blocks(&mut blocks, predictor, config)
+    } else {
+        let mut records = BtReader::new(reader)?;
+        replay_reader(&mut records, predictor, config)
+    }
 }
 
 /// Streams the recorded trace against a fresh correct-path walk of
@@ -366,6 +561,54 @@ mod tests {
         bytes.pop();
         std::fs::write(&path, &bytes).unwrap();
         assert!(verify_entry(&dir, entry).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_rewrites_v1_to_v2_with_replay_pinned() {
+        use crate::engine::ReplayConfig;
+        use predictors::configs::{self, Budget};
+
+        let dir = temp_dir("migrate");
+        let bench = workloads::benchmark("gzip").unwrap();
+        let v1 = record_benchmark_with(&dir, &bench, 30_000, bptrace::BT_VERSION_V1).unwrap();
+        assert_eq!(v1.bt_version, 1);
+        verify_entry(&dir, &v1).unwrap();
+
+        let cfg = ReplayConfig::with_budget(30_000);
+        let mut p = configs::gshare(Budget::K8);
+        let before = replay_entry(&dir, &v1, &mut p, &cfg).unwrap();
+
+        let v2 = migrate_entry(&dir, &v1).unwrap();
+        assert_eq!(v2.bt_version, 2);
+        assert_eq!(v2.records, v1.records);
+        assert!(
+            v2.bt_bytes < v1.bt_bytes,
+            "v2 must shrink the trace: {} vs {}",
+            v2.bt_bytes,
+            v1.bt_bytes
+        );
+        // The updated entry verifies clean (checksums, cross-check) and
+        // replays bit-identically to the v1 original.
+        verify_entry(&dir, &v2).unwrap();
+        let mut p = configs::gshare(Budget::K8);
+        let after = replay_entry(&dir, &v2, &mut p, &cfg).unwrap();
+        assert_eq!(before, after, "migration changed replay results");
+        // No stray temp file; re-migrating is a no-op.
+        assert!(!dir.join(format!("{}.v2tmp", v2.bt_file)).exists());
+        assert_eq!(migrate_entry(&dir, &v2).unwrap(), v2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_benchmark_defaults_to_v2_and_verifies() {
+        let dir = temp_dir("default-v2");
+        let bench = workloads::benchmark("art").unwrap();
+        let entry = record_benchmark(&dir, &bench, 15_000).unwrap();
+        assert_eq!(entry.bt_version, bptrace::BT_VERSION);
+        let bytes = std::fs::read(dir.join(&entry.bt_file)).unwrap();
+        assert_eq!(bptrace::sniff_version(&bytes), Some(bptrace::BT_VERSION));
+        verify_entry(&dir, &entry).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,8 +35,8 @@
 use std::collections::HashMap;
 use std::io::Read;
 
-use bptrace::{BranchRecord, BtReader};
-use predictors::{DirectionPredictor, HistoryBits, Pc, PredictBlock, PredictInput};
+use bptrace::{BranchKind, BranchRecord, BtBlockReader, BtReader, DecodedBlock};
+use predictors::{DirectionPredictor, HistoryBits, Pc, PredictBlock};
 use workloads::{Program, Walker};
 
 use crate::error::Result;
@@ -288,14 +288,23 @@ impl PcStats {
     }
 }
 
-/// One batch in flight toward the fused kernels: the prediction inputs
-/// plus per-element accounting packed into bit masks (bit `i` belongs to
-/// element `i`), so a flush folds whole-chunk totals with mask arithmetic
-/// instead of a branch per element.
+/// One batch in flight toward the fused kernels: the branch addresses,
+/// the chunk-start history register, and per-element accounting packed
+/// into bit masks (bit `i` belongs to element `i`), so a flush folds
+/// whole-chunk totals with mask arithmetic instead of a branch per
+/// element.
+///
+/// No per-element history is stored: replay history evolves on recorded
+/// outcomes only, so every element's history value is derivable from
+/// `start` plus the low bits of `taken` — which is exactly the contract
+/// of [`DirectionPredictor::replay_block`]. Dropping the 64 snapshot
+/// copies shrinks the buffer from three words per element to one.
 struct Chunk {
-    /// Fixed-capacity input buffer — a plain array, so the hot push is a
-    /// bounds-checked store with no heap indirection or capacity branch.
-    inputs: [PredictInput; PredictBlock::CAPACITY],
+    /// Fixed-capacity address buffer — a plain array, so the hot push is
+    /// a bounds-checked store with no heap indirection or capacity branch.
+    pcs: [Pc; PredictBlock::CAPACITY],
+    /// The replay history register as of the chunk's first element.
+    start: HistoryBits,
     /// Elements currently buffered.
     len: usize,
     /// Recorded outcomes, one bit per element.
@@ -310,11 +319,8 @@ struct Chunk {
 impl Chunk {
     fn new() -> Self {
         Self {
-            inputs: [PredictInput {
-                pc: Pc::new(0),
-                hist: HistoryBits::new(0),
-                taken: false,
-            }; PredictBlock::CAPACITY],
+            pcs: [Pc::new(0); PredictBlock::CAPACITY],
+            start: HistoryBits::new(0),
             len: 0,
             taken: 0,
             measuring: 0,
@@ -324,10 +330,6 @@ impl Chunk {
 
     fn is_full(&self) -> bool {
         self.len == PredictBlock::CAPACITY
-    }
-
-    fn filled(&self) -> &[PredictInput] {
-        &self.inputs[..self.len]
     }
 
     fn clear(&mut self) {
@@ -407,35 +409,54 @@ impl ReplaySession {
     }
 
     /// Batched counterpart of [`step`](Self::step): performs the budget
-    /// check and uop/record accounting, and *buffers* a conditional (with
-    /// its history value, which depends only on recorded outcomes) instead
-    /// of predicting it. Returns `false` once the budget is exhausted.
+    /// check and uop/record accounting, and *buffers* a conditional's
+    /// address and outcome instead of predicting it. The chunk captures
+    /// the history register once, at its first element; everything after
+    /// that is reconstructible from the outcome mask. Returns `false`
+    /// once the budget is exhausted.
+    ///
+    /// Takes the record's fields rather than a [`BranchRecord`] so the
+    /// column-oriented v2 path ([`replay_blocks`]) can feed it straight
+    /// from decoded block columns without materializing records.
     #[inline(always)]
-    fn buffer(&mut self, rec: &BranchRecord, chunk: &mut Chunk) -> bool {
+    fn buffer(
+        &mut self,
+        pc: u64,
+        kind: BranchKind,
+        taken: bool,
+        uops: u32,
+        chunk: &mut Chunk,
+    ) -> bool {
         if self.total_uops >= self.config.max_uops {
             return false;
         }
         let measuring = self.total_uops >= self.config.warmup_uops;
-        self.total_uops += u64::from(rec.uops_since_prev);
+        self.total_uops += u64::from(uops);
         self.records += 1;
-        if rec.kind.is_conditional() {
+        if kind.is_conditional() {
             let i = chunk.len;
-            chunk.inputs[i] = PredictInput {
-                pc: Pc::new(rec.pc),
-                hist: self.hist,
-                taken: rec.taken,
-            };
+            if i == 0 {
+                chunk.start = self.hist;
+            }
+            chunk.pcs[i] = Pc::new(pc);
             chunk.len = i + 1;
-            chunk.taken |= u64::from(rec.taken) << i;
+            chunk.taken |= u64::from(taken) << i;
             if measuring {
                 chunk.measuring |= 1 << i;
-                chunk.measured_uops += u64::from(rec.uops_since_prev);
+                chunk.measured_uops += u64::from(uops);
             }
-            self.hist.push(rec.taken);
+            self.hist.push(taken);
         } else if measuring {
-            self.measured_uops += u64::from(rec.uops_since_prev);
+            self.measured_uops += u64::from(uops);
         }
         true
+    }
+
+    /// [`buffer`](Self::buffer) from a decoded [`BranchRecord`], for the
+    /// record-at-a-time entry points.
+    #[inline(always)]
+    fn buffer_record(&mut self, rec: &BranchRecord, chunk: &mut Chunk) -> bool {
+        self.buffer(rec.pc, rec.kind, rec.taken, rec.uops_since_prev, chunk)
     }
 
     /// Runs one buffered chunk through the fused predict+train kernel and
@@ -454,7 +475,7 @@ impl ReplaySession {
         if chunk.len == 0 {
             return;
         }
-        let block = predictor.predict_block(chunk.filled());
+        let block = predictor.replay_block(&chunk.pcs[..chunk.len], chunk.taken, chunk.start);
         let miss = block.bits() ^ chunk.taken;
         self.measured_uops += chunk.measured_uops;
         self.measured_conditionals += u64::from(chunk.measuring.count_ones());
@@ -463,14 +484,14 @@ impl ReplaySession {
         while m != 0 {
             let i = m.trailing_zeros();
             m &= m - 1;
-            let pc = chunk.inputs[i as usize].pc.addr();
+            let pc = chunk.pcs[i as usize].addr();
             // One occurrence is `1 + (taken << 32)` in the accumulator's
             // packed encoding; mispredicts accumulate separately.
             let mut packed = 1 + (((chunk.taken >> i) & 1) << 32);
             let mut misses = (miss >> i) & 1;
             while m != 0 {
                 let j = m.trailing_zeros();
-                if chunk.inputs[j as usize].pc.addr() != pc {
+                if chunk.pcs[j as usize].addr() != pc {
                     break;
                 }
                 m &= m - 1;
@@ -555,12 +576,96 @@ pub fn replay_reader<R: Read, P: DirectionPredictor>(
     let mut session = ReplaySession::new(predictor, *config);
     let mut chunk = Chunk::new();
     while let Some(rec) = reader.next_record()? {
-        if !session.buffer(&rec, &mut chunk) {
+        if !session.buffer_record(&rec, &mut chunk) {
             break;
         }
         if chunk.is_full() {
             session.flush_chunk(predictor, &chunk);
             chunk.clear();
+        }
+    }
+    session.flush_chunk(predictor, &chunk);
+    Ok(session.finish(reader.name().to_string(), predictor.name()))
+}
+
+/// Replays a v2 block stream through `predictor` via the chunked decode
+/// path: whole blocks decode into [`DecodedBlock`]'s reusable column
+/// buffers, and the engine feeds the predictor 64-branch chunks straight
+/// from those columns — no [`BranchRecord`] is materialized per branch,
+/// and no per-element history snapshot is taken (the chunk carries one
+/// start register; predictors reconstruct element histories from the
+/// outcome mask via [`DirectionPredictor::replay_block`]).
+///
+/// Must produce results bit-identical to [`replay_reader`] over the same
+/// stream — the scalar reader is the reference decoder for both format
+/// versions, and the engine tests pin exactly that.
+///
+/// # Errors
+///
+/// Trace-format errors from the block reader (corruption, truncation,
+/// checksum mismatch, I/O).
+pub fn replay_blocks<R: Read, P: DirectionPredictor>(
+    reader: &mut BtBlockReader<R>,
+    predictor: &mut P,
+    config: &ReplayConfig,
+) -> Result<ReplayResult> {
+    let mut session = ReplaySession::new(predictor, *config);
+    let mut chunk = Chunk::new();
+    let mut block = DecodedBlock::new();
+    'blocks: while reader.next_block(&mut block)? {
+        let pcs = block.pcs();
+        let kinds = block.kinds();
+        let uops = block.uops();
+        let words = block.taken_words();
+        let n = block.len();
+        let mut r = 0;
+        while r < n {
+            // Bulk path: when the next 64 records form a full, word-aligned
+            // window of conditionals lying strictly inside the budget and
+            // entirely on one side of the warm-up boundary, the window maps
+            // onto one chunk with no per-record bookkeeping — the outcome
+            // word is lifted straight from the block's taken bitmask, and
+            // the history register advances by one assignment (64 pushes of
+            // word `w` leave it holding the window's outcomes newest-first,
+            // i.e. `w` bit-reversed). Windows straddling a boundary, or
+            // containing unconditional records, fall back to the per-record
+            // reference below; both must agree bit-for-bit and the engine
+            // equivalence tests pin that.
+            if chunk.len == 0 && r.is_multiple_of(64) && n - r >= 64 {
+                let all_conditional = kinds[r..r + 64].iter().all(|k| k.is_conditional());
+                if all_conditional {
+                    let sum: u64 = uops[r..r + 64].iter().map(|&u| u64::from(u)).sum();
+                    let measured = session.total_uops >= session.config.warmup_uops;
+                    let one_side =
+                        measured || session.total_uops + sum < session.config.warmup_uops;
+                    if one_side && session.total_uops + sum < session.config.max_uops {
+                        let w = words[r / 64];
+                        session.total_uops += sum;
+                        session.records += 64;
+                        chunk.start = session.hist;
+                        for (dst, &pc) in chunk.pcs.iter_mut().zip(&pcs[r..r + 64]) {
+                            *dst = Pc::new(pc);
+                        }
+                        chunk.len = 64;
+                        chunk.taken = w;
+                        chunk.measuring = if measured { !0 } else { 0 };
+                        chunk.measured_uops = if measured { sum } else { 0 };
+                        session.hist = HistoryBits::from_raw(w.reverse_bits(), session.hist.len());
+                        session.flush_chunk(predictor, &chunk);
+                        chunk.clear();
+                        r += 64;
+                        continue;
+                    }
+                }
+            }
+            if !session.buffer(pcs[r], kinds[r], block.taken(r), uops[r], &mut chunk) {
+                break 'blocks;
+            }
+            r += 1;
+            if chunk.is_full() {
+                session.flush_chunk(predictor, &chunk);
+                chunk.clear();
+            }
         }
     }
     session.flush_chunk(predictor, &chunk);
@@ -580,7 +685,7 @@ pub fn replay_records<P: DirectionPredictor>(
     let mut session = ReplaySession::new(predictor, *config);
     let mut chunk = Chunk::new();
     for rec in records {
-        if !session.buffer(rec, &mut chunk) {
+        if !session.buffer_record(rec, &mut chunk) {
             break;
         }
         if chunk.is_full() {
@@ -627,8 +732,11 @@ pub fn decode_records(bytes: &[u8]) -> Result<(String, Vec<BranchRecord>)> {
     Ok((reader.name().to_string(), records))
 }
 
-/// Convenience wrapper over [`replay_reader`] for an in-memory `.bt`
-/// image (header included).
+/// Replays an in-memory `.bt` image (header included), negotiating the
+/// format version: v2 images route through the chunked block decoder
+/// ([`replay_blocks`]); v1 images through the scalar record reader
+/// ([`replay_reader`]). Results are bit-identical either way — the two
+/// paths are differentially pinned against each other.
 ///
 /// # Errors
 ///
@@ -638,6 +746,10 @@ pub fn replay_bytes<P: DirectionPredictor>(
     predictor: &mut P,
     config: &ReplayConfig,
 ) -> Result<ReplayResult> {
+    if bptrace::sniff_version(bytes) == Some(bptrace::BT_VERSION) {
+        let mut reader = BtBlockReader::new(bytes)?;
+        return replay_blocks(&mut reader, predictor, config);
+    }
     let mut reader = BtReader::new(bytes)?;
     replay_reader(&mut reader, predictor, config)
 }
@@ -744,6 +856,28 @@ mod tests {
         let mut c = configs::bc_gskew(Budget::K8);
         let streamed = replay_bytes(&bytes, &mut c, &cfg).unwrap();
         assert_eq!(streamed, scalar);
+    }
+
+    #[test]
+    fn v1_and_v2_images_replay_bit_identically() {
+        // The same walk recorded in both formats must replay to identical
+        // results — v2 routes through the chunked block decoder and
+        // replay_block kernels, v1 through the scalar record reader.
+        let bench = workloads::benchmark("tpcc").unwrap();
+        let program = bench.program();
+        let mut v1 = Vec::new();
+        crate::corpus::record_trace_v1(&program, bench.seed, 50_000, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        crate::corpus::record_trace(&program, bench.seed, 50_000, &mut v2).unwrap();
+        assert_eq!(bptrace::sniff_version(&v1), Some(bptrace::BT_VERSION_V1));
+        assert_eq!(bptrace::sniff_version(&v2), Some(bptrace::BT_VERSION));
+
+        let cfg = ReplayConfig::with_budget(50_000);
+        let mut a = configs::bc_gskew(Budget::K8);
+        let from_v1 = replay_bytes(&v1, &mut a, &cfg).unwrap();
+        let mut b = configs::bc_gskew(Budget::K8);
+        let from_v2 = replay_bytes(&v2, &mut b, &cfg).unwrap();
+        assert_eq!(from_v1, from_v2, "format version changed replay results");
     }
 
     #[test]

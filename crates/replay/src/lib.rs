@@ -60,13 +60,16 @@ pub mod fault;
 mod manifest;
 
 pub use corpus::{
-    cross_check_snapshot, load_snapshot, open_trace, record_benchmark, record_corpus, record_trace,
+    cross_check_snapshot, load_snapshot, migrate_entry, open_trace, record_benchmark,
+    record_benchmark_with, record_corpus, record_trace, record_trace_v1, replay_entry,
     verify_corpus, verify_corpus_report, verify_entry, QuarantineEntry, VerifyReport,
 };
 pub use engine::{
-    decode_records, direct_replay, replay_bytes, replay_reader, replay_records,
+    decode_records, direct_replay, replay_blocks, replay_bytes, replay_reader, replay_records,
     replay_records_scalar, BranchReplay, ReplayConfig, ReplayResult,
 };
 pub use error::{ReplayError, Result};
 pub use fault::FaultPlan;
-pub use manifest::{Manifest, TraceEntry, MANIFEST_FILE, MANIFEST_HEADER};
+pub use manifest::{
+    Manifest, TraceEntry, MANIFEST_FILE, MANIFEST_HEADER, MANIFEST_SHARDED_HEADER, SHARD_TRACES,
+};

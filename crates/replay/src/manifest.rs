@@ -7,7 +7,7 @@
 //! btcorpus-manifest v1
 //! # optional comment lines
 //! trace name=gzip seed=0x... uop_budget=1200000 records=91234 \
-//!       bt=gzip.bt bt_bytes=... bt_fnv1a=0x... \
+//!       bt=gzip.bt bt_bytes=... bt_fnv1a=0x... bt_version=2 \
 //!       pcl=gzip.pcl pcl_bytes=... pcl_fnv1a=0x... \
 //!       branches=... conditionals=... taken=... uops=... static=...
 //! ```
@@ -16,6 +16,27 @@
 //! whitespace-separated `key=value` pairs). Unknown keys are ignored so
 //! newer writers stay readable by older parsers; missing required keys are
 //! a typed [`ReplayError::Manifest`] error carrying the line number.
+//! `bt_version` defaults to 1 when absent, so pre-v2 manifests parse
+//! unchanged.
+//!
+//! # Sharded manifests
+//!
+//! A corpus with more than [`SHARD_TRACES`] entries would put every trace
+//! line in one file that grows (and must be rewritten) linearly with the
+//! corpus. [`Manifest::save`] therefore shards large corpora: the root
+//! `corpus.manifest` becomes an index of shard files,
+//!
+//! ```text
+//! btcorpus-manifest v2
+//! shard file=corpus.shard-000.manifest traces=256 fnv1a=0x...
+//! shard file=corpus.shard-001.manifest traces=256 fnv1a=0x...
+//! ```
+//!
+//! where each shard file is itself a complete v1 manifest holding a
+//! contiguous run of entries, checksummed (FNV-1a-64 over the shard's
+//! bytes) from the root so a damaged shard is detected at load.
+//! [`Manifest::load`] negotiates the root header, so callers never see
+//! the difference: both layouts load to the same in-memory [`Manifest`].
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -28,8 +49,15 @@ use crate::error::{ReplayError, Result};
 /// File name of the manifest inside a corpus directory.
 pub const MANIFEST_FILE: &str = "corpus.manifest";
 
-/// Header line of the newest manifest version this build reads and writes.
+/// Header line of a single-file (or shard) manifest.
 pub const MANIFEST_HEADER: &str = "btcorpus-manifest v1";
+
+/// Header line of a sharded root manifest (an index of shard files).
+pub const MANIFEST_SHARDED_HEADER: &str = "btcorpus-manifest v2";
+
+/// Entries per shard file, and the threshold above which
+/// [`Manifest::save`] switches to the sharded layout.
+pub const SHARD_TRACES: usize = 256;
 
 /// One recorded benchmark: its trace and snapshot files plus everything
 /// needed to re-derive or verify them.
@@ -49,6 +77,9 @@ pub struct TraceEntry {
     pub bt_bytes: u64,
     /// FNV-1a-64 checksum of the `.bt` file.
     pub bt_fnv1a: u64,
+    /// `.bt` format version (1 = record stream, 2 = block-compressed).
+    /// Defaults to 1 when the manifest predates the key.
+    pub bt_version: u16,
     /// `.pcl` snapshot file name, relative to the corpus directory.
     pub pcl_file: String,
     /// Byte length of the `.pcl` file.
@@ -88,7 +119,7 @@ impl Manifest {
             let _ = write!(
                 line,
                 "trace name={} seed={:#x} uop_budget={} records={} \
-                 bt={} bt_bytes={} bt_fnv1a={:#x} \
+                 bt={} bt_bytes={} bt_fnv1a={:#x} bt_version={} \
                  pcl={} pcl_bytes={} pcl_fnv1a={:#x} \
                  branches={} conditionals={} taken={} uops={} static={}",
                 e.name,
@@ -98,6 +129,7 @@ impl Manifest {
                 e.bt_file,
                 e.bt_bytes,
                 e.bt_fnv1a,
+                e.bt_version,
                 e.pcl_file,
                 e.pcl_bytes,
                 e.pcl_fnv1a,
@@ -158,25 +190,136 @@ impl Manifest {
         Ok(Self { entries })
     }
 
-    /// Loads `dir/corpus.manifest`.
+    /// Loads `dir/corpus.manifest`, negotiating the root layout: a v1
+    /// root is parsed directly; a v2 root is an index of shard files,
+    /// each of which is checksum-verified and parsed as a v1 manifest.
     ///
     /// # Errors
     ///
-    /// As [`read_from`](Self::read_from), plus I/O errors opening the file.
+    /// As [`read_from`](Self::read_from), plus I/O errors opening the
+    /// files, and [`ReplayError::Manifest`] on a shard checksum or
+    /// entry-count mismatch.
     pub fn load(dir: &Path) -> Result<Self> {
-        let file = std::fs::File::open(dir.join(MANIFEST_FILE))?;
-        Self::read_from(file)
+        let root = std::fs::read(dir.join(MANIFEST_FILE))?;
+        let first_content = root
+            .split(|&b| b == b'\n')
+            .map(|l| std::str::from_utf8(l).unwrap_or("").trim())
+            .find(|l| !l.is_empty() && !l.starts_with('#'));
+        if first_content != Some(MANIFEST_SHARDED_HEADER) {
+            return Self::read_from(root.as_slice());
+        }
+        let mut entries = Vec::new();
+        for (i, line) in root.split(|&b| b == b'\n').enumerate() {
+            let lineno = i + 1;
+            let bad = |reason: String| ReplayError::Manifest {
+                line: lineno,
+                reason,
+            };
+            let line = std::str::from_utf8(line)
+                .map_err(|_| bad("root manifest is not UTF-8".into()))?
+                .trim();
+            if line.is_empty() || line.starts_with('#') || line == MANIFEST_SHARDED_HEADER {
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("shard ") else {
+                return Err(bad(format!("expected a `shard` entry, found {line:?}")));
+            };
+            let (mut file, mut traces, mut fnv) = (None, None, None);
+            for pair in rest.split_ascii_whitespace() {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("malformed pair {pair:?}")))?;
+                match key {
+                    "file" => file = Some(value.to_string()),
+                    "traces" => traces = Some(parse_num(key, value, lineno)?),
+                    "fnv1a" => fnv = Some(parse_num(key, value, lineno)?),
+                    _ => {} // forward compatibility
+                }
+            }
+            let file = file.ok_or_else(|| bad("missing key file".into()))?;
+            let traces = traces.ok_or_else(|| bad("missing key traces".into()))?;
+            let fnv = fnv.ok_or_else(|| bad("missing key fnv1a".into()))?;
+            let bytes = std::fs::read(dir.join(&file))?;
+            let found = crate::checksum::fnv1a(&bytes);
+            if found != fnv {
+                return Err(bad(format!(
+                    "shard {file}: expected fnv1a {fnv:#x}, found {found:#x}"
+                )));
+            }
+            let shard = Self::read_from(bytes.as_slice())?;
+            if shard.entries.len() as u64 != traces {
+                return Err(bad(format!(
+                    "shard {file}: expected {traces} traces, found {}",
+                    shard.entries.len()
+                )));
+            }
+            entries.extend(shard.entries);
+        }
+        Ok(Self { entries })
     }
 
-    /// Writes `dir/corpus.manifest`.
+    /// Writes `dir/corpus.manifest`, sharding automatically: up to
+    /// [`SHARD_TRACES`] entries land in a single v1 file; larger corpora
+    /// get the sharded layout via
+    /// [`save_sharded`](Self::save_sharded)`(dir, SHARD_TRACES)`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        if self.entries.len() > SHARD_TRACES {
+            return self.save_sharded(dir, SHARD_TRACES);
+        }
         let file = std::fs::File::create(dir.join(MANIFEST_FILE))?;
         self.write_to(file)
     }
+
+    /// Writes the sharded layout explicitly: `shard_size` entries per
+    /// `corpus.shard-NNN.manifest` file (each a complete v1 manifest),
+    /// with the root `corpus.manifest` indexing them by name, entry count
+    /// and FNV-1a-64 checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero.
+    pub fn save_sharded(&self, dir: &Path, shard_size: usize) -> Result<()> {
+        assert!(shard_size > 0, "shard size must be positive");
+        let mut root = String::new();
+        root.push_str(MANIFEST_SHARDED_HEADER);
+        root.push('\n');
+        for (i, chunk) in self.entries.chunks(shard_size).enumerate() {
+            let shard = Self {
+                entries: chunk.to_vec(),
+            };
+            let mut bytes = Vec::new();
+            shard.write_to(&mut bytes)?;
+            let file = format!("corpus.shard-{i:03}.manifest");
+            std::fs::write(dir.join(&file), &bytes)?;
+            let _ = writeln!(
+                root,
+                "shard file={file} traces={} fnv1a={:#x}",
+                chunk.len(),
+                crate::checksum::fnv1a(&bytes)
+            );
+        }
+        std::fs::write(dir.join(MANIFEST_FILE), root.as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hexadecimal `u64`.
+fn parse_num(key: &str, value: &str, line: usize) -> Result<u64> {
+    value
+        .strip_prefix("0x")
+        .map_or_else(|| value.parse::<u64>(), |hex| u64::from_str_radix(hex, 16))
+        .map_err(|_| ReplayError::Manifest {
+            line,
+            reason: format!("bad number for {key}: {value:?}"),
+        })
 }
 
 fn parse_entry(pairs: &str, line: usize) -> Result<TraceEntry> {
@@ -184,6 +327,8 @@ fn parse_entry(pairs: &str, line: usize) -> Result<TraceEntry> {
     let mut name = None;
     let mut str_fields: [Option<String>; 2] = [None, None]; // bt, pcl
     let mut num_fields: [Option<u64>; 12] = [None; 12];
+    // Optional key: absent in pre-v2 manifests, which recorded v1 streams.
+    let mut bt_version: u64 = 1;
     const NUM_KEYS: [&str; 12] = [
         "seed",
         "uop_budget",
@@ -206,13 +351,10 @@ fn parse_entry(pairs: &str, line: usize) -> Result<TraceEntry> {
             "name" => name = Some(value.to_string()),
             "bt" => str_fields[0] = Some(value.to_string()),
             "pcl" => str_fields[1] = Some(value.to_string()),
+            "bt_version" => bt_version = parse_num(key, value, line)?,
             _ => {
                 if let Some(slot) = NUM_KEYS.iter().position(|k| *k == key) {
-                    let parsed = value
-                        .strip_prefix("0x")
-                        .map_or_else(|| value.parse::<u64>(), |hex| u64::from_str_radix(hex, 16))
-                        .map_err(|_| bad(format!("bad number for {key}: {value:?}")))?;
-                    num_fields[slot] = Some(parsed);
+                    num_fields[slot] = Some(parse_num(key, value, line)?);
                 }
                 // Unknown keys: ignored for forward compatibility.
             }
@@ -231,6 +373,8 @@ fn parse_entry(pairs: &str, line: usize) -> Result<TraceEntry> {
             .ok_or_else(|| bad("missing key bt".into()))?,
         bt_bytes: take_num(3)?,
         bt_fnv1a: take_num(4)?,
+        bt_version: u16::try_from(bt_version)
+            .map_err(|_| bad(format!("bt_version {bt_version} out of range")))?,
         pcl_file: str_fields[1]
             .clone()
             .ok_or_else(|| bad("missing key pcl".into()))?,
@@ -259,6 +403,7 @@ mod tests {
             bt_file: format!("{name}.bt"),
             bt_bytes: 250_101,
             bt_fnv1a: 0x1234_5678_9abc_def0,
+            bt_version: 2,
             pcl_file: format!("{name}.pcl"),
             pcl_bytes: 40_000,
             pcl_fnv1a: 42,
@@ -324,6 +469,63 @@ mod tests {
         assert!(Manifest::read_from(text.as_bytes()).is_err());
         // Empty file.
         assert!(Manifest::read_from(b"".as_slice()).is_err());
+    }
+
+    #[test]
+    fn bt_version_defaults_to_v1_when_absent() {
+        // Pre-v2 manifests carry no bt_version key; they indexed v1
+        // record streams.
+        let manifest = Manifest {
+            entries: vec![sample_entry("gzip")],
+        };
+        let mut buf = Vec::new();
+        manifest.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("bt_version=2 ", "");
+        let parsed = Manifest::read_from(text.as_bytes()).unwrap();
+        assert_eq!(parsed.entries[0].bt_version, 1);
+    }
+
+    #[test]
+    fn sharded_save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("replay-manifest-sharded-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest {
+            entries: (0..10).map(|i| sample_entry(&format!("b{i}"))).collect(),
+        };
+        manifest.save_sharded(&dir, 4).unwrap();
+        // Root is an index of three checksummed shard files.
+        let root = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(root.starts_with(MANIFEST_SHARDED_HEADER));
+        assert_eq!(root.matches("shard file=").count(), 3);
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+
+        // A flipped byte inside a shard is caught by the root checksum.
+        let shard = dir.join("corpus.shard-001.manifest");
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&shard, &bytes).unwrap();
+        let err = Manifest::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("fnv1a"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_auto_shards_above_the_threshold() {
+        let dir = std::env::temp_dir().join("replay-manifest-autoshard-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest {
+            entries: (0..SHARD_TRACES + 1)
+                .map(|i| sample_entry(&format!("b{i}")))
+                .collect(),
+        };
+        manifest.save(&dir).unwrap();
+        let root = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(root.starts_with(MANIFEST_SHARDED_HEADER));
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -300,12 +300,13 @@ fn corpus_info(state: &ServerState) -> Result<Outcome, HttpError> {
         }
         body.push_str(&format!(
             "\n    {{\"name\": \"{}\", \"seed\": {}, \"uop_budget\": {}, \"records\": {}, \
-             \"bt_fnv1a\": \"{:#018x}\", \"quarantined\": {}}}",
+             \"bt_fnv1a\": \"{:#018x}\", \"bt_version\": {}, \"quarantined\": {}}}",
             json::escape(&e.name),
             e.seed,
             e.uop_budget,
             e.records,
             e.bt_fnv1a,
+            e.bt_version,
             c.quarantine_reason(&e.name).is_some(),
         ));
     }

@@ -1,23 +1,35 @@
-//! The trace-corpus CLI: record, list, inspect, verify and replay `.bt`
-//! corpora.
+//! The trace-corpus CLI: record, list, inspect, verify, migrate and
+//! replay `.bt` corpora.
 //!
 //! ```text
-//! traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--threads N]
+//! traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--format v1|v2] [--threads N]
 //! traces list    --dir DIR
 //! traces inspect --dir DIR --trace NAME [--top N]
 //! traces replay  --dir DIR [--threads N] [--top N]
 //! traces verify  --dir DIR [--threads N]
+//! traces migrate --dir DIR [--threads N]
 //!
-//!   SCALE=2   double the per-benchmark uop budget when recording
+//!   SCALE=2          double the per-benchmark uop budget when recording
+//!   CORPUS_TRACES=N  expand the bench set to N synthetic variants when recording
 //! ```
 //!
 //! `record` writes one `.bt` trace + one `.pcl` snapshot per benchmark
-//! plus the `corpus.manifest` index; `replay` streams every trace through
-//! the conventional tournament lineup and prints the ranked misp/Kuops
-//! report with per-trace H2P flags; `verify` re-hashes every artifact and
-//! cross-checks each snapshot walk against its trace. Recording, replay
-//! and verification all fan out through the deterministic parallel grid
-//! runner, so results are identical for any `--threads` value.
+//! plus the `corpus.manifest` index (block-compressed v2 traces by
+//! default; `--format v1` keeps the legacy record stream as a migration
+//! baseline); `replay` streams every trace through the conventional
+//! tournament lineup — v2 traces through the chunked block decoder —
+//! and prints the ranked misp/Kuops report with per-trace H2P flags;
+//! `verify` re-hashes every artifact and cross-checks each snapshot walk
+//! against its trace; `migrate` rewrites v1 traces to v2 in place, each
+//! rewrite gated by a record-for-record comparison before it replaces
+//! the original. Recording, replay, verification and migration all fan
+//! out through the deterministic parallel grid runner, so results are
+//! identical for any `--threads` value.
+//!
+//! `CORPUS_TRACES=N` synthesizes variants of the selected benchmarks
+//! (derived names and seeds) until the corpus holds `N` traces — the
+//! bounded-memory soak knob: every stage streams, so memory stays flat
+//! no matter how large the corpus grows.
 //!
 //! `replay` and `verify` degrade gracefully: a corrupt or truncated
 //! trace is *quarantined* — listed with its failure reason under the
@@ -29,8 +41,8 @@ use std::path::{Path, PathBuf};
 use bptrace::{BranchProfile, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
 use predictors::DirectionPredictor;
 use replay::{
-    open_trace, record_benchmark, replay_reader, verify_entry, Manifest, QuarantineEntry,
-    ReplayConfig, ReplayResult, TraceEntry,
+    migrate_entry, open_trace, record_benchmark_with, replay_entry, verify_entry, Manifest,
+    QuarantineEntry, ReplayConfig, ReplayResult, TraceEntry,
 };
 use sim::experiments::common::select_benchmarks;
 use sim::experiments::tracecmp::conventional_lineup;
@@ -41,12 +53,14 @@ use workloads::Benchmark;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--threads N]\n  \
+        "usage:\n  traces record  --dir DIR [--bench fast|all|NAME[,NAME...]] [--format v1|v2] [--threads N]\n  \
          traces list    --dir DIR\n  \
          traces inspect --dir DIR --trace NAME [--top N]\n  \
          traces replay  --dir DIR [--threads N] [--top N]\n  \
-         traces verify  --dir DIR [--threads N]\n\n  \
-         SCALE=2 doubles the per-benchmark uop budget when recording"
+         traces verify  --dir DIR [--threads N]\n  \
+         traces migrate --dir DIR [--threads N]\n\n  \
+         SCALE=2 doubles the per-benchmark uop budget when recording\n  \
+         CORPUS_TRACES=N expands the bench set to N synthetic variants when recording"
     );
     std::process::exit(2);
 }
@@ -105,23 +119,60 @@ fn load_manifest(dir: &Path) -> Manifest {
     Manifest::load(dir).unwrap_or_else(|e| fail(&format!("cannot load manifest: {e}")))
 }
 
+/// Expands `benches` to `target` entries by synthesizing variants: each
+/// variant derives a fresh name and seed from a base benchmark (both feed
+/// program generation, so every variant is a distinct deterministic
+/// workload). The bounded-memory soak knob — corpus size scales freely
+/// while recording and replay memory stay flat.
+fn expand_benchmarks(benches: Vec<Benchmark>, target: usize) -> Vec<Benchmark> {
+    let base_len = benches.len();
+    if target <= base_len {
+        return benches;
+    }
+    let mut out = benches;
+    for i in base_len..target {
+        let base = &out[i % base_len];
+        let round = (i / base_len) as u64;
+        out.push(Benchmark {
+            name: format!("{}-v{:03}", base.name, round),
+            suite: base.suite,
+            profile: base.profile,
+            seed: base
+                .seed
+                .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        });
+    }
+    out
+}
+
 fn cmd_record(mut args: Vec<String>) {
     let dir = require_dir(&mut args);
     let bench_spec = take_flag(&mut args, "--bench").unwrap_or_else(|| "fast".to_string());
+    let bt_version = match take_flag(&mut args, "--format").as_deref() {
+        None | Some("v2") => bptrace::BT_VERSION,
+        Some("v1") => bptrace::BT_VERSION_V1,
+        Some(_) => usage(),
+    };
     let threads = threads_flag(&mut args);
     if !args.is_empty() {
         usage();
     }
-    let benches = resolve_benchmarks(&bench_spec);
+    let mut benches = resolve_benchmarks(&bench_spec);
+    if let Ok(spec) = std::env::var("CORPUS_TRACES") {
+        let target: usize = spec
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("bad CORPUS_TRACES value {spec:?}")));
+        benches = expand_benchmarks(benches, target);
+    }
     let budget = ExpEnv::from_env().uop_budget();
     std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("cannot create dir: {e}")));
     eprintln!(
-        "# recording {} benchmark(s) at {budget} uops each, {threads} thread(s)",
+        "# recording {} benchmark(s) at {budget} uops each (format v{bt_version}), {threads} thread(s)",
         benches.len()
     );
 
     let entries: Vec<TraceEntry> = par_map(&benches, threads, |_, bench| {
-        record_benchmark(&dir, bench, budget)
+        record_benchmark_with(&dir, bench, budget, bt_version)
             .unwrap_or_else(|e| fail(&format!("recording {}: {e}", bench.name)))
     });
     let mut total_bytes = 0u64;
@@ -239,8 +290,10 @@ fn cmd_replay(mut args: Vec<String>) {
         let entry = &manifest.entries[t];
         let mut predictor = lineup[p].clone();
         let cfg = ReplayConfig::with_budget(entry.uop_budget);
-        let mut reader = open_trace(&dir, entry).map_err(|e| format!("opening trace: {e}"))?;
-        replay_reader(&mut reader, &mut predictor, &cfg).map_err(|e| format!("replaying: {e}"))
+        // Streams straight off disk, negotiating the trace format from
+        // the file header (v2 → chunked block decode) — memory stays
+        // bounded regardless of corpus or trace size.
+        replay_entry(&dir, entry, &mut predictor, &cfg).map_err(|e| format!("replaying: {e}"))
     });
 
     // A trace whose replay failed under *any* predictor is quarantined:
@@ -392,6 +445,53 @@ fn cmd_verify(mut args: Vec<String>) {
     eprintln!("# {} entries verified", manifest.entries.len());
 }
 
+fn cmd_migrate(mut args: Vec<String>) {
+    let dir = require_dir(&mut args);
+    let threads = threads_flag(&mut args);
+    if !args.is_empty() {
+        usage();
+    }
+    let manifest = load_manifest(&dir);
+    let v1_count = manifest
+        .entries
+        .iter()
+        .filter(|e| e.bt_version != bptrace::BT_VERSION)
+        .count();
+    eprintln!(
+        "# migrating {v1_count} of {} trace(s) to .bt v{}, {threads} thread(s)",
+        manifest.entries.len(),
+        bptrace::BT_VERSION
+    );
+    let migrated: Vec<TraceEntry> = par_map(&manifest.entries, threads, |_, entry| {
+        migrate_entry(&dir, entry)
+            .unwrap_or_else(|e| fail(&format!("migrating {}: {e}", entry.name)))
+    });
+    let (mut before, mut after) = (0u64, 0u64);
+    for (old, new) in manifest.entries.iter().zip(&migrated) {
+        before += old.bt_bytes;
+        after += new.bt_bytes;
+        if old.bt_version != new.bt_version {
+            println!(
+                "{:<10} {:>9} B -> {:>9} B  ({:.2}x smaller)",
+                new.name,
+                old.bt_bytes,
+                new.bt_bytes,
+                old.bt_bytes as f64 / new.bt_bytes.max(1) as f64
+            );
+        } else {
+            println!("{:<10} already v{}", new.name, new.bt_version);
+        }
+    }
+    let manifest = Manifest { entries: migrated };
+    manifest
+        .save(&dir)
+        .unwrap_or_else(|e| fail(&format!("writing manifest: {e}")));
+    eprintln!(
+        "# corpus traces: {before} B -> {after} B ({:.2}x smaller)",
+        before as f64 / after.max(1) as f64
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -404,6 +504,7 @@ fn main() {
         "inspect" => cmd_inspect(args),
         "replay" => cmd_replay(args),
         "verify" => cmd_verify(args),
+        "migrate" => cmd_migrate(args),
         _ => usage(),
     }
 }

@@ -17,18 +17,31 @@
 //! fastest pass wins, which suppresses scheduler noise without averaging
 //! away cache effects.
 //!
+//! A second section measures the **trace decode pipeline**: every
+//! benchmark is recorded in both `.bt` formats, and the section reports
+//! the deterministic size figures (total bytes, bytes per branch, the
+//! v1/v2 compression ratio) plus wall-clock decode and end-to-end
+//! replay rates — v1 through the scalar record reader, v2 through the
+//! chunked block decoder. Both images are gated record-for-record and
+//! replay-result-for-replay-result against each other first.
+//!
 //! `BENCH_throughput.json` separates **result metrics** from
 //! **environment**: `mispredicts`/`misp_per_kuops` are deterministic and
 //! participate in `bench_diff` regression gating; the rate fields
-//! (`scalar_preds_per_sec`, `batched_preds_per_sec`, `speedup`) are
-//! wall-clock-dependent and deliberately named so `bench_diff` never
-//! diffs them.
+//! (`scalar_preds_per_sec`, `batched_preds_per_sec`, `speedup`, and the
+//! decode section's `*_branches_per_sec`) are wall-clock-dependent and
+//! deliberately named so `bench_diff` never diffs them.
 
 use std::time::Instant;
 
+use bptrace::{BtBlockReader, BtReader, DecodedBlock};
+use predictors::configs::{self, Budget};
 use predictors::DirectionPredictor;
 use prophet_critic::AnyProphet;
-use replay::{decode_records, record_trace, replay_records, replay_records_scalar, ReplayConfig};
+use replay::{
+    decode_records, record_trace, record_trace_v1, replay_bytes, replay_records,
+    replay_records_scalar, ReplayConfig,
+};
 
 use crate::experiments::common::ExpEnv;
 use crate::experiments::tracecmp::{conventional_lineup, size_label};
@@ -131,6 +144,115 @@ fn measure(
     }
 }
 
+/// The decode-pipeline section's measurements: deterministic size
+/// figures plus wall-clock decode and end-to-end replay rates for both
+/// `.bt` format versions.
+struct DecodeStats {
+    /// Total branch records across the corpus (identical in both formats
+    /// by the differential gate).
+    branches: u64,
+    v1_bytes: u64,
+    v2_bytes: u64,
+    v1_decode_branches_per_sec: f64,
+    v2_decode_branches_per_sec: f64,
+    v1_replay_branches_per_sec: f64,
+    v2_replay_branches_per_sec: f64,
+}
+
+impl DecodeStats {
+    fn compression_ratio(&self) -> f64 {
+        self.v1_bytes as f64 / (self.v2_bytes.max(1)) as f64
+    }
+    fn end_to_end_speedup(&self) -> f64 {
+        if self.v1_replay_branches_per_sec == 0.0 {
+            0.0
+        } else {
+            self.v2_replay_branches_per_sec / self.v1_replay_branches_per_sec
+        }
+    }
+}
+
+/// Measures the decode pipeline over paired `(v1, v2)` trace images:
+/// differential gates first (identical record streams, identical replay
+/// results), then `REPS` timed passes per format for raw decode and for
+/// end-to-end replay through a fixed 16 KB gshare.
+fn measure_decode(images: &[(Vec<u8>, Vec<u8>)], cfg: &ReplayConfig) -> DecodeStats {
+    // ---- Differential gates: both images must decode to the identical
+    // record stream and replay to the identical result, or die.
+    let mut branches = 0u64;
+    for (v1, v2) in images {
+        let a = decode_records(v1).expect("v1 image decodes");
+        let b = decode_records(v2).expect("v2 image decodes");
+        assert_eq!(a, b, "v1 and v2 images decode to different streams");
+        branches += a.1.len() as u64;
+        let mut p = configs::gshare(Budget::K16);
+        let from_v1 = replay_bytes(v1, &mut p, cfg).expect("v1 replays");
+        let mut p = configs::gshare(Budget::K16);
+        let from_v2 = replay_bytes(v2, &mut p, cfg).expect("v2 replays");
+        assert_eq!(from_v1, from_v2, "format version changed replay results");
+    }
+
+    // ---- Timed passes, fastest-of-REPS, single core. Decode counts are
+    // folded into a checksum the assert consumes, so the loops cannot be
+    // optimized away.
+    let (mut v1_decode, mut v2_decode) = (f64::INFINITY, f64::INFINITY);
+    let (mut v1_replay, mut v2_replay) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let mut seen = 0u64;
+        let secs = timed_pass(|| {
+            for (v1, _) in images {
+                let mut r = BtReader::new(v1.as_slice()).unwrap();
+                while let Some(rec) = r.next_record().unwrap() {
+                    seen += u64::from(rec.taken);
+                }
+            }
+        });
+        assert!(seen <= branches);
+        v1_decode = v1_decode.min(secs);
+
+        let mut seen = 0u64;
+        let secs = timed_pass(|| {
+            let mut block = DecodedBlock::new();
+            for (_, v2) in images {
+                let mut r = BtBlockReader::new(v2.as_slice()).unwrap();
+                while r.next_block(&mut block).unwrap() {
+                    for w in block.taken_words() {
+                        seen += u64::from(w.count_ones());
+                    }
+                }
+            }
+        });
+        assert!(seen <= branches);
+        v2_decode = v2_decode.min(secs);
+
+        let secs = timed_pass(|| {
+            for (v1, _) in images {
+                let mut p = configs::gshare(Budget::K16);
+                let _ = replay_bytes(v1, &mut p, cfg).unwrap();
+            }
+        });
+        v1_replay = v1_replay.min(secs);
+
+        let secs = timed_pass(|| {
+            for (_, v2) in images {
+                let mut p = configs::gshare(Budget::K16);
+                let _ = replay_bytes(v2, &mut p, cfg).unwrap();
+            }
+        });
+        v2_replay = v2_replay.min(secs);
+    }
+
+    DecodeStats {
+        branches,
+        v1_bytes: images.iter().map(|(v1, _)| v1.len() as u64).sum(),
+        v2_bytes: images.iter().map(|(_, v2)| v2.len() as u64).sum(),
+        v1_decode_branches_per_sec: branches as f64 / v1_decode.max(1e-12),
+        v2_decode_branches_per_sec: branches as f64 / v2_decode.max(1e-12),
+        v1_replay_branches_per_sec: branches as f64 / v1_replay.max(1e-12),
+        v2_replay_branches_per_sec: branches as f64 / v2_replay.max(1e-12),
+    }
+}
+
 /// Runs the throughput comparison and also returns the machine-readable
 /// JSON report.
 #[must_use]
@@ -145,15 +267,28 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         warmup_uops: 0,
     };
 
-    // Record and decode the corpus once, in parallel; timing below is
-    // strictly sequential so rates are single-core.
-    let corpus: Vec<(String, Vec<bptrace::BranchRecord>)> =
-        par_map(&programs, env.threads, |_, (bench, program)| {
-            let mut bt = Vec::new();
-            record_trace(program, bench.seed, budget, &mut bt)
-                .expect("in-memory recording cannot fail");
-            decode_records(&bt).expect("freshly recorded trace decodes")
-        });
+    // Record both format versions and decode the corpus once, in
+    // parallel; timing below is strictly sequential so rates are
+    // single-core.
+    type Recorded = (String, Vec<u8>, Vec<u8>, Vec<bptrace::BranchRecord>);
+    let recorded: Vec<Recorded> = par_map(&programs, env.threads, |_, (bench, program)| {
+        let mut v1 = Vec::new();
+        record_trace_v1(program, bench.seed, budget, &mut v1)
+            .expect("in-memory recording cannot fail");
+        let mut v2 = Vec::new();
+        record_trace(program, bench.seed, budget, &mut v2)
+            .expect("in-memory recording cannot fail");
+        let (name, records) = decode_records(&v2).expect("freshly recorded trace decodes");
+        (name, v1, v2, records)
+    });
+    let mut images = Vec::with_capacity(recorded.len());
+    let mut corpus = Vec::with_capacity(recorded.len());
+    for (name, v1, v2, records) in recorded {
+        images.push((v1, v2));
+        corpus.push((name, records));
+    }
+
+    let decode = measure_decode(&images, &cfg);
 
     let lineup = conventional_lineup();
     let rows: Vec<Row> = lineup.iter().map(|p| measure(p, &corpus, &cfg)).collect();
@@ -188,9 +323,45 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
          field-for-field before any rate is reported",
     );
 
+    let mut decode_table = Table::new(
+        "Trace decode — block-compressed .bt v2 vs v1 record stream (single core)",
+        &[
+            "format",
+            "bytes",
+            "bytes/branch",
+            "decode Mbranch/s",
+            "replay Mbranch/s",
+        ],
+    );
+    let branches = decode.branches.max(1);
+    decode_table.row(vec![
+        "v1 records".to_string(),
+        decode.v1_bytes.to_string(),
+        f2(decode.v1_bytes as f64 / branches as f64),
+        f2(decode.v1_decode_branches_per_sec / 1e6),
+        f2(decode.v1_replay_branches_per_sec / 1e6),
+    ]);
+    decode_table.row(vec![
+        "v2 blocks".to_string(),
+        decode.v2_bytes.to_string(),
+        f2(decode.v2_bytes as f64 / branches as f64),
+        f2(decode.v2_decode_branches_per_sec / 1e6),
+        f2(decode.v2_replay_branches_per_sec / 1e6),
+    ]);
+    decode_table.note(format!(
+        "{} branches; v2 is {:.2}x smaller and replays {:.2}x faster end-to-end (16KB gshare)",
+        decode.branches,
+        decode.compression_ratio(),
+        decode.end_to_end_speedup()
+    ));
+    decode_table.note(
+        "gated: both images must decode to the identical record stream and replay to \
+         the identical ReplayResult before any rate is reported",
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_throughput_v1\",\n");
+    json.push_str("  \"schema\": \"bench_throughput_v2\",\n");
     json.push_str(&format!("  \"scale\": {},\n", env.scale));
     json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
     json.push_str(&format!("  \"uop_budget\": {budget},\n"));
@@ -211,10 +382,25 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
             r.speedup(),
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"decode\": {{\"branches\": {}, \"v1_bytes\": {}, \"v2_bytes\": {}, \
+         \"compression_ratio\": {:.4}, \"v1_decode_branches_per_sec\": {:.0}, \
+         \"v2_decode_branches_per_sec\": {:.0}, \"v1_replay_branches_per_sec\": {:.0}, \
+         \"v2_replay_branches_per_sec\": {:.0}, \"end_to_end_speedup\": {:.3}}}\n",
+        decode.branches,
+        decode.v1_bytes,
+        decode.v2_bytes,
+        decode.compression_ratio(),
+        decode.v1_decode_branches_per_sec,
+        decode.v2_decode_branches_per_sec,
+        decode.v1_replay_branches_per_sec,
+        decode.v2_replay_branches_per_sec,
+        decode.end_to_end_speedup(),
+    ));
     json.push_str("}\n");
 
-    (vec![table], json)
+    (vec![table, decode_table], json)
 }
 
 /// Runs the throughput comparison and writes [`JSON_PATH`].
@@ -239,9 +425,9 @@ mod tests {
             ..ExpEnv::tiny()
         };
         let (tables, json) = run_with_report(&env);
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), conventional_lineup().len());
-        assert!(json.contains("\"schema\": \"bench_throughput_v1\""));
+        assert!(json.contains("\"schema\": \"bench_throughput_v2\""));
         // Every row carries predictions and strictly positive rates.
         for row in &tables[0].rows {
             let predictions: u64 = row[1].parse().unwrap();
@@ -250,5 +436,16 @@ mod tests {
             let batched: f64 = row[4].parse().unwrap();
             assert!(scalar > 0.0 && batched > 0.0, "{row:?}");
         }
+        // The decode section: one row per format, v2 strictly smaller,
+        // and the JSON carries the section.
+        assert_eq!(tables[1].rows.len(), 2);
+        assert!(json.contains("\"decode\": {"));
+        assert!(json.contains("\"compression_ratio\""));
+        let v1_bytes: u64 = tables[1].rows[0][1].parse().unwrap();
+        let v2_bytes: u64 = tables[1].rows[1][1].parse().unwrap();
+        assert!(
+            v2_bytes < v1_bytes,
+            "v2 must shrink the corpus: {v2_bytes} vs {v1_bytes}"
+        );
     }
 }

@@ -1,10 +1,11 @@
-//! The `.bt` binary branch-trace format.
+//! The `.bt` binary branch-trace format: v1 record streams and version
+//! negotiation over both versions.
 //!
-//! Layout:
+//! v1 layout:
 //!
 //! ```text
 //! magic    "BPTR"                      4 bytes
-//! version  u16 LE                      currently 1
+//! version  u16 LE                      1
 //! name     varint length + UTF-8       benchmark name
 //! records  until EOF:
 //!   flags      u8
@@ -19,9 +20,16 @@
 //!
 //! Deltas keep hot loops at 2–3 bytes per record. The parser is fully
 //! manual and reports typed, offset-carrying errors.
+//!
+//! v2 is the block-compressed layout in [`crate::block`]. [`BtReader`]
+//! negotiates the version from the header and decodes either one through
+//! the same `next_record` interface: it is the bit-identical scalar
+//! reference over both versions. [`BtWriter`] always emits v1 (the
+//! migration baseline); [`BtBlockWriter`](crate::BtBlockWriter) emits v2.
 
 use std::io::{Read, Write};
 
+use crate::block::{BtBlockReader, DecodedBlock};
 use crate::error::{Result, TraceError};
 use crate::record::{BranchKind, BranchRecord};
 use crate::wire::{read_header, write_header, WireReader, WireWriter};
@@ -29,12 +37,30 @@ use crate::wire::{read_header, write_header, WireReader, WireWriter};
 /// Magic bytes of the `.bt` format.
 pub const BT_MAGIC: [u8; 4] = *b"BPTR";
 
-/// Newest `.bt` version this build reads and writes.
-pub const BT_VERSION: u16 = 1;
+/// Newest `.bt` version this build reads (block-compressed).
+pub const BT_VERSION: u16 = 2;
+
+/// The legacy record-stream version [`BtWriter`] emits.
+pub const BT_VERSION_V1: u16 = 1;
 
 const UOPS_INLINE_MAX: u32 = 14;
 
-/// Streaming writer of `.bt` branch traces.
+/// Peeks the `.bt` container version from a byte slice, without
+/// constructing a reader: `None` if the slice is too short or carries a
+/// foreign magic.
+#[must_use]
+pub fn sniff_version(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() < 6 || bytes[..4] != BT_MAGIC {
+        return None;
+    }
+    Some(u16::from_le_bytes([bytes[4], bytes[5]]))
+}
+
+/// Streaming writer of legacy v1 (record-stream) `.bt` branch traces.
+///
+/// New recordings should use [`BtBlockWriter`](crate::BtBlockWriter) (v2);
+/// this writer remains as the `traces migrate` baseline and for tests that
+/// pin v1 compatibility.
 ///
 /// # Examples
 ///
@@ -68,7 +94,7 @@ impl<W: Write> BtWriter<W> {
     /// Propagates I/O errors from the underlying writer.
     pub fn new(out: W, name: &str) -> Result<Self> {
         let mut wire = WireWriter::new(out);
-        write_header(&mut wire, BT_MAGIC, BT_VERSION)?;
+        write_header(&mut wire, BT_MAGIC, BT_VERSION_V1)?;
         wire.write_str(name)?;
         Ok(Self {
             wire,
@@ -121,19 +147,37 @@ impl<W: Write> BtWriter<W> {
     }
 }
 
-/// Streaming reader of `.bt` branch traces.
+/// Version-negotiating streaming reader of `.bt` branch traces.
 ///
-/// See [`BtWriter`] for the format and a round-trip example.
+/// Reads both the v1 record stream and the block-compressed v2 format
+/// through the same record-at-a-time interface, which makes it the
+/// bit-identical scalar reference over both versions: migration and the
+/// chunked replay path are validated against what this reader yields.
+///
+/// See [`BtWriter`] for the v1 format and a round-trip example.
 #[derive(Debug)]
 pub struct BtReader<R: Read> {
-    wire: WireReader<R>,
     name: String,
-    prev_pc: u64,
     records: u64,
+    version: u16,
+    body: Body<R>,
+}
+
+/// The per-version decoding state behind [`BtReader`].
+#[derive(Debug)]
+enum Body<R: Read> {
+    /// v1: a bare delta-encoded record stream.
+    V1 { wire: WireReader<R>, prev_pc: u64 },
+    /// v2: framed blocks, decoded one block at a time and cursored.
+    V2 {
+        blocks: BtBlockReader<R>,
+        block: DecodedBlock,
+        cursor: usize,
+    },
 }
 
 impl<R: Read> BtReader<R> {
-    /// Opens a trace, validating magic and version.
+    /// Opens a trace, validating magic and negotiating the version.
     ///
     /// # Errors
     ///
@@ -141,13 +185,22 @@ impl<R: Read> BtReader<R> {
     /// foreign or newer file, I/O errors otherwise.
     pub fn new(input: R) -> Result<Self> {
         let mut wire = WireReader::new(input);
-        read_header(&mut wire, BT_MAGIC, BT_VERSION)?;
+        let version = read_header(&mut wire, BT_MAGIC, BT_VERSION)?;
         let name = wire.read_str("trace name")?;
+        let body = if version == BT_VERSION_V1 {
+            Body::V1 { wire, prev_pc: 0 }
+        } else {
+            Body::V2 {
+                blocks: BtBlockReader::from_wire(wire, name.clone()),
+                block: DecodedBlock::new(),
+                cursor: 0,
+            }
+        };
         Ok(Self {
-            wire,
             name,
-            prev_pc: 0,
             records: 0,
+            version,
+            body,
         })
     }
 
@@ -163,6 +216,12 @@ impl<R: Read> BtReader<R> {
         self.records
     }
 
+    /// The container version found in the header (1 or 2).
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
     /// Decodes the next record, or `None` at a clean end of stream.
     ///
     /// # Errors
@@ -170,45 +229,29 @@ impl<R: Read> BtReader<R> {
     /// [`TraceError::Corrupt`], [`TraceError::UnexpectedEof`] or
     /// [`TraceError::VarintOverflow`] on malformed input.
     pub fn next_record(&mut self) -> Result<Option<BranchRecord>> {
-        let offset = self.wire.position();
-        let Some(flags) = self.wire.read_u8_or_eof()? else {
-            return Ok(None);
+        let rec = match &mut self.body {
+            Body::V1 { wire, prev_pc } => match next_v1_record(wire, prev_pc)? {
+                Some(rec) => rec,
+                None => return Ok(None),
+            },
+            Body::V2 {
+                blocks,
+                block,
+                cursor,
+            } => {
+                while *cursor >= block.len() {
+                    if !blocks.next_block(block)? {
+                        return Ok(None);
+                    }
+                    *cursor = 0;
+                }
+                let rec = block.record(*cursor);
+                *cursor += 1;
+                rec
+            }
         };
-        let taken = flags & 1 != 0;
-        let kind = BranchKind::from_code((flags >> 1) & 0b11).ok_or(TraceError::Corrupt {
-            offset,
-            what: "record kind",
-        })?;
-        let has_target = flags & (1 << 3) != 0;
-        let uops_field = u32::from(flags >> 4);
-
-        let pc_delta = self.wire.read_signed("pc delta")?;
-        let pc = self.prev_pc.wrapping_add(pc_delta as u64);
-        let target = if has_target {
-            let tgt_delta = self.wire.read_signed("target delta")?;
-            pc.wrapping_add(tgt_delta as u64)
-        } else {
-            pc + 4
-        };
-        let uops_since_prev = if uops_field > UOPS_INLINE_MAX {
-            let v = self.wire.read_varint("uop count")?;
-            u32::try_from(v).map_err(|_| TraceError::Corrupt {
-                offset,
-                what: "uop count",
-            })?
-        } else {
-            uops_field
-        };
-
-        self.prev_pc = pc;
         self.records += 1;
-        Ok(Some(BranchRecord {
-            pc,
-            target,
-            kind,
-            taken,
-            uops_since_prev,
-        }))
+        Ok(Some(rec))
     }
 
     /// Drains the remaining records into a vector.
@@ -223,6 +266,51 @@ impl<R: Read> BtReader<R> {
         }
         Ok(out)
     }
+}
+
+/// Decodes one v1 record from the stream, or `None` at a clean EOF.
+fn next_v1_record<R: Read>(
+    wire: &mut WireReader<R>,
+    prev_pc: &mut u64,
+) -> Result<Option<BranchRecord>> {
+    let offset = wire.position();
+    let Some(flags) = wire.read_u8_or_eof()? else {
+        return Ok(None);
+    };
+    let taken = flags & 1 != 0;
+    let kind = BranchKind::from_code((flags >> 1) & 0b11).ok_or(TraceError::Corrupt {
+        offset,
+        what: "record kind",
+    })?;
+    let has_target = flags & (1 << 3) != 0;
+    let uops_field = u32::from(flags >> 4);
+
+    let pc_delta = wire.read_signed("pc delta")?;
+    let pc = prev_pc.wrapping_add(pc_delta as u64);
+    let target = if has_target {
+        let tgt_delta = wire.read_signed("target delta")?;
+        pc.wrapping_add(tgt_delta as u64)
+    } else {
+        pc + 4
+    };
+    let uops_since_prev = if uops_field > UOPS_INLINE_MAX {
+        let v = wire.read_varint("uop count")?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt {
+            offset,
+            what: "uop count",
+        })?
+    } else {
+        uops_field
+    };
+
+    *prev_pc = pc;
+    Ok(Some(BranchRecord {
+        pc,
+        target,
+        kind,
+        taken,
+        uops_since_prev,
+    }))
 }
 
 /// Iterator adapter: yields `Result<BranchRecord>` until EOF or error.

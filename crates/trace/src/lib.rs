@@ -6,6 +6,13 @@
 //!
 //! * [`BtWriter`]/[`BtReader`] — the `.bt` binary branch-trace format:
 //!   delta- and varint-compressed dynamic branch records, streamable.
+//!   [`BtReader`] negotiates both container versions and is the scalar
+//!   reference decoder.
+//! * [`BtBlockWriter`]/[`BtBlockReader`] — the block-compressed v2 layout:
+//!   framed, checksummed blocks of ~4K branches with a per-block static
+//!   dictionary, decoded whole-block into [`DecodedBlock`] column buffers
+//!   for the batched replay engine. [`salvage`] recovers the intact blocks
+//!   of a damaged v2 trace.
 //! * [`write_text`]/[`read_text`] — a line-oriented text format for
 //!   debugging and interchange.
 //! * [`WireReader`]/[`WireWriter`] — the underlying wire primitives
@@ -68,13 +75,18 @@
 #![warn(missing_docs)]
 
 mod binary;
+mod block;
 mod error;
 mod record;
 mod stats;
 mod text;
 pub mod wire;
 
-pub use binary::{BtReader, BtWriter, BT_MAGIC, BT_VERSION};
+pub use binary::{sniff_version, BtReader, BtWriter, BT_MAGIC, BT_VERSION, BT_VERSION_V1};
+pub use block::{
+    salvage, BtBlockReader, BtBlockWriter, DecodedBlock, SalvageReport, BLOCK_RECORDS,
+    BT_BLOCK_MAGIC,
+};
 pub use error::{Result, TraceError};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BranchProfile, StaticBranchStats, TraceStats, H2P_MAX_BIAS, H2P_MIN_OCCURRENCES};
