@@ -12,7 +12,7 @@ use predictors::configs::{self, Budget};
 use predictors::DirectionPredictor;
 
 use crate::critic::{
-    Critic, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic, UnfilteredCritic,
+    Critic, FilteredPerceptronCritic, NullCritic, TageCritic, TaggedGshareCritic, UnfilteredCritic,
 };
 use crate::dispatch::{AnyCritic, AnyProphet};
 use crate::hybrid::ProphetCritic;
@@ -26,11 +26,28 @@ pub enum ProphetKind {
     BcGskew,
     /// Perceptron at the Table 3 configuration.
     Perceptron,
+    /// TAGE at the budget-ladder configuration (post-paper entrant).
+    Tage,
+    /// TAGE with the Bullseye-style H2P allocator attached.
+    TageH2p,
 }
 
 impl ProphetKind {
-    /// All prophets evaluated in the paper.
-    pub const ALL: [ProphetKind; 3] = [
+    /// All prophets in the evaluation grid: the paper's three plus the
+    /// post-paper TAGE pair (with and without the H2P allocator).
+    pub const ALL: [ProphetKind; 5] = [
+        ProphetKind::Gshare,
+        ProphetKind::BcGskew,
+        ProphetKind::Perceptron,
+        ProphetKind::Tage,
+        ProphetKind::TageH2p,
+    ];
+
+    /// The paper's prophet trio — exactly the configurations Figures 7
+    /// and 9 sweep. The figure-reproduction experiments iterate this so
+    /// the post-paper TAGE entrants (which join the wider grids via
+    /// [`Self::ALL`]) cannot change the reproduced tables.
+    pub const PAPER: [ProphetKind; 3] = [
         ProphetKind::Gshare,
         ProphetKind::BcGskew,
         ProphetKind::Perceptron,
@@ -43,6 +60,8 @@ impl ProphetKind {
             ProphetKind::Gshare => "gshare",
             ProphetKind::BcGskew => "2Bc-gskew",
             ProphetKind::Perceptron => "perceptron",
+            ProphetKind::Tage => "tage",
+            ProphetKind::TageH2p => "tage+h2p",
         }
     }
 
@@ -53,6 +72,8 @@ impl ProphetKind {
             ProphetKind::Gshare => AnyProphet::Gshare(configs::gshare(budget)),
             ProphetKind::BcGskew => AnyProphet::BcGskew(configs::bc_gskew(budget)),
             ProphetKind::Perceptron => AnyProphet::Perceptron(configs::perceptron(budget)),
+            ProphetKind::Tage => AnyProphet::Tage(configs::tage(budget)),
+            ProphetKind::TageH2p => AnyProphet::Tage(configs::tage_h2p(budget)),
         }
     }
 
@@ -83,15 +104,19 @@ pub enum CriticKind {
     TaggedGshare,
     /// Filtered perceptron critic (Figures 6b, 7; “f.perceptron”).
     FilteredPerceptron,
+    /// Self-filtering TAGE critic (post-paper entrant; “t.tage”).
+    Tage,
 }
 
 impl CriticKind {
-    /// All critic kinds evaluated in the paper.
-    pub const ALL: [CriticKind; 4] = [
+    /// All critic kinds in the evaluation grid: the paper's four plus the
+    /// post-paper TAGE critic.
+    pub const ALL: [CriticKind; 5] = [
         CriticKind::None,
         CriticKind::UnfilteredPerceptron,
         CriticKind::TaggedGshare,
         CriticKind::FilteredPerceptron,
+        CriticKind::Tage,
     ];
 
     /// The paper's display name.
@@ -102,6 +127,7 @@ impl CriticKind {
             CriticKind::UnfilteredPerceptron => "perceptron",
             CriticKind::TaggedGshare => "t.gshare",
             CriticKind::FilteredPerceptron => "f.perceptron",
+            CriticKind::Tage => "t.tage",
         }
     }
 
@@ -126,6 +152,7 @@ impl CriticKind {
                     filter_hist,
                 ))
             }
+            CriticKind::Tage => AnyCritic::Tage(TageCritic::new(configs::tage(budget))),
         }
     }
 

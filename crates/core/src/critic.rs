@@ -3,7 +3,7 @@
 
 use predictors::index::mix2;
 use predictors::{
-    DirectionPredictor, HistoryBits, Pc, Perceptron, TagLookup, TaggedGshare, TaggedTable,
+    DirectionPredictor, HistoryBits, Pc, Perceptron, TagLookup, Tage, TaggedGshare, TaggedTable,
 };
 
 use crate::critique::CriticDecision;
@@ -281,6 +281,77 @@ impl Critic for TaggedGshareCritic {
     }
 }
 
+/// A TAGE critic: the tagged banks double as the engagement filter.
+///
+/// TAGE is self-filtering in exactly the sense §4 builds a filter for — a
+/// tagged bank only holds contexts allocated on a mispredict, so a tag hit
+/// *means* “this context has been hard before”. The critique engages on a
+/// tagged-bank hit and implicitly agrees when the lookup falls through to
+/// the bimodal base; training is ordinary TAGE training over the BOR, whose
+/// allocate-on-mispredict rule plays the role of the §4 allocation policy.
+#[derive(Clone, Debug)]
+pub struct TageCritic {
+    inner: Tage,
+    confident_only: bool,
+}
+
+impl TageCritic {
+    /// Wraps a [`Tage`] predictor as a self-filtering critic.
+    #[must_use]
+    pub fn new(inner: Tage) -> Self {
+        Self {
+            inner,
+            confident_only: false,
+        }
+    }
+
+    /// Sets the override-confidence threshold: when enabled, a disagreeing
+    /// critique from a provider counter at the flip boundary (confidence 0)
+    /// is downgraded to an explicit agree, mirroring
+    /// [`TaggedGshareCritic::set_confident_override`].
+    pub fn set_confident_override(&mut self, on: bool) {
+        self.confident_only = on;
+    }
+
+    /// The wrapped TAGE predictor.
+    #[must_use]
+    pub fn inner(&self) -> &Tage {
+        &self.inner
+    }
+}
+
+impl Critic for TageCritic {
+    fn critique(&self, pc: Pc, bor: HistoryBits, prophet_pred: bool) -> CriticDecision {
+        match self.inner.predict_tagged(pc, bor) {
+            Some(pred) => {
+                let disagrees = pred.taken() != prophet_pred;
+                if disagrees && self.confident_only && pred.confidence() == 0 {
+                    CriticDecision::explicit(prophet_pred)
+                } else {
+                    CriticDecision::explicit(pred.taken())
+                }
+            }
+            None => CriticDecision::implicit_agree(prophet_pred),
+        }
+    }
+
+    fn train(&mut self, pc: Pc, bor: HistoryBits, outcome: bool, _prophet_pred: bool) {
+        self.inner.update(pc, bor, outcome);
+    }
+
+    fn bor_len(&self) -> usize {
+        self.inner.history_len()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.inner.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "tage"
+    }
+}
+
 /// The filtered perceptron critic (§4, Figure 3): an ordinary perceptron
 /// plus an N-way associative table of tags.
 ///
@@ -441,6 +512,41 @@ mod tests {
         c.train(pc, ctx, true, true); // hit: moves toward taken
         c.train(pc, ctx, true, true); // hit: now taken
         assert!(c.critique(pc, ctx, true).direction);
+    }
+
+    #[test]
+    fn tage_critic_implicitly_agrees_until_tage_allocates() {
+        let mut c = TageCritic::new(Tage::new(256, 64, 4, 8, 18));
+        let pc = Pc::new(0x48);
+        let ctx = bor(0x2_aaaa, 18);
+        // Cold: no tagged bank holds this context → implicit agree.
+        assert!(!c.critique(pc, ctx, true).engaged);
+        // TAGE mispredicts (base defaults weakly not-taken, outcome alternates
+        // around it): training allocates a tagged entry, after which the
+        // critique engages.
+        for _ in 0..4 {
+            c.train(pc, ctx, true, false);
+            c.train(pc, ctx, false, false);
+        }
+        assert!(c.critique(pc, ctx, true).engaged);
+    }
+
+    #[test]
+    fn tage_critic_confident_override_downgrades_weak_disagreement() {
+        let mut c = TageCritic::new(Tage::new(256, 64, 4, 8, 18));
+        let pc = Pc::new(0x4c);
+        let ctx = bor(0x1_5555, 18);
+        // Allocate a tagged entry seeded weakly not-taken.
+        c.train(pc, ctx, false, true);
+        let d = c.critique(pc, ctx, true);
+        if d.engaged && !d.direction {
+            // The disagreeing counter is freshly allocated (weak). With the
+            // confidence gate on, the same critique must concur instead.
+            c.set_confident_override(true);
+            let gated = c.critique(pc, ctx, true);
+            assert!(gated.engaged);
+            assert!(gated.direction, "weak disagreement must be downgraded");
+        }
     }
 
     #[test]

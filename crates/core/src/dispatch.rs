@@ -15,11 +15,11 @@
 
 use predictors::{
     BcGskew, Bimodal, DirectionPredictor, GAs, Gshare, HistoryBits, Local, Pc, Perceptron,
-    PredictBlock, PredictInput, Prediction, Yags,
+    PredictBlock, PredictInput, Prediction, Tage, Yags,
 };
 
 use crate::critic::{
-    Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic, TaggedGshareCritic,
+    Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic, TageCritic, TaggedGshareCritic,
     UnfilteredCritic,
 };
 use crate::critique::CriticDecision;
@@ -45,6 +45,9 @@ pub enum AnyProphet {
     Perceptron(Perceptron),
     /// YAGS, a tagged de-aliased scheme.
     Yags(Yags),
+    /// TAGE, tagged geometric history lengths (optionally with the
+    /// Bullseye-style H2P allocator attached).
+    Tage(Tage),
 }
 
 /// Delegates a method call to whichever variant is live.
@@ -58,6 +61,7 @@ macro_rules! each_prophet {
             AnyProphet::BcGskew($p) => $body,
             AnyProphet::Perceptron($p) => $body,
             AnyProphet::Yags($p) => $body,
+            AnyProphet::Tage($p) => $body,
         }
     };
 }
@@ -114,7 +118,7 @@ macro_rules! prophet_from {
     )*};
 }
 
-prophet_from!(Bimodal, Gshare, GAs, Local, BcGskew, Perceptron, Yags);
+prophet_from!(Bimodal, Gshare, GAs, Local, BcGskew, Perceptron, Yags, Tage);
 
 impl From<AnyProphet> for Box<dyn DirectionPredictor> {
     /// Unwraps the enum into a trait object over the same concrete
@@ -138,15 +142,19 @@ pub enum AnyCritic {
     TaggedGshare(TaggedGshareCritic),
     /// The filtered perceptron critic (§4).
     FilteredPerceptron(FilteredPerceptronCritic),
+    /// The self-filtering TAGE critic.
+    Tage(TageCritic),
 }
 
 impl AnyCritic {
     /// Applies the override-confidence threshold where the critic kind
-    /// supports one (currently the tagged gshare critic; a no-op for the
+    /// supports one (the tagged gshare and TAGE critics; a no-op for the
     /// rest). See [`TaggedGshareCritic::set_confident_override`].
     pub fn set_confident_override(&mut self, on: bool) {
-        if let AnyCritic::TaggedGshare(c) = self {
-            c.set_confident_override(on);
+        match self {
+            AnyCritic::TaggedGshare(c) => c.set_confident_override(on),
+            AnyCritic::Tage(c) => c.set_confident_override(on),
+            _ => {}
         }
     }
 }
@@ -158,6 +166,7 @@ macro_rules! each_critic {
             AnyCritic::Unfiltered($c) => $body,
             AnyCritic::TaggedGshare($c) => $body,
             AnyCritic::FilteredPerceptron($c) => $body,
+            AnyCritic::Tage($c) => $body,
         }
     };
 }
@@ -214,6 +223,12 @@ impl From<TaggedGshareCritic> for AnyCritic {
 impl From<FilteredPerceptronCritic> for AnyCritic {
     fn from(c: FilteredPerceptronCritic) -> Self {
         AnyCritic::FilteredPerceptron(c)
+    }
+}
+
+impl From<TageCritic> for AnyCritic {
+    fn from(c: TageCritic) -> Self {
+        AnyCritic::Tage(c)
     }
 }
 

@@ -69,7 +69,7 @@ mod hybrid;
 
 pub use combos::{BoxedHybrid, CriticKind, DynHybrid, Hybrid, HybridSpec, ProphetKind};
 pub use critic::{
-    AllocationPolicy, Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic,
+    AllocationPolicy, Critic, CriticTrainInput, FilteredPerceptronCritic, NullCritic, TageCritic,
     TaggedGshareCritic, UnfilteredCritic,
 };
 pub use critique::{CriticDecision, CritiqueKind, CritiqueStats};

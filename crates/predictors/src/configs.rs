@@ -14,7 +14,7 @@
 //! search promotes (e.g. `HybridSpec::tuned_headline`) live there, built
 //! on these Table 3 rows.
 
-use crate::{BcGskew, Gshare, Perceptron, TaggedGshare};
+use crate::{BcGskew, DynamicAllocator, Gshare, Perceptron, Tage, TaggedGshare};
 
 /// A total hardware budget from Table 3.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -126,6 +126,30 @@ pub const PERCEPTRON_FILTER: [(usize, usize, usize); 5] = [
 /// Associativity of the perceptron filter (Table 3: ×3-way).
 pub const PERCEPTRON_FILTER_WAYS: usize = 3;
 
+/// TAGE rows (post-paper entrant, sized to Table 3's budget ladder):
+/// `base entries`, `entries per tagged bank` and `max history length`.
+///
+/// Per tagged-bank entry: 3-bit counter + 2-bit useful + 8-bit tag =
+/// 13 bits; with a 2-bit bimodal base each row lands at ~94 % of nominal.
+pub const TAGE: [(usize, usize, usize); 5] = [
+    (1024, 256, 32),
+    (2048, 512, 40),
+    (4096, 1024, 48),
+    (8192, 2048, 56),
+    (16384, 4096, 63),
+];
+
+/// Number of tagged TAGE banks at every budget.
+pub const TAGE_BANKS: usize = 4;
+
+/// TAGE partial-tag width (“only 8–10 bit tags are needed”, §4).
+pub const TAGE_TAG_BITS: usize = 8;
+
+/// H2P allocator sizing, budget-independent: flagged-static capacity,
+/// dedicated entries per static, and online tracker entries (336 bytes —
+/// small enough that the smallest 2 KB row stays inside the ±15 % band).
+pub const TAGE_H2P: (usize, usize, usize) = (16, 16, 32);
+
 /// The gshare configuration of Table 3 for `budget`.
 #[must_use]
 pub fn gshare(budget: Budget) -> Gshare {
@@ -155,6 +179,21 @@ pub fn bc_gskew(budget: Budget) -> BcGskew {
 pub fn tagged_gshare(budget: Budget) -> TaggedGshare {
     let (sets, bor) = TAGGED_GSHARE[budget.row()];
     TaggedGshare::new(sets, TAGGED_GSHARE_WAYS, TAG_BITS, bor)
+}
+
+/// The TAGE configuration for `budget` (no H2P allocator).
+#[must_use]
+pub fn tage(budget: Budget) -> Tage {
+    let (base, bank, max_hist) = TAGE[budget.row()];
+    Tage::new(base, bank, TAGE_BANKS, TAGE_TAG_BITS, max_hist)
+}
+
+/// The TAGE configuration for `budget` with the Bullseye-style H2P
+/// [`DynamicAllocator`] attached.
+#[must_use]
+pub fn tage_h2p(budget: Budget) -> Tage {
+    let (capacity, entries_per, tracker) = TAGE_H2P;
+    tage(budget).with_allocator(DynamicAllocator::new(capacity, entries_per, tracker))
 }
 
 /// The perceptron used inside the filtered-perceptron critic for `budget`.
@@ -238,6 +277,22 @@ mod tests {
             assert_eq!(Budget::parse(&b.to_string()), Some(b));
         }
         assert_eq!(Budget::parse("64KB"), None);
+    }
+
+    #[test]
+    fn tage_budgets_are_close() {
+        for b in Budget::ALL {
+            assert_within_budget(tage(b).storage_bits(), b, "tage");
+            assert_within_budget(tage_h2p(b).storage_bits(), b, "tage+h2p");
+        }
+    }
+
+    #[test]
+    fn tage_history_lengths_follow_the_ladder() {
+        assert_eq!(tage(Budget::K2).history_len(), 32);
+        assert_eq!(tage(Budget::K16).history_len(), 56);
+        assert_eq!(tage(Budget::K32).history_len(), 63);
+        assert_eq!(tage(Budget::K8).bank_history_lengths().len(), TAGE_BANKS);
     }
 
     #[test]

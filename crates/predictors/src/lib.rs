@@ -13,6 +13,8 @@
 //! * [`BcGskew`] — 2Bc-gskew, the de-aliased EV8-style predictor.
 //! * [`Perceptron`] — the Jiménez/Lin neural predictor.
 //! * [`Yags`] — YAGS, a tagged de-aliased scheme (Eden/Mudge).
+//! * [`Tage`] — tagged geometric-history-length predictor, with an optional
+//!   Bullseye-style [`DynamicAllocator`] for hard-to-predict statics.
 //!
 //! Every predictor implements [`DirectionPredictor`], a *pure* interface:
 //! prediction is a function of `(pc, history-bits)` and the caller owns the
@@ -55,6 +57,7 @@ pub mod index;
 mod local;
 mod perceptron;
 mod table;
+mod tage;
 mod yags;
 
 pub use bimodal::Bimodal;
@@ -66,6 +69,7 @@ pub use history::{fold_bits, mask, HistoryBits, MAX_HISTORY_BITS};
 pub use local::Local;
 pub use perceptron::Perceptron;
 pub use table::{CounterTable, TagLookup, TaggedTable};
+pub use tage::{DynamicAllocator, Tage};
 pub use yags::Yags;
 
 /// The address of a (micro-op level) branch instruction.

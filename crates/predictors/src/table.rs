@@ -137,6 +137,44 @@ impl CounterTable {
         *word = (*word & !(field << shift)) | (next << shift);
     }
 
+    /// Overwrites the counter at `index` with a raw `value` — the
+    /// allocation primitive of tagged-geometric predictors, where a newly
+    /// stolen entry's counter resets to weakly agree with the outcome
+    /// instead of stepping there through saturating updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the counter width.
+    pub fn set(&mut self, index: u64, value: u8) {
+        let field = mask(self.counter_bits);
+        assert!(
+            u64::from(value) <= field,
+            "counter value {value} exceeds {}-bit field",
+            self.counter_bits
+        );
+        let (word, shift) = self.word_shift_of(self.slot_of(index));
+        let word = &mut self.words[word];
+        *word = (*word & !(field << shift)) | (u64::from(value) << shift);
+    }
+
+    /// Halves every counter in the table — one shift-and-mask per packed
+    /// word, not per entry. This is the periodic useful-bit aging of
+    /// tagged-geometric predictors: entries that stopped earning usefulness
+    /// decay toward 0 and become allocation victims again.
+    pub fn halve_all(&mut self) {
+        // After a whole-word right shift, the top bit of each lane holds the
+        // low bit of its higher neighbour; keep only each lane's low
+        // `counter_bits - 1` bits (a halved value never needs the top bit).
+        let mut keep = 0u64;
+        let lane = mask(self.counter_bits - 1);
+        for slot in 0..=self.lane_mask {
+            keep |= lane << (slot * self.counter_bits);
+        }
+        for word in &mut self.words {
+            *word = (*word >> 1) & keep;
+        }
+    }
+
     /// The direction the counter at `index` currently predicts, without
     /// materializing a [`SatCounter`].
     #[must_use]
@@ -483,6 +521,58 @@ mod tests {
         // An index with bits above the mask must land on its alias.
         t.update(entries as u64 + 5, true);
         assert_eq!(t.counter(5).value(), t.counter(entries as u64 + 5).value());
+    }
+
+    #[test]
+    fn set_overwrites_without_touching_neighbours() {
+        let mut t = CounterTable::new(64, 3);
+        for i in 0..64u64 {
+            t.update(i, i % 2 == 0);
+        }
+        let before: Vec<u8> = (0..64u64).map(|i| t.counter(i).value()).collect();
+        t.set(20, 7);
+        t.set(21, 0);
+        for i in 0..64u64 {
+            let want = match i {
+                20 => 7,
+                21 => 0,
+                _ => before[i as usize],
+            };
+            assert_eq!(t.counter(i).value(), want, "slot {i}");
+        }
+        // Aliased indices land on the same slot.
+        t.set(64 + 20, 2);
+        assert_eq!(t.counter(20).value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn set_rejects_oversized_value() {
+        let mut t = CounterTable::new(8, 2);
+        t.set(0, 4);
+    }
+
+    #[test]
+    fn halve_all_matches_per_entry_halving() {
+        for bits in 1..=7usize {
+            let mut t = CounterTable::new(64, bits);
+            let mut state = 0x1234_5678_9abc_def0u64;
+            for _ in 0..1024 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t.update(state >> 32, state & 1 == 1);
+            }
+            let want: Vec<u8> = (0..64u64).map(|i| t.counter(i).value() / 2).collect();
+            t.halve_all();
+            for i in 0..64u64 {
+                assert_eq!(
+                    t.counter(i).value(),
+                    want[i as usize],
+                    "{bits}-bit slot {i}"
+                );
+            }
+        }
     }
 
     #[test]

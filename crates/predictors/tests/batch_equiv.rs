@@ -9,8 +9,8 @@
 //! equivalence is the gate on the whole structure-of-arrays layer.
 
 use predictors::{
-    BcGskew, Bimodal, DirectionPredictor, GAs, Gshare, HistoryBits, Local, Pc, PredictInput,
-    Prediction, TaggedGshare, Yags,
+    BcGskew, Bimodal, DirectionPredictor, DynamicAllocator, GAs, Gshare, HistoryBits, Local, Pc,
+    PredictInput, Prediction, Tage, TaggedGshare, Yags,
 };
 use predictors::{Perceptron, PredictBlock};
 use workloads::rng::SmallRng;
@@ -207,6 +207,79 @@ fn tagged_gshare_batched_equals_scalar() {
     // Exercises the fused LRU/clock sequence: hits and misses, allocation,
     // eviction — all must leave the clock and stamps bit-identical.
     assert_batch_equiv(|| TaggedGshare::new(256, 6, 9, 18), 0x46);
+}
+
+#[test]
+fn tage_batched_equals_scalar() {
+    // The production-shaped TAGE: provider/altpred selection, use-alt
+    // policy updates, allocation and useful-bit movement all must land
+    // bit-identical under the fused kernels.
+    assert_batch_equiv(|| Tage::new(256, 64, 4, 8, 24), 0x7a9e);
+}
+
+#[test]
+fn tage_allocation_storm_batched_equals_scalar() {
+    // 16-entry banks: the 24-address stream aliases constantly, so most
+    // elements mispredict and hammer the allocate-on-mispredict path —
+    // including the everyone-protected fallback that decays a whole
+    // column of useful bits at once.
+    assert_batch_equiv(|| Tage::new(64, 16, 4, 4, 12), 0x57_0a);
+}
+
+#[test]
+fn tage_tag_aliasing_batched_equals_scalar() {
+    // 2-bit partial tags over 8-entry banks: false tag hits are the
+    // common case, so provider selection constantly lands on entries
+    // trained by other statics. Order-dependent — any reordering inside
+    // the batched kernels shows up immediately.
+    assert_batch_equiv(|| Tage::new(64, 8, 4, 2, 10), 0xa11a);
+}
+
+#[test]
+fn tage_with_allocator_batched_equals_scalar() {
+    // Pre-flagged H2P statics: dedicated-entry training, the tournament
+    // chooser and the confidence-gated override all run inside the
+    // batched kernels and must track scalar exactly.
+    assert_batch_equiv(
+        || {
+            let mut p =
+                Tage::new(256, 64, 4, 8, 24).with_allocator(DynamicAllocator::new(8, 16, 32));
+            let a = p.allocator_mut().unwrap();
+            // Statics 0, 7 and 13 from the stream's 24-address pool.
+            a.flag(Pc::new(0x40_0000));
+            a.flag(Pc::new(0x40_0000 + 7 * 4));
+            a.flag(Pc::new(0x40_0000 + 13 * 4));
+            p
+        },
+        0xa110,
+    );
+}
+
+#[test]
+fn tage_aging_reset_boundary_batched_equals_scalar() {
+    // Three full useful-bit aging periods (one `halve_all` per 4096
+    // updates), with random chunk boundaries falling mid-period: the
+    // deterministic aging tick must fire at the same element index in
+    // scalar and batched runs, and the saturated useful counters built
+    // up within each period must halve to identical values.
+    let make = || Tage::new(256, 64, 4, 8, 24);
+    let mut scalar = make();
+    let inputs = stream(scalar.history_len(), 3 * 4096 + 777, 0xa6e);
+    let scalar_preds = scalar_run(&mut scalar, &inputs);
+
+    let mut batched = make();
+    let mut got = Vec::with_capacity(inputs.len());
+    for chunk in random_chunks(&inputs, 0xa6e ^ 0x77) {
+        let block = batched.predict_block(chunk);
+        for i in 0..block.len() {
+            got.push(block.taken(i));
+        }
+    }
+    assert_eq!(
+        got, scalar_preds,
+        "tage: directions diverged across aging resets"
+    );
+    assert_eq!(batched, scalar, "tage: state diverged across aging resets");
 }
 
 /// A predictor that implements only the scalar interface — it exercises the

@@ -1,0 +1,204 @@
+//! Seeded property tests for the TAGE invariants the sim layer leans on.
+//!
+//! These pin the *structural* contract — which bank may provide, when
+//! allocation is allowed to touch the tag arrays, how useful counters move
+//! between deterministic aging resets, and how the budget ladder's storage
+//! accounting relates to `configs` — independently of any prediction-
+//! accuracy claim. The differential suite (`batch_equiv`) pins scalar vs
+//! batched; this suite pins scalar vs the paper-shaped state machine.
+
+use predictors::configs::{self, Budget};
+use predictors::{DirectionPredictor, DynamicAllocator, HistoryBits, Pc, Tage};
+use workloads::rng::SmallRng;
+
+/// A branch element: context plus resolved outcome.
+struct Element {
+    pc: Pc,
+    hist: HistoryBits,
+    taken: bool,
+}
+
+/// A pool of aliasing statics with mixed behaviours and evolving global
+/// history — the same shape the differential suite uses.
+fn stream(hist_len: usize, n: usize, seed: u64) -> Vec<Element> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hist = HistoryBits::new(hist_len);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let which = rng.gen_range(0usize..24);
+        let pc = Pc::new(0x40_0000 + (which as u64) * 4);
+        let taken = match which % 3 {
+            0 => which.is_multiple_of(2),
+            1 => (i / (which + 1)).is_multiple_of(2),
+            _ => rng.gen_bool(0.5),
+        };
+        out.push(Element { pc, hist, taken });
+        hist.push(taken);
+    }
+    out
+}
+
+const SEEDS: [u64; 4] = [0x7a_9e01, 0x7a_9e02, 0x7a_9e03, 0x7a_9e04];
+
+#[test]
+fn provider_history_length_dominates_the_alternate() {
+    // Whenever a tagged bank provides, its geometric history length must
+    // be strictly longer than the alternate's (or the alternate is the
+    // base, reported as length 0) — the defining TAGE selection rule.
+    for seed in SEEDS {
+        let mut p = Tage::new(256, 64, 4, 8, 24);
+        let mut provided = 0usize;
+        for e in stream(p.history_len(), 4096, seed) {
+            if let Some((prov, alt)) = p.provider_lengths(e.pc, e.hist) {
+                assert!(
+                    prov > alt,
+                    "seed {seed:#x}: provider length {prov} must beat alternate {alt}"
+                );
+                provided += 1;
+            }
+            p.update(e.pc, e.hist, e.taken);
+        }
+        assert!(
+            provided > 100,
+            "seed {seed:#x}: tagged banks never provided"
+        );
+    }
+}
+
+#[test]
+fn allocation_happens_only_on_a_mispredict() {
+    // The tag arrays are written only by allocate-on-mispredict, and the
+    // set of banks hitting a context is a pure function of the tags. So a
+    // *correct* prediction must leave that context's provider/alternate
+    // structure untouched, while mispredicts are the only steps after
+    // which a longer provider may appear.
+    for seed in SEEDS {
+        let mut p = Tage::new(64, 16, 4, 6, 12);
+        let mut grew_on_mispredict = 0usize;
+        for e in stream(p.history_len(), 4096, seed) {
+            let before = p.provider_lengths(e.pc, e.hist);
+            let correct = p.predict(e.pc, e.hist).taken() == e.taken;
+            p.update(e.pc, e.hist, e.taken);
+            let after = p.provider_lengths(e.pc, e.hist);
+            if correct {
+                assert_eq!(
+                    before, after,
+                    "seed {seed:#x}: a correct prediction reshaped the tag hits"
+                );
+            } else if after.map_or(0, |(prov, _)| prov) > before.map_or(0, |(prov, _)| prov) {
+                grew_on_mispredict += 1;
+            }
+        }
+        assert!(
+            grew_on_mispredict > 10,
+            "seed {seed:#x}: mispredicts never allocated a longer provider"
+        );
+    }
+}
+
+#[test]
+fn useful_counters_move_one_step_between_aging_resets() {
+    // Between the deterministic aging boundaries (every 4096 updates) a
+    // useful counter moves by at most one per update; at the boundary,
+    // every counter halves. Pinning both halves of that contract keeps
+    // the batched kernels from ever reordering aging around training.
+    let seed = SEEDS[0];
+    let mut p = Tage::new(256, 64, 4, 8, 24);
+    let banks = p.bank_history_lengths().len();
+    let inputs = stream(p.history_len(), 4096, seed);
+    let mut prev: Vec<Vec<u8>> = (0..banks).map(|b| p.useful_values(b)).collect();
+    for (i, e) in inputs.iter().enumerate() {
+        p.update(e.pc, e.hist, e.taken);
+        let now: Vec<Vec<u8>> = (0..banks).map(|b| p.useful_values(b)).collect();
+        let at_reset = i + 1 == 4096;
+        for b in 0..banks {
+            for (j, (&old, &new)) in prev[b].iter().zip(&now[b]).enumerate() {
+                if at_reset {
+                    // The 4096th update may move the entry one step before
+                    // the halving fires, hence the +1 slack.
+                    assert!(
+                        new <= old.div_ceil(2),
+                        "bank {b} entry {j}: {old} -> {new} across the aging reset"
+                    );
+                } else {
+                    assert!(
+                        old.abs_diff(new) <= 1,
+                        "bank {b} entry {j}: {old} -> {new} in one update"
+                    );
+                }
+            }
+        }
+        prev = now;
+    }
+    // The stream's biased statics must have saturated some useful bits
+    // along the way, or the halving assertion was vacuous.
+    let total: u32 = (0..banks)
+        .flat_map(|b| p.useful_values(b))
+        .map(u32::from)
+        .sum();
+    assert!(total > 0, "useful counters never charged");
+}
+
+#[test]
+fn budget_ladder_accounting_matches_configs() {
+    // Every Table-3-ladder TAGE row lands inside the ±15 % band that the
+    // paper's fixed-budget comparisons assume, and the H2P-augmented
+    // flagship stays under an 18 KB hard cap (16 KB nominal + allocator).
+    for budget in Budget::ALL {
+        let bits = configs::tage(budget).storage_bits();
+        let nominal = budget.bytes() * 8;
+        let percent = bits as f64 / nominal as f64 * 100.0;
+        assert!(
+            (85.0..=115.0).contains(&percent),
+            "{budget:?}: tage at {percent:.1}% of nominal"
+        );
+    }
+    let plain = configs::tage(Budget::K16);
+    let with = configs::tage_h2p(Budget::K16);
+    assert!(
+        with.storage_bits() <= 18 * 1024 * 8,
+        "tage+h2p exceeds the 18 KB cap"
+    );
+    // The allocator's storage is accounted exactly once.
+    let (capacity, entries_per, tracker) = configs::TAGE_H2P;
+    let alloc = DynamicAllocator::new(capacity, entries_per, tracker);
+    assert_eq!(
+        with.storage_bits(),
+        plain.storage_bits() + alloc.storage_bits(),
+        "allocator storage must be additive"
+    );
+}
+
+#[test]
+fn allocator_capacity_and_chooser_gating_hold_under_load() {
+    // Twin-run property: the allocator must not perturb the main TAGE
+    // state machine (its training is driven by `tage_taken`, not the
+    // overridden direction), so a plain twin and an allocator-equipped
+    // twin fed the same stream may only ever disagree on elements where
+    // the full override gate holds — flagged static, saturated dedicated
+    // entry, and a tournament chooser that has earned credit. And the
+    // flagged list never exceeds its capacity.
+    for seed in SEEDS {
+        let mut plain = Tage::new(256, 64, 4, 8, 24);
+        let mut with =
+            Tage::new(256, 64, 4, 8, 24).with_allocator(DynamicAllocator::new(4, 16, 32));
+        for e in stream(plain.history_len(), 8192, seed) {
+            let p0 = plain.predict(e.pc, e.hist).taken();
+            let p1 = with.predict(e.pc, e.hist).taken();
+            if p0 != p1 {
+                let a = with.allocator().unwrap();
+                assert!(a.is_flagged(e.pc), "override on an unflagged static");
+                assert!(a.chooser_favors(e.pc), "override without chooser credit");
+                assert_eq!(
+                    a.predict_h2p(e.pc, e.hist),
+                    Some((p1, true)),
+                    "override without a saturated dedicated entry"
+                );
+            }
+            plain.update(e.pc, e.hist, e.taken);
+            with.update(e.pc, e.hist, e.taken);
+            let a = with.allocator().unwrap();
+            assert!(a.flagged_statics() <= a.capacity());
+        }
+    }
+}

@@ -895,7 +895,11 @@ mod tests {
         assert!(find_conventional("16KB gshare").is_ok());
         assert!(find_conventional("gshare").is_ok());
         assert!(find_conventional("GSHARE").is_ok());
-        assert!(find_conventional("tage").is_err());
+        // The TAGE entrants joined the tournament lineup, so the serving
+        // layer resolves them too; a nonexistent name still errors.
+        assert!(find_conventional("tage").is_ok());
+        assert!(find_conventional("tage+h2p").is_ok());
+        assert!(find_conventional("no-such-predictor").is_err());
     }
 
     #[test]

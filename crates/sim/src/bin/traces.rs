@@ -44,7 +44,7 @@ use replay::{
     migrate_entry, open_trace, record_benchmark_with, replay_entry, verify_entry, Manifest,
     QuarantineEntry, ReplayConfig, ReplayResult, TraceEntry,
 };
-use sim::experiments::common::select_benchmarks;
+use sim::experiments::common::{expand_benchmarks, select_benchmarks};
 use sim::experiments::tracecmp::conventional_lineup;
 use sim::experiments::{BenchSet, ExpEnv};
 use sim::par_map;
@@ -117,32 +117,6 @@ fn resolve_benchmarks(spec: &str) -> Vec<Benchmark> {
 
 fn load_manifest(dir: &Path) -> Manifest {
     Manifest::load(dir).unwrap_or_else(|e| fail(&format!("cannot load manifest: {e}")))
-}
-
-/// Expands `benches` to `target` entries by synthesizing variants: each
-/// variant derives a fresh name and seed from a base benchmark (both feed
-/// program generation, so every variant is a distinct deterministic
-/// workload). The bounded-memory soak knob — corpus size scales freely
-/// while recording and replay memory stay flat.
-fn expand_benchmarks(benches: Vec<Benchmark>, target: usize) -> Vec<Benchmark> {
-    let base_len = benches.len();
-    if target <= base_len {
-        return benches;
-    }
-    let mut out = benches;
-    for i in base_len..target {
-        let base = &out[i % base_len];
-        let round = (i / base_len) as u64;
-        out.push(Benchmark {
-            name: format!("{}-v{:03}", base.name, round),
-            suite: base.suite,
-            profile: base.profile,
-            seed: base
-                .seed
-                .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        });
-    }
-    out
 }
 
 fn cmd_record(mut args: Vec<String>) {

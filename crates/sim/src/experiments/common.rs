@@ -79,10 +79,47 @@ pub fn select_benchmarks(set: BenchSet) -> Vec<Benchmark> {
     selected
 }
 
+/// Expands `benches` to `target` entries by synthesizing variants: each
+/// variant derives a fresh name (`<base>-v<round>`) and seed from a base
+/// benchmark (both feed program generation, so every variant is a
+/// distinct deterministic workload). The bounded-memory soak knob —
+/// corpus size scales freely while recording, replay and the experiment
+/// grids stream every stage.
+///
+/// Shared by the `traces` CLI (`CORPUS_TRACES` at record time) and
+/// [`ExpEnv::programs`] (the same variable at experiment time), so the
+/// `tracecmp`/`tune` tournaments sweep exactly the corpus a
+/// `CORPUS_TRACES`-expanded recording run wrote.
+#[must_use]
+pub fn expand_benchmarks(benches: Vec<Benchmark>, target: usize) -> Vec<Benchmark> {
+    let base_len = benches.len();
+    if target <= base_len || base_len == 0 {
+        return benches;
+    }
+    let mut out = benches;
+    for i in base_len..target {
+        let base = &out[i % base_len];
+        let round = (i / base_len) as u64;
+        out.push(Benchmark {
+            name: format!("{}-v{:03}", base.name, round),
+            suite: base.suite,
+            profile: base.profile,
+            seed: base
+                .seed
+                .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        });
+    }
+    out
+}
+
 /// Environment-derived experiment settings.
 ///
 /// * `SCALE` — multiplies the per-benchmark uop budget (default 1.0).
 /// * `EXP_BENCH` — `fast` (default) or `all`.
+/// * `CORPUS_TRACES` — expand the selected bench set to N synthetic
+///   variants ([`expand_benchmarks`]; default: no expansion), pointing
+///   the experiment tournaments at the same sharded corpus the `traces`
+///   CLI records under this variable.
 /// * `THREADS` — worker threads for the grid runner (default: all cores;
 ///   the `experiments` binary's `--threads` flag overrides it).
 /// * `CELL_STORE` — directory of the incremental cell store (default:
@@ -96,6 +133,9 @@ pub struct ExpEnv {
     pub scale: f64,
     /// Benchmark selection.
     pub bench_set: BenchSet,
+    /// Expand the bench set to this many synthetic variants
+    /// ([`expand_benchmarks`]); `None` sweeps the plain selection.
+    pub corpus_traces: Option<usize>,
     /// Worker threads for grid fan-out (1 = sequential).
     pub threads: usize,
     /// Incremental cell store; `None` recomputes everything.
@@ -124,6 +164,10 @@ impl ExpEnv {
             Ok("all") => BenchSet::All,
             _ => BenchSet::Fast,
         };
+        let corpus_traces = std::env::var("CORPUS_TRACES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|n| *n > 0);
         let store = std::env::var("CELL_STORE").ok().map(|dir| {
             let dir = std::path::PathBuf::from(dir);
             Arc::new(
@@ -134,6 +178,7 @@ impl ExpEnv {
         Self {
             scale,
             bench_set,
+            corpus_traces,
             threads: default_threads(),
             store,
             fault: FaultPlan::from_env(),
@@ -148,6 +193,7 @@ impl ExpEnv {
         Self {
             scale: 0.08,
             bench_set: BenchSet::Fast,
+            corpus_traces: None,
             threads: 2,
             store: None,
             fault: FaultPlan::none(),
@@ -188,9 +234,14 @@ impl ExpEnv {
     }
 
     /// The benchmarks this environment sweeps, with generated programs.
+    /// With [`corpus_traces`](Self::corpus_traces) set, the selection is
+    /// expanded to that many synthetic variants first.
     #[must_use]
     pub fn programs(&self) -> Vec<(Benchmark, Program)> {
-        let selected = select_benchmarks(self.bench_set);
+        let selected = match self.corpus_traces {
+            Some(target) => expand_benchmarks(select_benchmarks(self.bench_set), target),
+            None => select_benchmarks(self.bench_set),
+        };
         // Program synthesis is itself per-benchmark independent work.
         par_map(&selected, self.threads, |_, b| b.program())
             .into_iter()
@@ -569,6 +620,32 @@ mod tests {
         let env = ExpEnv::tiny();
         assert!(env.uop_budget() >= 20_000);
         assert!(env.uop_budget() <= BASE_UOPS);
+    }
+
+    #[test]
+    fn corpus_expansion_derives_distinct_deterministic_variants() {
+        let base = select_benchmarks(BenchSet::Fast);
+        let expanded = expand_benchmarks(base.clone(), 20);
+        assert_eq!(expanded.len(), 20);
+        // The base set rides along unchanged, in order.
+        for (e, b) in expanded.iter().zip(&base) {
+            assert_eq!(e.name, b.name);
+            assert_eq!(e.seed, b.seed);
+        }
+        // Variants carry round-stamped names and fresh seeds.
+        let v = &expanded[base.len()];
+        assert_eq!(v.name, format!("{}-v001", base[0].name));
+        assert_ne!(v.seed, base[0].seed);
+        // Idempotent: a target at or below the base size is a no-op.
+        assert_eq!(expand_benchmarks(base.clone(), 3).len(), base.len());
+        // The environment knob routes through programs().
+        let env = ExpEnv {
+            corpus_traces: Some(16),
+            ..ExpEnv::tiny()
+        };
+        let programs = env.programs();
+        assert_eq!(programs.len(), 16);
+        assert!(programs.iter().any(|(b, _)| b.name.ends_with("-v001")));
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn one_size(
     // The table's 9 configurations (3 prophets × {conventional, 2 hybrids})
     // go to the engine as one grid.
     let mut specs: Vec<HybridSpec> = Vec::new();
-    for prophet in ProphetKind::ALL {
+    for prophet in ProphetKind::PAPER {
         specs.push(HybridSpec::alone(prophet, total));
         for critic in CRITICS {
             specs.push(HybridSpec::paired(prophet, half, critic, half, FUTURE_BITS));
@@ -38,7 +38,7 @@ fn one_size(
         &["configuration", "misp/Kuops", "reduction vs conventional"],
     );
     let per_prophet = 1 + CRITICS.len();
-    for (pi, prophet) in ProphetKind::ALL.iter().enumerate() {
+    for (pi, prophet) in ProphetKind::PAPER.iter().enumerate() {
         let conventional = &pooled[pi * per_prophet];
         t.row(vec![
             format!("{total} {prophet}"),

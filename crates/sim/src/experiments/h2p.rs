@@ -81,6 +81,15 @@ pub struct H2pBench {
     pub baseline_misp: u64,
     /// Hybrid mispredicts summed over the population.
     pub hybrid_misp: u64,
+    /// 16 KB TAGE (no allocator) mispredicts summed over the population
+    /// (re-execution) — the allocator ablation's control arm.
+    pub tage_misp: u64,
+    /// The same 16 KB TAGE with the Bullseye-style [`DynamicAllocator`]
+    /// attached and seeded from this trace's [`BranchProfile`] H2P flags
+    /// — mispredicts summed over the population (re-execution).
+    ///
+    /// [`DynamicAllocator`]: predictors::DynamicAllocator
+    pub tage_h2p_misp: u64,
     /// The hardest statics, descending baseline mispredicts (ties by
     /// PC), capped at `ROWS_PER_BENCH` (8).
     pub worst: Vec<H2pStatic>,
@@ -196,6 +205,41 @@ fn h2p_one_bench(
             },
         );
 
+        // Allocator ablation: the same 16 KB TAGE with and without the
+        // Bullseye-style H2P allocator, the allocator seeded from the
+        // trace profile's flags (capacity-capped; the online tracker
+        // keeps flagging beyond the seed set during the run).
+        let h2p_set: std::collections::HashSet<u64> = h2p.iter().copied().collect();
+        let slice_misp_on = |tage: predictors::Tage| -> u64 {
+            let mut misp_sum = 0u64;
+            let mut alone = prophet_critic::ProphetCritic::new(
+                prophet_critic::AnyProphet::Tage(tage),
+                prophet_critic::NullCritic::new(),
+                0,
+            );
+            let _ = run_accuracy_observed(
+                program,
+                &mut alone,
+                &env.sim_config(bench.seed),
+                |pc, _, misp| {
+                    if misp && h2p_set.contains(&pc) {
+                        misp_sum += 1;
+                    }
+                },
+            );
+            misp_sum
+        };
+        let tage_misp = slice_misp_on(configs::tage(Budget::K16));
+        let tage_h2p_misp = {
+            let mut tage = configs::tage_h2p(Budget::K16);
+            if let Some(alloc) = tage.allocator_mut() {
+                for pc in &h2p {
+                    alloc.flag(predictors::Pc::new(*pc));
+                }
+            }
+            slice_misp_on(tage)
+        };
+
         let mut statics: Vec<H2pStatic> = h2p
             .iter()
             .filter_map(|pc| {
@@ -221,6 +265,8 @@ fn h2p_one_bench(
             h2p_occurrences,
             baseline_misp,
             hybrid_misp,
+            tage_misp,
+            tage_h2p_misp,
             worst: statics,
         }
     }
@@ -229,12 +275,15 @@ fn h2p_one_bench(
 impl CellPayload for H2pBench {
     fn to_cell_bytes(&self) -> Vec<u8> {
         let mut out = format!(
-            "bench={}\nh2p_statics={}\nh2p_occurrences={}\nbaseline_misp={}\nhybrid_misp={}\n",
+            "bench={}\nh2p_statics={}\nh2p_occurrences={}\nbaseline_misp={}\nhybrid_misp={}\n\
+             tage_misp={}\ntage_h2p_misp={}\n",
             self.bench,
             self.h2p_statics,
             self.h2p_occurrences,
             self.baseline_misp,
-            self.hybrid_misp
+            self.hybrid_misp,
+            self.tage_misp,
+            self.tage_h2p_misp
         );
         for s in &self.worst {
             out.push_str(&format!(
@@ -282,6 +331,8 @@ impl CellPayload for H2pBench {
             h2p_occurrences: fields.get("h2p_occurrences")?.parse().ok()?,
             baseline_misp: fields.get("baseline_misp")?.parse().ok()?,
             hybrid_misp: fields.get("hybrid_misp")?.parse().ok()?,
+            tage_misp: fields.get("tage_misp")?.parse().ok()?,
+            tage_h2p_misp: fields.get("tage_h2p_misp")?.parse().ok()?,
             worst,
         })
     }
@@ -339,6 +390,45 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         per_bench.note(format!("FAILED CELL '{}': {}", f.label, f.reason));
     }
 
+    // Allocator ablation: same TAGE, with vs without the H2P allocator.
+    let mut ablation = Table::new(
+        "TAGE H2P allocator ablation — 16KB tage vs 16KB tage+h2p on the flagged statics",
+        &[
+            "benchmark",
+            "h2p statics",
+            "tage misp",
+            "tage+h2p misp",
+            "allocator delta",
+        ],
+    );
+    let (mut tage_total, mut tage_h2p_total) = (0u64, 0u64);
+    for b in &benches {
+        tage_total += b.tage_misp;
+        tage_h2p_total += b.tage_h2p_misp;
+        ablation.row(vec![
+            b.bench.clone(),
+            b.h2p_statics.to_string(),
+            b.tage_misp.to_string(),
+            b.tage_h2p_misp.to_string(),
+            pct(crate::metrics::percent_reduction(
+                b.tage_misp as f64,
+                b.tage_h2p_misp as f64,
+            )),
+        ]);
+    }
+    ablation.note(format!(
+        "corpus total: {tage_total} misp without the allocator vs {tage_h2p_total} with it \
+         ({} on the flagged population)",
+        pct(crate::metrics::percent_reduction(
+            tage_total as f64,
+            tage_h2p_total as f64
+        ))
+    ));
+    ablation.note(
+        "the allocator is seeded from the trace profile's H2P flags (capacity-capped) and \
+         steals dedicated per-context capacity for exactly those statics",
+    );
+
     // The hardest statics across the whole corpus.
     let mut worst: Vec<(&str, &H2pStatic)> = benches
         .iter()
@@ -379,7 +469,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     // across `--threads`).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_h2p_v1\",\n");
+    json.push_str("  \"schema\": \"bench_h2p_v2\",\n");
     json.push_str(&format!("  \"scale\": {},\n", env.scale));
     json.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
     json.push_str(&format!("  \"uop_budget\": {},\n", env.uop_budget()));
@@ -390,8 +480,15 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
         let comma = if i + 1 < benches.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"bench\": \"{}\", \"h2p_statics\": {}, \"h2p_occurrences\": {}, \
-             \"baseline_misp\": {}, \"hybrid_misp\": {}, \"worst\": [",
-            b.bench, b.h2p_statics, b.h2p_occurrences, b.baseline_misp, b.hybrid_misp
+             \"baseline_misp\": {}, \"hybrid_misp\": {}, \"tage_misp\": {}, \
+             \"tage_h2p_misp\": {}, \"worst\": [",
+            b.bench,
+            b.h2p_statics,
+            b.h2p_occurrences,
+            b.baseline_misp,
+            b.hybrid_misp,
+            b.tage_misp,
+            b.tage_h2p_misp
         ));
         for (j, s) in b.worst.iter().enumerate() {
             let wcomma = if j + 1 < b.worst.len() { ", " } else { "" };
@@ -422,7 +519,7 @@ pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
     }
     json.push_str("}\n");
 
-    (vec![per_bench, worst_t], json)
+    (vec![per_bench, ablation, worst_t], json)
 }
 
 /// Runs the experiment and writes [`JSON_PATH`].
@@ -447,9 +544,11 @@ mod tests {
             ..ExpEnv::tiny()
         };
         let (tables, json) = run_with_report(&env);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert_eq!(tables[0].rows.len(), 14, "one row per fast-set bench");
-        assert!(json.contains("\"schema\": \"bench_h2p_v1\""));
+        assert_eq!(tables[1].rows.len(), 14, "one ablation row per bench");
+        assert!(json.contains("\"schema\": \"bench_h2p_v2\""));
+        assert!(json.contains("\"tage_h2p_misp\""));
         // The per-bench totals cover the flagged population: every listed
         // worst static's counts are bounded by its bench totals.
         let benches = h2p_benches(&env);
@@ -463,5 +562,14 @@ mod tests {
         }
         // At least one benchmark must flag hard branches at this scale.
         assert!(benches.iter().any(|b| b.h2p_statics > 0));
+        // The allocator ablation must show the seeded allocator improving
+        // the flagged population corpus-wide (the Bullseye claim).
+        let tage: u64 = benches.iter().map(|b| b.tage_misp).sum();
+        let tage_h2p: u64 = benches.iter().map(|b| b.tage_h2p_misp).sum();
+        eprintln!("# ablation corpus totals: tage={tage} tage+h2p={tage_h2p}");
+        assert!(
+            tage_h2p < tage,
+            "allocator must improve the H2P slice: {tage_h2p} vs {tage}"
+        );
     }
 }

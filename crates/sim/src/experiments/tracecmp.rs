@@ -85,6 +85,8 @@ pub fn conventional_lineup() -> Vec<AnyProphet> {
         AnyProphet::BcGskew(configs::bc_gskew(Budget::K16)),
         AnyProphet::Perceptron(configs::perceptron(Budget::K16)),
         AnyProphet::Yags(Yags::new(32 * 1024, 1024, 2, 9, 13)),
+        AnyProphet::Tage(configs::tage(Budget::K16)),
+        AnyProphet::Tage(configs::tage_h2p(Budget::K16)),
     ]
 }
 
@@ -104,6 +106,20 @@ pub fn hybrid_lineup() -> Vec<HybridSpec> {
             ProphetKind::Perceptron,
             Budget::K8,
             CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::TageH2p,
+            Budget::K8,
+            CriticKind::TaggedGshare,
+            Budget::K8,
+            8,
+        ),
+        HybridSpec::paired(
+            ProphetKind::BcGskew,
+            Budget::K8,
+            CriticKind::Tage,
             Budget::K8,
             8,
         ),
@@ -555,6 +571,14 @@ mod tests {
         for spec in hybrid_lineup() {
             assert_ne!(spec.critic, CriticKind::None);
         }
+        // The TAGE entrants ride in both brackets: conventional (with and
+        // without the H2P allocator) and hybrid (as prophet and critic).
+        let conv = conventional_lineup();
+        assert!(conv.iter().any(|p| p.name() == "tage"));
+        assert!(conv.iter().any(|p| p.name() == "tage+h2p"));
+        let hybrids = hybrid_lineup();
+        assert!(hybrids.iter().any(|s| s.prophet == ProphetKind::TageH2p));
+        assert!(hybrids.iter().any(|s| s.critic == CriticKind::Tage));
     }
 
     #[test]

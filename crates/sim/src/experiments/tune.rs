@@ -6,6 +6,14 @@
 //! baseline, computes corpus-backed H2P slices for the winner, renders
 //! the ranked tables and writes `BENCH_tune.json`.
 //!
+//! `TUNE_H2P_WEIGHT` (a float in `(0, 1]`) attaches the
+//! [`H2pObjective`]: per-benchmark weights are derived from the `h2p`
+//! experiment's per-static deltas (each benchmark's baseline mispredict
+//! mass on its flagged H2P statics, the `BENCH_h2p.json` numbers, resolved
+//! through the same cell store), and the ranking key becomes the blend
+//! `(1 − w) · standard + w · h2p`. Scored cells are unchanged — the
+//! objective only re-weights at scoring time, so warm stores stay valid.
+//!
 //! The JSON report deliberately contains **no thread count and no
 //! wall-clock fields**: it must be byte-identical for any `--threads`
 //! value, which `crates/sim/tests/tune.rs` pins.
@@ -15,8 +23,8 @@ use prophet_critic::HybridSpec;
 use crate::experiments::common::ExpEnv;
 use crate::table::{f2, pct, Table};
 use crate::tune::{
-    baseline_spec, h2p_slices, run_search_on, untuned_default, H2pSlice, TuneCell, TuneOptions,
-    TuneOutcome, TuneSpace,
+    baseline_spec, h2p_slices, run_search_on, untuned_default, H2pObjective, H2pSlice, TuneCell,
+    TuneOptions, TuneOutcome, TuneSpace,
 };
 
 /// Default path of the machine-readable tuning report.
@@ -35,6 +43,25 @@ pub fn space_from_env() -> TuneSpace {
         .ok()
         .and_then(|name| TuneSpace::by_name(&name))
         .unwrap_or_else(TuneSpace::headline)
+}
+
+/// The H2P weighted objective requested by the environment, if any:
+/// `TUNE_H2P_WEIGHT` must parse to a float in `(0, 1]`. The per-benchmark
+/// weights are the `h2p` experiment's baseline mispredict mass on each
+/// benchmark's flagged statics — the same numbers `BENCH_h2p.json`
+/// reports — resolved through the environment's cell store when one is
+/// configured.
+#[must_use]
+pub fn h2p_objective_from_env(env: &ExpEnv) -> Option<H2pObjective> {
+    let weight: f64 = std::env::var("TUNE_H2P_WEIGHT").ok()?.parse().ok()?;
+    if !weight.is_finite() || weight <= 0.0 {
+        return None;
+    }
+    let per_bench = crate::experiments::h2p::h2p_benches(env)
+        .into_iter()
+        .map(|b| (b.bench, b.baseline_misp as f64))
+        .collect();
+    Some(H2pObjective::new(weight, per_bench))
 }
 
 fn json_escape(s: &str) -> String {
@@ -67,6 +94,10 @@ fn cell_json(cell: &TuneCell, rank: usize, indent: &str) -> String {
         "{indent}  \"mean_reduction_percent\": {:.4},\n",
         cell.mean_reduction_percent
     ));
+    match cell.h2p_reduction_percent {
+        Some(h2p) => out.push_str(&format!("{indent}  \"h2p_reduction_percent\": {h2p:.4},\n")),
+        None => out.push_str(&format!("{indent}  \"h2p_reduction_percent\": null,\n")),
+    }
     out.push_str(&format!("{indent}  \"scenarios\": [\n"));
     for (i, sc) in cell.scenarios.iter().enumerate() {
         let comma = if i + 1 < cell.scenarios.len() {
@@ -96,8 +127,23 @@ fn cell_json(cell: &TuneCell, rank: usize, indent: &str) -> String {
 pub fn report_json(outcome: &TuneOutcome, slices: &[H2pSlice], env: &ExpEnv) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench_tune_v1\",\n");
+    out.push_str("  \"schema\": \"bench_tune_v2\",\n");
     out.push_str(&format!("  \"preset\": \"{}\",\n", outcome.space.name));
+    match &outcome.space.h2p {
+        Some(obj) => {
+            let per_bench = obj
+                .per_bench
+                .iter()
+                .map(|(n, w)| format!("{{\"bench\": \"{}\", \"weight\": {w:.4}}}", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "  \"h2p_objective\": {{\"weight\": {:.4}, \"per_bench\": [{per_bench}]}},\n",
+                obj.weight
+            ));
+        }
+        None => out.push_str("  \"h2p_objective\": null,\n"),
+    }
     out.push_str(&format!("  \"scale\": {},\n", env.scale));
     out.push_str(&format!("  \"bench_set\": \"{:?}\",\n", env.bench_set));
     out.push_str(&format!("  \"uop_budget\": {},\n", env.uop_budget()));
@@ -219,6 +265,13 @@ fn ranking_table(outcome: &TuneOutcome) -> Table {
             sc.mix.name
         ));
     }
+    if let Some(obj) = &outcome.space.h2p {
+        t.note(format!(
+            "H2P weighted objective active (weight {:.2}): the ranking key blends the \
+             H2P-mass-weighted pooled reduction (TUNE_H2P_WEIGHT)",
+            obj.weight
+        ));
+    }
     t
 }
 
@@ -288,7 +341,8 @@ fn h2p_table(slices: &[H2pSlice]) -> Table {
 /// Runs the search and returns the tables plus the JSON report.
 #[must_use]
 pub fn run_with_report(env: &ExpEnv) -> (Vec<Table>, String) {
-    let space = space_from_env();
+    let mut space = space_from_env();
+    space.h2p = h2p_objective_from_env(env);
     // One program synthesis for both the search and the H2P slice pass.
     let programs = env.programs();
     let outcome = run_search_on(&space, env, &TuneOptions::default(), &programs);

@@ -65,7 +65,7 @@ pub fn fig9(env: &ExpEnv) -> Vec<Table> {
     );
     // All 12 configurations × 7 representatives in one fan-out.
     let mut specs: Vec<HybridSpec> = Vec::new();
-    for prophet in ProphetKind::ALL {
+    for prophet in ProphetKind::PAPER {
         specs.push(HybridSpec::alone(prophet, Budget::K16));
         for fb in FUTURE_BITS {
             specs.push(HybridSpec::paired(
@@ -80,7 +80,7 @@ pub fn fig9(env: &ExpEnv) -> Vec<Table> {
     let grid = upc_grid(env, &specs, &benches);
     let avg = |row: &[f64]| -> f64 { row.iter().sum::<f64>() / row.len() as f64 };
     let per_prophet = 1 + FUTURE_BITS.len();
-    for (pi, prophet) in ProphetKind::ALL.iter().enumerate() {
+    for (pi, prophet) in ProphetKind::PAPER.iter().enumerate() {
         let mut cells = vec![format!("{prophet} + tagged gshare")];
         for si in 0..per_prophet {
             cells.push(f2(avg(&grid[pi * per_prophet + si])));

@@ -500,11 +500,13 @@ impl CellPayload for CycleResult {
 /// the alternative, leaking a fresh allocation per decode, is wrong for
 /// a long-running server.
 fn intern_predictor_name(name: &str) -> Option<&'static str> {
-    const KNOWN: [&str; 8] = [
+    const KNOWN: [&str; 10] = [
         "bimodal",
         "gas",
         "gshare",
         "tagged-gshare",
+        "tage",
+        "tage+h2p",
         "2bc-gskew",
         "local",
         "perceptron",

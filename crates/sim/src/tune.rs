@@ -83,6 +83,51 @@ pub fn untuned_default() -> HybridSpec {
     )
 }
 
+/// The carried-over H2P weighted objective: per-benchmark weights derived
+/// from `BENCH_h2p.json` deltas (each benchmark's baseline mispredict mass
+/// on its flagged hard-to-predict statics), blended into the ranking key.
+///
+/// With an objective attached, a candidate's ranking key becomes
+/// `(1 − weight) · standard + weight · h2p`, where `h2p` is the pooled
+/// reduction re-weighted by each benchmark's H2P mispredict share — so the
+/// search optimizes the branches that actually cost cycles instead of the
+/// uniform pooled rate. Per-scenario payloads (and therefore every stored
+/// cell) are unchanged: the objective is applied at scoring time only.
+#[derive(Clone, PartialEq, Debug)]
+pub struct H2pObjective {
+    /// Blend factor in `[0, 1]`: 0 = standard scoring, 1 = pure
+    /// H2P-weighted scoring.
+    pub weight: f64,
+    /// Per-benchmark H2P mispredict mass `(bench name, weight ≥ 0)`;
+    /// benchmarks absent from the list score with weight 0.
+    pub per_bench: Vec<(String, f64)>,
+}
+
+impl H2pObjective {
+    /// Builds an objective, clamping `weight` into `[0, 1]` and dropping
+    /// negative per-benchmark masses.
+    #[must_use]
+    pub fn new(weight: f64, per_bench: Vec<(String, f64)>) -> Self {
+        Self {
+            weight: weight.clamp(0.0, 1.0),
+            per_bench: per_bench
+                .into_iter()
+                .map(|(n, w)| (n, w.max(0.0)))
+                .collect(),
+        }
+    }
+
+    /// The weight assigned to `bench` (0 when the benchmark carries no
+    /// H2P mispredict mass in the source report).
+    #[must_use]
+    pub fn share(&self, bench: &str) -> f64 {
+        self.per_bench
+            .iter()
+            .find(|(n, _)| n == bench)
+            .map_or(0.0, |(_, w)| *w)
+    }
+}
+
 /// A scoring scenario: one warm-up fraction paired with one workload-mix
 /// weight profile.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -127,6 +172,10 @@ pub struct TuneSpace {
     /// Nominal storage cap (prophet budget + critic budget bytes); `None`
     /// disables the fairness filter.
     pub max_total_bytes: Option<usize>,
+    /// Optional H2P weighted objective ([`H2pObjective`]): blends the
+    /// per-benchmark `BENCH_h2p.json` mispredict mass into the ranking
+    /// key. `None` (every preset's default) keeps standard scoring.
+    pub h2p: Option<H2pObjective>,
 }
 
 impl TuneSpace {
@@ -144,12 +193,15 @@ impl TuneSpace {
                 (ProphetKind::BcGskew, Budget::K16),
                 (ProphetKind::Perceptron, Budget::K4),
                 (ProphetKind::Perceptron, Budget::K8),
+                (ProphetKind::Tage, Budget::K8),
+                (ProphetKind::TageH2p, Budget::K8),
             ],
             critics: vec![
                 (CriticKind::TaggedGshare, Budget::K2),
                 (CriticKind::TaggedGshare, Budget::K4),
                 (CriticKind::TaggedGshare, Budget::K8),
                 (CriticKind::FilteredPerceptron, Budget::K8),
+                (CriticKind::Tage, Budget::K4),
             ],
             future_bits: vec![1, 2, 3, 4, 6, 8, 10, 12],
             confident: vec![false, true],
@@ -157,6 +209,7 @@ impl TuneSpace {
             mixes: vec![MixProfile::paper(), MixProfile::desktop()],
             // 8 KB + 8 KB plus the tagged critic's tag overhead.
             max_total_bytes: Some(18 * 1024),
+            h2p: None,
         }
     }
 
@@ -173,11 +226,12 @@ impl TuneSpace {
             warmup_permille: vec![200],
             mixes: vec![MixProfile::paper()],
             max_total_bytes: Some(18 * 1024),
+            h2p: None,
         }
     }
 
-    /// A broader exploration space: adds gshare prophets, smaller
-    /// critics, every built-in mix and a 10 % warm-up scenario.
+    /// A broader exploration space: adds gshare and TAGE prophets,
+    /// smaller critics, every built-in mix and a 10 % warm-up scenario.
     #[must_use]
     pub fn wide() -> Self {
         Self {
@@ -188,6 +242,9 @@ impl TuneSpace {
                 (ProphetKind::BcGskew, Budget::K8),
                 (ProphetKind::Perceptron, Budget::K4),
                 (ProphetKind::Perceptron, Budget::K8),
+                (ProphetKind::Tage, Budget::K4),
+                (ProphetKind::Tage, Budget::K8),
+                (ProphetKind::TageH2p, Budget::K8),
             ],
             critics: vec![
                 (CriticKind::TaggedGshare, Budget::K2),
@@ -195,12 +252,15 @@ impl TuneSpace {
                 (CriticKind::TaggedGshare, Budget::K8),
                 (CriticKind::FilteredPerceptron, Budget::K4),
                 (CriticKind::FilteredPerceptron, Budget::K8),
+                (CriticKind::Tage, Budget::K2),
+                (CriticKind::Tage, Budget::K4),
             ],
             future_bits: vec![1, 2, 3, 4, 6, 8, 10, 12],
             confident: vec![false, true],
             warmup_permille: vec![100, 200, 300],
             mixes: MixProfile::presets(),
             max_total_bytes: Some(18 * 1024),
+            h2p: None,
         }
     }
 
@@ -245,9 +305,10 @@ impl TuneSpace {
                 for &fb in &self.future_bits {
                     for &conf in &self.confident {
                         let fb = if critic == CriticKind::None { 0 } else { fb };
-                        // Only the tagged gshare critic carries the
+                        // Only the tagged gshare and TAGE critics carry a
                         // confidence signal; collapse the axis elsewhere.
-                        let conf = conf && critic == CriticKind::TaggedGshare;
+                        let conf =
+                            conf && matches!(critic, CriticKind::TaggedGshare | CriticKind::Tage);
                         let spec = HybridSpec::paired(prophet, pb, critic, cb, fb)
                             .with_confident_override(conf);
                         if self.fits(&spec) && !out.contains(&spec) {
@@ -321,7 +382,8 @@ impl TuneSpace {
                     // without a confidence signal (as in `enumerate`),
                     // otherwise a critic-axis move could produce a
                     // phantom duplicate of an already-seen spec.
-                    s.confident_override = s.confident_override && k == CriticKind::TaggedGshare;
+                    s.confident_override = s.confident_override
+                        && matches!(k, CriticKind::TaggedGshare | CriticKind::Tage);
                     push(s);
                 }
             }
@@ -339,7 +401,7 @@ impl TuneSpace {
                 }
             }
         }
-        if spec.critic == CriticKind::TaggedGshare
+        if matches!(spec.critic, CriticKind::TaggedGshare | CriticKind::Tage)
             && self.confident.contains(&!spec.confident_override)
         {
             push(spec.with_confident_override(!spec.confident_override));
@@ -414,7 +476,11 @@ pub struct TuneCell {
     pub runs: Vec<Vec<AccuracyResult>>,
     /// Per-scenario scores, in [`TuneSpace::scenarios`] order.
     pub scenarios: Vec<ScenarioScore>,
-    /// Mean reduction across scenarios — the ranking key.
+    /// The H2P-weighted pooled reduction (mean over warm-up fractions),
+    /// present only when the space carries an [`H2pObjective`].
+    pub h2p_reduction_percent: Option<f64>,
+    /// Mean reduction across scenarios, blended with the H2P-weighted
+    /// reduction when an objective is attached — the ranking key.
     pub mean_reduction_percent: f64,
 }
 
@@ -483,6 +549,38 @@ pub fn weighted_misp_per_kuops(
     }
 }
 
+/// [`weighted_misp_per_kuops`] with per-benchmark weights taken from an
+/// [`H2pObjective`] instead of a suite mix: each benchmark contributes in
+/// proportion to its H2P mispredict mass in the source `BENCH_h2p.json`
+/// report. Falls back to uniform pooling when no benchmark matches the
+/// objective (a degenerate objective must not zero every score).
+#[must_use]
+pub fn h2p_weighted_misp_per_kuops(
+    benches: &[Benchmark],
+    runs: &[AccuracyResult],
+    objective: &H2pObjective,
+) -> f64 {
+    debug_assert_eq!(benches.len(), runs.len());
+    let mut misp = 0.0;
+    let mut uops = 0.0;
+    for (b, r) in benches.iter().zip(runs) {
+        let w = objective.share(&b.name);
+        misp += w * r.final_mispredicts as f64;
+        uops += w * r.committed_uops as f64;
+    }
+    if uops > 0.0 {
+        return misp * 1000.0 / uops;
+    }
+    let (misp, uops) = runs.iter().fold((0u64, 0u64), |(m, u), r| {
+        (m + r.final_mispredicts, u + r.committed_uops)
+    });
+    if uops == 0 {
+        0.0
+    } else {
+        misp as f64 * 1000.0 / uops as f64
+    }
+}
+
 fn sim_config(env: &ExpEnv, warmup_permille: u32, seed: u64) -> SimConfig {
     let max_uops = env.uop_budget();
     SimConfig {
@@ -524,7 +622,16 @@ fn evaluate(
         .collect()
 }
 
-fn score(
+/// Scores one candidate's raw runs against the baseline under every
+/// scenario of `space`, producing its [`TuneCell`].
+///
+/// The per-scenario payloads are objective-independent; when the space
+/// carries an [`H2pObjective`] the ranking key blends in the H2P-weighted
+/// pooled reduction at scoring time. Public so the weighted objective's
+/// ranking behaviour can be pinned against synthetic runs without driving
+/// a full search.
+#[must_use]
+pub fn score(
     spec: HybridSpec,
     stage: usize,
     runs: Vec<Vec<AccuracyResult>>,
@@ -550,12 +657,28 @@ fn score(
         }
     }
     let n = scenarios.len().max(1) as f64;
+    let standard = sum / n;
+    let objective = space.h2p.as_ref().filter(|o| o.weight > 0.0);
+    let h2p_reduction_percent = objective.map(|obj| {
+        let mut sum = 0.0;
+        for w in 0..space.warmup_permille.len() {
+            let base = h2p_weighted_misp_per_kuops(benches, &baseline_runs[w], obj);
+            let hyb = h2p_weighted_misp_per_kuops(benches, &runs[w], obj);
+            sum += crate::metrics::percent_reduction(base, hyb);
+        }
+        sum / space.warmup_permille.len().max(1) as f64
+    });
+    let mean_reduction_percent = match (objective, h2p_reduction_percent) {
+        (Some(obj), Some(h2p)) => (1.0 - obj.weight) * standard + obj.weight * h2p,
+        _ => standard,
+    };
     TuneCell {
         spec,
         stage,
         runs,
         scenarios,
-        mean_reduction_percent: sum / n,
+        h2p_reduction_percent,
+        mean_reduction_percent,
     }
 }
 
@@ -825,6 +948,7 @@ mod tests {
             warmup_permille: vec![200],
             mixes: vec![MixProfile::paper()],
             max_total_bytes: Some(18 * 1024),
+            h2p: None,
         };
         assert_eq!(space.enumerate().len(), 1);
         assert_eq!(space.coarse().len(), 1);
@@ -904,10 +1028,74 @@ mod tests {
         assert!(full.contains(&spec));
         for n in space.neighbors(&spec) {
             assert!(full.contains(&n), "{} escaped the space", n.label());
-            if n.critic != CriticKind::TaggedGshare {
+            if !matches!(n.critic, CriticKind::TaggedGshare | CriticKind::Tage) {
                 assert!(!n.confident_override, "{}", n.label());
             }
         }
+    }
+
+    #[test]
+    fn headline_space_sweeps_tage_prophets_and_critics() {
+        let space = TuneSpace::headline();
+        let full = space.enumerate();
+        for kind in [ProphetKind::Tage, ProphetKind::TageH2p] {
+            assert!(
+                full.iter().any(|s| s.prophet == kind),
+                "{kind:?} missing from the headline search space"
+            );
+        }
+        assert!(
+            full.iter().any(|s| s.critic == CriticKind::Tage),
+            "TAGE critic missing from the headline search space"
+        );
+        // The TAGE critic carries a confidence signal: both override
+        // policies must survive enumeration (no axis collapse).
+        assert!(full
+            .iter()
+            .any(|s| s.critic == CriticKind::Tage && s.confident_override));
+    }
+
+    #[test]
+    fn h2p_objective_blends_the_ranking_key_without_touching_scenarios() {
+        let space = TuneSpace::quick();
+        let mut weighted = space.clone();
+        weighted.h2p = Some(H2pObjective::new(0.5, vec![("gzip".into(), 9.0)]));
+        let benches: Vec<Benchmark> = workloads::all_benchmarks()
+            .into_iter()
+            .filter(|b| b.name == "gzip" || b.name == "vpr")
+            .collect();
+        let run = |g: u64, v: u64| {
+            vec![vec![
+                AccuracyResult {
+                    benchmark: "gzip".into(),
+                    committed_uops: 1000,
+                    final_mispredicts: g,
+                    ..AccuracyResult::default()
+                },
+                AccuracyResult {
+                    benchmark: "vpr".into(),
+                    committed_uops: 1000,
+                    final_mispredicts: v,
+                    ..AccuracyResult::default()
+                },
+            ]]
+        };
+        let baseline = run(20, 20);
+        let spec = untuned_default();
+        let plain = score(spec, 0, run(10, 20), &baseline, &benches, &space);
+        assert_eq!(plain.h2p_reduction_percent, None);
+        let blended = score(spec, 0, run(10, 20), &baseline, &benches, &weighted);
+        // Scenario payloads are objective-independent (cell stability).
+        assert_eq!(plain.scenarios, blended.scenarios);
+        // gzip-only mass: h2p reduction = 50 %, standard = 25 %, blend 0.5.
+        let h2p = blended.h2p_reduction_percent.expect("objective attached");
+        assert!((h2p - 50.0).abs() < 1e-9, "{h2p}");
+        let expect = 0.5 * plain.mean_reduction_percent + 0.5 * 50.0;
+        assert!(
+            (blended.mean_reduction_percent - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            blended.mean_reduction_percent
+        );
     }
 
     #[test]

@@ -125,6 +125,22 @@ fn kill_and_resume_recomputes_only_missing_cells_byte_identically() {
     );
     assert_eq!(store_a.hits(), total_cells, "second pass missed the store");
 
+    // Bounded store: repeated passes add no new cells — the on-disk
+    // entry count stays pinned at the cell population, so a long-lived
+    // corpus store cannot grow without bound under re-runs.
+    let entries_after_two = store_a.entries().unwrap().len() as u64;
+    assert_eq!(
+        entries_after_two, total_cells,
+        "store grew past the cell population"
+    );
+    let (_, json_a3) = h2p::run_with_report(&env_a);
+    assert_eq!(json_a3, reference);
+    assert_eq!(
+        store_a.entries().unwrap().len() as u64,
+        entries_after_two,
+        "third pass leaked new store entries"
+    );
+
     // "Kill" a run: schedule a panic in one cell. The grid completes,
     // reports the failed cell, and the store holds every *other* cell.
     let (dir_b, store_b) = temp_store("interrupted");

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use prophet_critic::HybridSpec;
 use sim::experiments::common::{pooled_accuracy, ExpEnv};
 use sim::experiments::tune::report_json;
-use sim::tune::{h2p_slices, run_search, untuned_default, TuneOptions, TuneSpace};
+use sim::tune::{h2p_slices, run_search, untuned_default, H2pObjective, TuneOptions, TuneSpace};
 use sim::CellStore;
 
 /// A reduced-scale environment exercising the parallel path.
@@ -51,6 +51,131 @@ fn search_and_report_are_bit_identical_across_thread_counts() {
         assert_eq!(a.runs, b.runs, "{} raw runs diverged", a.spec.label());
         assert_eq!(a.scenarios, b.scenarios);
     }
+}
+
+#[test]
+fn h2p_weighted_search_is_thread_identical_and_leaves_payloads_alone() {
+    // The weighted objective is a scoring-time re-ranking: BENCH_tune.json
+    // stays byte-identical across --threads with the objective active, the
+    // report records the objective, and — compared against the unweighted
+    // search — every cell's raw runs and per-scenario payloads are
+    // untouched while the blended ranking key visibly moves.
+    let masses: Vec<(String, f64)> = env(1)
+        .programs()
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| (b.name.clone(), (i % 3 + 1) as f64))
+        .collect();
+    let mut weighted = TuneSpace::quick();
+    weighted.h2p = Some(H2pObjective::new(0.6, masses));
+    let opts = TuneOptions::default();
+
+    let run = |threads: usize| {
+        let e = env(threads);
+        let outcome = run_search(&weighted, &e, &opts);
+        let winner = outcome.winner().expect("quick space is non-empty").spec;
+        let slices = h2p_slices(&winner, &e.programs(), &e, 200);
+        let json = report_json(&outcome, &slices, &e);
+        (outcome, json)
+    };
+    let (seq, seq_json) = run(1);
+    let (_, par_json) = run(3);
+    assert_eq!(
+        seq_json, par_json,
+        "weighted BENCH_tune.json must not depend on --threads"
+    );
+    assert!(seq_json.contains("\"h2p_objective\": {\"weight\": 0.6000"));
+    assert!(seq_json.contains("\"h2p_reduction_percent\""));
+
+    let plain = run_search(&TuneSpace::quick(), &env(2), &opts);
+    assert_eq!(seq.ranked.len(), plain.ranked.len());
+    let mut drift = 0usize;
+    for cell in &seq.ranked {
+        let twin = plain
+            .ranked
+            .iter()
+            .find(|c| c.spec == cell.spec)
+            .expect("weighted search must visit the same specs");
+        assert_eq!(
+            cell.runs,
+            twin.runs,
+            "{}: raw runs perturbed",
+            cell.spec.label()
+        );
+        assert_eq!(
+            cell.scenarios,
+            twin.scenarios,
+            "{}: scenario payloads perturbed",
+            cell.spec.label()
+        );
+        assert!(cell.h2p_reduction_percent.is_some());
+        assert!(twin.h2p_reduction_percent.is_none());
+        if (cell.mean_reduction_percent - twin.mean_reduction_percent).abs() > 1e-9 {
+            drift += 1;
+        }
+    }
+    assert!(
+        drift > 0,
+        "a 0.6-weighted objective must move at least one ranking key"
+    );
+}
+
+#[test]
+fn h2p_weight_flips_a_ranking_the_unweighted_objective_does_not() {
+    // Synthetic H2P-heavy drift: candidate A is slightly better pooled,
+    // candidate B is much better on the H2P-mass-weighted slice. The
+    // unweighted key ranks A first; the weighted key must flip the order
+    // — from identical underlying runs.
+    use sim::tune::score;
+    use sim::AccuracyResult;
+    use workloads::Benchmark;
+
+    let benches: Vec<Benchmark> = workloads::all_benchmarks()
+        .into_iter()
+        .filter(|b| b.name == "gzip" || b.name == "vpr")
+        .collect();
+    let run_of = |gzip: u64, vpr: u64| -> Vec<Vec<AccuracyResult>> {
+        vec![benches
+            .iter()
+            .map(|b| AccuracyResult {
+                benchmark: b.name.clone(),
+                committed_uops: 1_000,
+                final_mispredicts: if b.name == "gzip" { gzip } else { vpr },
+                ..AccuracyResult::default()
+            })
+            .collect()]
+    };
+    let baseline = run_of(40, 40);
+    let spec = untuned_default();
+    let mut space = TuneSpace::quick();
+    let cell = |runs: Vec<Vec<AccuracyResult>>, sp: &TuneSpace| {
+        score(spec, 0, runs, &baseline, &benches, sp)
+    };
+
+    // A: strong on vpr, barely moves gzip (the H2P-heavy bench).
+    // B: repairs gzip, average on vpr — pooled slightly worse than A.
+    let a_plain = cell(run_of(38, 8), &space);
+    let b_plain = cell(run_of(20, 30), &space);
+    assert!(
+        a_plain.mean_reduction_percent > b_plain.mean_reduction_percent,
+        "unweighted key must prefer A"
+    );
+
+    space.h2p = Some(H2pObjective::new(
+        0.9,
+        vec![("gzip".into(), 1.0), ("vpr".into(), 0.05)],
+    ));
+    let a_weighted = cell(run_of(38, 8), &space);
+    let b_weighted = cell(run_of(20, 30), &space);
+    assert!(
+        b_weighted.mean_reduction_percent > a_weighted.mean_reduction_percent,
+        "H2P-weighted key must flip the ranking: B {:.2} vs A {:.2}",
+        b_weighted.mean_reduction_percent,
+        a_weighted.mean_reduction_percent
+    );
+    // The payloads the store persists are identical either way.
+    assert_eq!(a_plain.scenarios, a_weighted.scenarios);
+    assert_eq!(b_plain.scenarios, b_weighted.scenarios);
 }
 
 #[test]
